@@ -1,0 +1,116 @@
+// Command btio runs the BTIO application-kernel benchmark (paper §4.2):
+// BT-like compute steps, each followed by one collective write of the
+// full 5×N³ solution array through subarray fileviews.
+//
+// Examples:
+//
+//	btio -class S -p 4 -engine listless
+//	btio -class B -p 16 -steps 5 -compare
+//	btio -class C -p 25 -info
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/btio"
+	"repro/internal/core"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("btio: ")
+
+	var (
+		class   = flag.String("class", "S", "NAS problem class: S, W, A, B, C")
+		p       = flag.Int("p", 4, "number of processes (must be a square)")
+		engine  = flag.String("engine", "listless", "datatype engine: listless or list-based")
+		steps   = flag.Int("steps", 0, "time steps (0 = BTIO default, 40)")
+		ghost   = flag.Int("ghost", 1, "halo width of local cell arrays (0 = contiguous memtype)")
+		iters   = flag.Int("iters", 1, "compute sweeps per step (0 disables compute)")
+		verify  = flag.Bool("verify", true, "read back and verify the last snapshot")
+		info    = flag.Bool("info", false, "print the Table 1/2 characterization and exit")
+		compare = flag.Bool("compare", false, "run both engines and report the ratio r_io")
+	)
+	flag.Parse()
+
+	cl, err := btio.ClassByName(*class)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := btio.Config{
+		Class: cl, P: *p, Steps: *steps, Ghost: *ghost,
+		ComputeIters: *iters, Verify: *verify,
+	}
+
+	if *info {
+		nb, err := cfg.NBlock()
+		if err != nil {
+			log.Fatal(err)
+		}
+		sb, _ := cfg.SBlock()
+		fmt.Printf("class %s: grid %d^3, P=%d\n", cl.Name, cl.Grid, *p)
+		fmt.Printf("  D_step  = %.1f MB   D_run = %.2f GB (%d steps)\n",
+			float64(cfg.DStep())/1e6, float64(cfg.DRun())/1e9, cfgSteps(cfg))
+		fmt.Printf("  N_block = %d   S_block = %d bytes (per process, per step)\n", nb, sb)
+		return
+	}
+
+	if *compare {
+		var res [2]btio.Result
+		for i, eng := range []core.Engine{core.ListBased, core.Listless} {
+			c := cfg
+			c.Engine = eng
+			r, err := btio.Run(c)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res[i] = r
+			report(r)
+		}
+		if res[1].TIO > 0 {
+			fmt.Printf("r_io = %.2f (list-based / listless I/O time)\n",
+				float64(res[0].TIO)/float64(res[1].TIO))
+		}
+		return
+	}
+
+	eng, err := parseEngine(*engine)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg.Engine = eng
+	r, err := btio.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report(r)
+}
+
+func report(r btio.Result) {
+	fmt.Printf("btio class %s P=%d steps=%d engine=%s ghost=%d\n",
+		r.Config.Class.Name, r.Config.P, r.Steps, r.Config.Engine, r.Config.Ghost)
+	fmt.Printf("  t_compute = %8.3f s   dt_io = %8.3f s   B_io = %8.0f MB/s   wrote %.2f GB\n",
+		r.TCompute.Seconds(), r.TIO.Seconds(), r.Bandwidth, float64(r.BytesWritten)/1e9)
+	if r.Config.Verify {
+		fmt.Println("  verification: OK")
+	}
+}
+
+func cfgSteps(c btio.Config) int {
+	if c.Steps > 0 {
+		return c.Steps
+	}
+	return btio.DefaultSteps
+}
+
+func parseEngine(s string) (core.Engine, error) {
+	switch s {
+	case "listless":
+		return core.Listless, nil
+	case "list-based", "listbased":
+		return core.ListBased, nil
+	}
+	return 0, fmt.Errorf("unknown engine %q", s)
+}

@@ -1,0 +1,178 @@
+// Command typeinspect builds a derived datatype from command-line
+// parameters and prints its derived properties, the head of its
+// flattened ol-list, the size of its compact encoding, and a
+// flattening-on-the-fly navigation trace — making the paper's
+// representation-size argument (§2.1) tangible.
+//
+// Subcommands:
+//
+//	typeinspect vector -count 1000 -blocklen 1 -stride 2 -elem double
+//	typeinspect subarray -sizes 10,10 -subsizes 4,4 -starts 2,2 -order C
+//	typeinspect noncontig -rank 1 -np 4 -nblock 16 -sblock 8
+//	typeinspect btio -class S -np 4 -rank 0
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/btio"
+	"repro/internal/datatype"
+	"repro/internal/flatten"
+	"repro/internal/fotf"
+	"repro/internal/noncontig"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("typeinspect: ")
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var dt *datatype.Type
+	var err error
+	switch os.Args[1] {
+	case "vector":
+		dt, err = buildVector(os.Args[2:])
+	case "subarray":
+		dt, err = buildSubarray(os.Args[2:])
+	case "noncontig":
+		dt, err = buildNoncontig(os.Args[2:])
+	case "btio":
+		dt, err = buildBTIO(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	inspect(dt)
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: typeinspect {vector|subarray|noncontig|btio} [flags]")
+	os.Exit(2)
+}
+
+func elemByName(name string) (*datatype.Type, error) {
+	for _, t := range []*datatype.Type{datatype.Byte, datatype.Int16, datatype.Int32,
+		datatype.Int64, datatype.Float32, datatype.Float64, datatype.Complex128} {
+		if t.Name() == name || (name == "double" && t == datatype.Double) {
+			return t, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown element type %q", name)
+}
+
+func buildVector(args []string) (*datatype.Type, error) {
+	fs := flag.NewFlagSet("vector", flag.ExitOnError)
+	count := fs.Int64("count", 1000, "block count")
+	blocklen := fs.Int64("blocklen", 1, "elements per block")
+	stride := fs.Int64("stride", 2, "stride in elements")
+	elem := fs.String("elem", "double", "element type")
+	fs.Parse(args)
+	e, err := elemByName(*elem)
+	if err != nil {
+		return nil, err
+	}
+	return datatype.Vector(*count, *blocklen, *stride, e)
+}
+
+func buildSubarray(args []string) (*datatype.Type, error) {
+	fs := flag.NewFlagSet("subarray", flag.ExitOnError)
+	sizes := fs.String("sizes", "10,10", "array dimensions")
+	subsizes := fs.String("subsizes", "4,4", "selected region dimensions")
+	starts := fs.String("starts", "2,2", "region start coordinates")
+	order := fs.String("order", "C", "storage order: C or F")
+	elem := fs.String("elem", "double", "element type")
+	fs.Parse(args)
+	e, err := elemByName(*elem)
+	if err != nil {
+		return nil, err
+	}
+	o := datatype.OrderC
+	if strings.EqualFold(*order, "F") {
+		o = datatype.OrderFortran
+	}
+	return datatype.Subarray(ints(*sizes), ints(*subsizes), ints(*starts), o, e)
+}
+
+func buildNoncontig(args []string) (*datatype.Type, error) {
+	fs := flag.NewFlagSet("noncontig", flag.ExitOnError)
+	rank := fs.Int("rank", 0, "process rank")
+	np := fs.Int("np", 4, "number of processes")
+	nblock := fs.Int64("nblock", 16, "N_block")
+	sblock := fs.Int64("sblock", 8, "S_block bytes")
+	fs.Parse(args)
+	return noncontig.Filetype(*rank, *np, *nblock, *sblock)
+}
+
+func buildBTIO(args []string) (*datatype.Type, error) {
+	fs := flag.NewFlagSet("btio", flag.ExitOnError)
+	class := fs.String("class", "S", "NAS class")
+	np := fs.Int("np", 4, "number of processes (square)")
+	rank := fs.Int("rank", 0, "process rank")
+	fs.Parse(args)
+	return btioFiletype(*class, *np, *rank)
+}
+
+func ints(s string) []int64 {
+	var out []int64
+	for _, part := range strings.Split(s, ",") {
+		var v int64
+		if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d", &v); err != nil {
+			log.Fatalf("bad integer list %q", s)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func inspect(dt *datatype.Type) {
+	fmt.Println(dt.Summary())
+
+	l := flatten.Flatten(dt)
+	fmt.Printf("\nol-list (explicit flattening): %d tuples, %d bytes",
+		len(l), l.Footprint())
+	if dt.Size() > 0 {
+		fmt.Printf(" (%.1f%% of the data it describes)", 100*float64(l.Footprint())/float64(dt.Size()))
+	}
+	fmt.Println()
+	for i, seg := range l {
+		if i == 8 {
+			fmt.Printf("  ... %d more tuples\n", len(l)-8)
+			break
+		}
+		fmt.Printf("  ⟨off=%d, len=%d⟩\n", seg.Off, seg.Len)
+	}
+
+	enc := datatype.EncodedSize(dt)
+	fmt.Printf("\ncompact encoding (fileview caching): %d bytes", enc)
+	if f := l.Footprint(); f > 0 {
+		fmt.Printf(" — %.0fx smaller than the ol-list", float64(f)/float64(enc))
+	}
+	fmt.Println()
+
+	fmt.Println("\nflattening-on-the-fly navigation (O(depth) per call):")
+	size := dt.Size()
+	for _, frac := range []int64{0, 4, 2} {
+		d := int64(0)
+		if frac > 0 {
+			d = size / frac
+		}
+		fmt.Printf("  StartPos(data %10d) = buffer offset %12d\n", d, fotf.StartPos(dt, d))
+	}
+	fmt.Printf("  TypeExtent(skip=0, size=%d) = %d\n", size, fotf.TypeExtent(dt, 0, size))
+	fmt.Printf("  TypeSize(skip=0, extent=%d) = %d\n", dt.Extent(), fotf.TypeSize(dt, 0, dt.Extent()))
+}
+
+func btioFiletype(class string, np, rank int) (*datatype.Type, error) {
+	cl, err := btio.ClassByName(class)
+	if err != nil {
+		return nil, err
+	}
+	return btio.Filetype(cl, np, rank)
+}

@@ -1,0 +1,117 @@
+// Blockcyclic: ScaLAPACK-style block-cyclic matrix I/O with distributed-
+// array (darray) fileviews.
+//
+// A global 64×64 float64 matrix is distributed over a 2×2 process grid
+// block-cyclically with 8×8 blocks — the distribution dense linear
+// algebra libraries use for load balance.  Each process's portion is
+// scattered through the file in dozens of non-contiguous pieces; the
+// darray fileview makes writing it a single collective call, and the
+// listless engine handles the scattered pattern without ever
+// materializing an ol-list.
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/datatype"
+	"repro/internal/mpi"
+	"repro/internal/storage"
+)
+
+const (
+	n      = 64 // global matrix is n×n doubles, row-major
+	nb     = 8  // block-cyclic block size
+	pr, pc = 2, 2
+	P      = pr * pc
+)
+
+func entry(i, j int) float64 { return float64(i)*1e4 + float64(j) }
+
+// ownerOf returns the grid coordinates owning global element (i, j).
+func ownerOf(i, j int) (int, int) { return (i / nb) % pr, (j / nb) % pc }
+
+func main() {
+	backend := storage.NewMem()
+	shared := core.NewShared(backend)
+
+	_, err := mpi.Run(P, func(p *mpi.Proc) {
+		f, err := core.Open(p, shared, core.Options{Engine: core.Listless})
+		if err != nil {
+			panic(err)
+		}
+		defer f.Close()
+
+		ft, err := datatype.Darray(datatype.DarraySpec{
+			Size: P, Rank: p.Rank(),
+			Sizes:    []int64{n, n},
+			Distribs: []datatype.Distribution{datatype.DistCyclic, datatype.DistCyclic},
+			DistArgs: []int64{nb, nb},
+			ProcDims: []int64{pr, pc},
+			Order:    datatype.OrderC,
+			Elem:     datatype.Double,
+		})
+		if err != nil {
+			panic(err)
+		}
+		if err := f.SetView(0, datatype.Double, ft); err != nil {
+			panic(err)
+		}
+
+		// Fill the local (packed) portion in view order: the view
+		// linearizes this process's elements in file order, so walking
+		// global coordinates in row-major order and keeping ours gives
+		// exactly the packed buffer layout.
+		myRow := p.Rank() / pc
+		myCol := p.Rank() % pc
+		local := make([]byte, ft.Size())
+		k := 0
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if r, c := ownerOf(i, j); r == myRow && c == myCol {
+					binary.LittleEndian.PutUint64(local[k*8:], math.Float64bits(entry(i, j)))
+					k++
+				}
+			}
+		}
+		if k*8 != len(local) {
+			panic(fmt.Sprintf("rank %d: filled %d of %d elements", p.Rank(), k, len(local)/8))
+		}
+
+		if _, err := f.WriteAtAll(0, int64(len(local)), datatype.Byte, local); err != nil {
+			panic(err)
+		}
+
+		// Restore through the same view and verify byte-for-byte.
+		got := make([]byte, len(local))
+		if _, err := f.ReadAtAll(0, int64(len(got)), datatype.Byte, got); err != nil {
+			panic(err)
+		}
+		for x := range got {
+			if got[x] != local[x] {
+				panic(fmt.Sprintf("rank %d: restore mismatch at byte %d", p.Rank(), x))
+			}
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The file must hold the full matrix in row-major order.
+	raw := backend.Bytes()
+	if len(raw) != n*n*8 {
+		log.Fatalf("file is %d bytes, want %d", len(raw), n*n*8)
+	}
+	for _, pt := range [][2]int{{0, 0}, {7, 8}, {8, 7}, {33, 52}, {63, 63}} {
+		off := (pt[0]*n + pt[1]) * 8
+		v := math.Float64frombits(binary.LittleEndian.Uint64(raw[off:]))
+		if v != entry(pt[0], pt[1]) {
+			log.Fatalf("entry (%d,%d) = %v, want %v", pt[0], pt[1], v, entry(pt[0], pt[1]))
+		}
+	}
+	fmt.Printf("blockcyclic: %dx%d matrix, %dx%d blocks over a %dx%d grid, written+verified: OK\n",
+		n, n, nb, nb, pr, pc)
+}

@@ -1,0 +1,118 @@
+// Tiledmatrix: a 2D block decomposition of a matrix file — the classic
+// dense-linear-algebra I/O pattern the paper's introduction motivates.
+//
+// A global R×C float64 matrix (row-major) is stored in one file.  The
+// P = pr×pc processes each own one tile and access it through a subarray
+// fileview, so a single collective call per process reads or writes the
+// whole matrix.  The example writes a matrix whose entry (i,j) is
+// 1000·i + j, reads it back through transposed-tile views, and verifies.
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/datatype"
+	"repro/internal/mpi"
+	"repro/internal/storage"
+)
+
+const (
+	rows, cols = 48, 64
+	pr, pc     = 2, 2 // process grid
+	P          = pr * pc
+)
+
+func entry(i, j int) float64 { return float64(1000*i + j) }
+
+// tileView builds the subarray fileview of process (ti, tj).
+func tileView(ti, tj int) (*datatype.Type, error) {
+	tr, tc := rows/pr, cols/pc
+	return datatype.Subarray(
+		[]int64{rows, cols},
+		[]int64{int64(tr), int64(tc)},
+		[]int64{int64(ti * tr), int64(tj * tc)},
+		datatype.OrderC,
+		datatype.Double,
+	)
+}
+
+func main() {
+	backend := storage.NewMem()
+	shared := core.NewShared(backend)
+
+	_, err := mpi.Run(P, func(p *mpi.Proc) {
+		ti, tj := p.Rank()/pc, p.Rank()%pc
+		tr, tc := rows/pr, cols/pc
+
+		f, err := core.Open(p, shared, core.Options{Engine: core.Listless})
+		if err != nil {
+			panic(err)
+		}
+		defer f.Close()
+
+		ft, err := tileView(ti, tj)
+		if err != nil {
+			panic(err)
+		}
+		if err := f.SetView(0, datatype.Double, ft); err != nil {
+			panic(err)
+		}
+
+		// Fill the local tile with the global values and write it with
+		// one collective call.
+		tile := make([]byte, tr*tc*8)
+		for i := 0; i < tr; i++ {
+			for j := 0; j < tc; j++ {
+				v := entry(ti*tr+i, tj*tc+j)
+				binary.LittleEndian.PutUint64(tile[(i*tc+j)*8:], math.Float64bits(v))
+			}
+		}
+		if _, err := f.WriteAtAll(0, int64(len(tile)), datatype.Byte, tile); err != nil {
+			panic(err)
+		}
+
+		// Re-read through the *transposed* tile assignment: process
+		// (ti,tj) now reads tile (tj,ti) — a view change, no data
+		// reshuffling in user code.
+		ft2, err := tileView(tj%pr, ti%pc)
+		if err != nil {
+			panic(err)
+		}
+		if err := f.SetView(0, datatype.Double, ft2); err != nil {
+			panic(err)
+		}
+		got := make([]byte, tr*tc*8)
+		if _, err := f.ReadAtAll(0, int64(len(got)), datatype.Byte, got); err != nil {
+			panic(err)
+		}
+		ti2, tj2 := tj%pr, ti%pc
+		for i := 0; i < tr; i++ {
+			for j := 0; j < tc; j++ {
+				want := entry(ti2*tr+i, tj2*tc+j)
+				v := math.Float64frombits(binary.LittleEndian.Uint64(got[(i*tc+j)*8:]))
+				if v != want {
+					panic(fmt.Sprintf("rank %d: (%d,%d) = %v, want %v", p.Rank(), i, j, v, want))
+				}
+			}
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Spot-check the file itself: entry (i,j) at offset 8*(i*cols+j).
+	raw := backend.Bytes()
+	for _, pt := range [][2]int{{0, 0}, {13, 7}, {47, 63}} {
+		off := 8 * (pt[0]*cols + pt[1])
+		v := math.Float64frombits(binary.LittleEndian.Uint64(raw[off:]))
+		if v != entry(pt[0], pt[1]) {
+			log.Fatalf("file entry (%d,%d) = %v", pt[0], pt[1], v)
+		}
+	}
+	fmt.Printf("tiledmatrix: %dx%d matrix (%d KiB) written and re-read through %d tile views: OK\n",
+		rows, cols, len(raw)/1024, P)
+}

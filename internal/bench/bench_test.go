@@ -1,0 +1,149 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestFiguresQuickProduceAllSeries(t *testing.T) {
+	for _, run := range []func(Scale) (Figure, error){Fig5, Fig6, Fig7, Fig8} {
+		fig, err := run(Quick)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(fig.Series) != 6 {
+			t.Fatalf("%s: %d series, want 6", fig.Name, len(fig.Series))
+		}
+		for _, s := range fig.Series {
+			if len(s.Points) == 0 {
+				t.Fatalf("%s series %s: no points", fig.Name, s.Name)
+			}
+			for _, p := range s.Points {
+				if p.Write <= 0 || p.Read <= 0 {
+					t.Fatalf("%s series %s x=%d: non-positive bandwidth", fig.Name, s.Name, p.X)
+				}
+			}
+		}
+		txt := FormatFigure(fig)
+		if !strings.Contains(txt, fig.Name) || !strings.Contains(txt, "[write]") || !strings.Contains(txt, "[read]") {
+			t.Fatalf("%s: bad formatting:\n%s", fig.Name, txt)
+		}
+		csv := FigureCSV(fig)
+		if !strings.HasPrefix(csv, "x,series,") {
+			t.Fatalf("%s: bad CSV", fig.Name)
+		}
+	}
+}
+
+func TestListlessNeverLoses(t *testing.T) {
+	// The paper's §4.1 observation: "listless I/O never performs worse
+	// than list-based I/O."  Check on the quick Figure 7 sweep (the
+	// regime where the gap is smallest), with slack for timing noise and
+	// one retry: on a single-CPU CI box a descheduled goroutine can make
+	// any individual wall-clock point unreliable.
+	check := func() []string {
+		fig, err := Fig7(Quick)
+		if err != nil {
+			t.Fatal(err)
+		}
+		byName := map[string]Series{}
+		for _, s := range fig.Series {
+			byName[s.Name] = s
+		}
+		var violations []string
+		for _, pat := range []string{"nc-nc", "nc-c", "c-nc"} {
+			ll := byName["listless: "+pat]
+			lb := byName["list-based: "+pat]
+			for i := range ll.Points {
+				if ll.Points[i].Write < 0.5*lb.Points[i].Write {
+					violations = append(violations, fmt.Sprintf(
+						"%s x=%d: listless write %.1f MB/s < half of list-based %.1f MB/s",
+						pat, ll.Points[i].X, ll.Points[i].Write, lb.Points[i].Write))
+				}
+			}
+		}
+		return violations
+	}
+	v := check()
+	if len(v) > 0 {
+		t.Logf("first pass violations (retrying once): %v", v)
+		v = check()
+	}
+	for _, msg := range v {
+		t.Error(msg)
+	}
+}
+
+func TestSmallBlockGapDirection(t *testing.T) {
+	// For 8-byte blocks and large N_block, listless must beat list-based
+	// clearly on the non-contiguous-file patterns (Figure 5's regime).
+	fig, err := Fig5(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Series{}
+	for _, s := range fig.Series {
+		byName[s.Name] = s
+	}
+	ll := byName["listless: nc-nc"]
+	lb := byName["list-based: nc-nc"]
+	last := len(ll.Points) - 1
+	if ll.Points[last].Write <= lb.Points[last].Write {
+		t.Errorf("at N_block=%d listless write %.1f MB/s not above list-based %.1f MB/s",
+			ll.Points[last].X, ll.Points[last].Write, lb.Points[last].Write)
+	}
+}
+
+func TestTable1Values(t *testing.T) {
+	rows, err := Table1([]string{"B", "C"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].DStep != 42448320 || rows[1].DStep != 170061120 {
+		t.Fatalf("Table 1 DStep wrong: %+v", rows)
+	}
+	txt := FormatTable1(rows)
+	if !strings.Contains(txt, "42 MB") {
+		t.Fatalf("format: %s", txt)
+	}
+	if _, err := Table1([]string{"Z"}); err == nil {
+		t.Fatal("unknown class accepted")
+	}
+}
+
+func TestTable2Values(t *testing.T) {
+	rows, err := Table2([]string{"B"}, []int{4, 9, 16, 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int][2]int64{4: {5202, 2040}, 9: {3468, 1360}, 16: {2601, 1020}, 25: {2080, 816}}
+	for _, r := range rows {
+		w := want[r.P]
+		if r.NBlock != w[0] || r.SBlock != w[1] {
+			t.Errorf("P=%d: (%d,%d), want %v", r.P, r.NBlock, r.SBlock, w)
+		}
+	}
+	if s := FormatTable2(rows); !strings.Contains(s, "5202") {
+		t.Fatalf("format: %s", s)
+	}
+}
+
+func TestTable3QuickRuns(t *testing.T) {
+	rows, err := Table3(Table3Config{
+		Classes: []string{"S"}, Ps: []int{4}, Steps: 2, ComputeIters: 1, Verify: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	r := rows[0]
+	if r.DTListBase <= 0 || r.DTListless <= 0 || r.RIO <= 0 {
+		t.Fatalf("bad row: %+v", r)
+	}
+	if s := FormatTable3(rows); !strings.Contains(s, "r_io") {
+		t.Fatalf("format: %s", s)
+	}
+}

@@ -1,0 +1,242 @@
+package btio
+
+import (
+	"encoding/binary"
+
+	"repro/internal/datatype"
+)
+
+// bounds splits n into q chunks as evenly as possible and returns the
+// q+1 chunk boundaries.
+func bounds(n, q int) []int {
+	b := make([]int, q+1)
+	base, rem := n/q, n%q
+	for c := 0; c <= q; c++ {
+		b[c] = c*base + min(c, rem)
+	}
+	return b
+}
+
+// cell is one grid cell owned by a process: global start and size per
+// spatial dimension.
+type cell struct {
+	start [3]int
+	size  [3]int
+}
+
+// decomp is one process's view of BT's diagonal multipartitioning.
+type decomp struct {
+	n     int
+	q     int
+	rank  int
+	ghost int
+	cells []cell // ordered by z-slab (ascending file offsets)
+}
+
+// newDecomp computes the q cells of rank on an N³ grid: for z-slab c the
+// process at grid position (pi, pj) owns cell ((pi+c) mod q, (pj+c) mod q)
+// — one cell per slab, every slab covered exactly once.
+func newDecomp(n, q, rank, ghost int) *decomp {
+	b := bounds(n, q)
+	pi, pj := rank%q, rank/q
+	d := &decomp{n: n, q: q, rank: rank, ghost: ghost}
+	for c := 0; c < q; c++ {
+		ci, cj := (pi+c)%q, (pj+c)%q
+		d.cells = append(d.cells, cell{
+			start: [3]int{b[ci], b[cj], b[c]},
+			size:  [3]int{b[ci+1] - b[ci], b[cj+1] - b[cj], b[c+1] - b[c]},
+		})
+	}
+	return d
+}
+
+// filetype builds the process's fileview: a struct of one subarray per
+// cell over the global (5, N, N, N) Fortran-order array, with the whole
+// array as extent so that consecutive time steps tile.
+func (d *decomp) filetype() (*datatype.Type, error) {
+	children := make([]*datatype.Type, len(d.cells))
+	blocklens := make([]int64, len(d.cells))
+	displs := make([]int64, len(d.cells))
+	n64 := int64(d.n)
+	for i, c := range d.cells {
+		sub, err := datatype.Subarray(
+			[]int64{5, n64, n64, n64},
+			[]int64{5, int64(c.size[0]), int64(c.size[1]), int64(c.size[2])},
+			[]int64{0, int64(c.start[0]), int64(c.start[1]), int64(c.start[2])},
+			datatype.OrderFortran,
+			datatype.Double,
+		)
+		if err != nil {
+			return nil, err
+		}
+		children[i] = sub
+		blocklens[i] = 1
+	}
+	st, err := datatype.Struct(blocklens, displs, children)
+	if err != nil {
+		return nil, err
+	}
+	return datatype.Resized(st, 0, int64(cellBytes)*n64*n64*n64)
+}
+
+// ghosted returns a cell's local (ghosted) array dimensions.
+func (d *decomp) ghosted(c cell) [3]int {
+	g := d.ghost
+	return [3]int{c.size[0] + 2*g, c.size[1] + 2*g, c.size[2] + 2*g}
+}
+
+// cellExtent returns the byte size of a cell's local ghosted array.
+func (d *decomp) cellExtent(c cell) int64 {
+	gd := d.ghosted(c)
+	return int64(cellBytes) * int64(gd[0]) * int64(gd[1]) * int64(gd[2])
+}
+
+// memtype builds the memory datatype: a struct of one subarray per cell,
+// each selecting the interior of the cell's ghosted local array.  The
+// local buffer is the concatenation of the ghosted cell arrays.  With
+// ghost > 0 the memtype is non-contiguous, as in the real BT code.
+func (d *decomp) memtype() (*datatype.Type, error) {
+	children := make([]*datatype.Type, len(d.cells))
+	blocklens := make([]int64, len(d.cells))
+	displs := make([]int64, len(d.cells))
+	g := int64(d.ghost)
+	var off int64
+	for i, c := range d.cells {
+		gd := d.ghosted(c)
+		sub, err := datatype.Subarray(
+			[]int64{5, int64(gd[0]), int64(gd[1]), int64(gd[2])},
+			[]int64{5, int64(c.size[0]), int64(c.size[1]), int64(c.size[2])},
+			[]int64{0, g, g, g},
+			datatype.OrderFortran,
+			datatype.Double,
+		)
+		if err != nil {
+			return nil, err
+		}
+		children[i] = sub
+		blocklens[i] = 1
+		displs[i] = off
+		off += d.cellExtent(c)
+	}
+	st, err := datatype.Struct(blocklens, displs, children)
+	if err != nil {
+		return nil, err
+	}
+	return datatype.Resized(st, 0, off)
+}
+
+// index returns the byte offset of component m at local ghosted
+// coordinates (x, y, z) within a ghosted cell array.
+func cellIndex(gd [3]int, m, x, y, z int) int64 {
+	return int64(8) * int64(m+5*(x+gd[0]*(y+gd[1]*z)))
+}
+
+// fill initializes the interiors of the local cells with a deterministic
+// function of the *global* coordinates, so files written by different
+// decompositions/engines are comparable.
+func (d *decomp) fill(u []byte, rank int) {
+	g := d.ghost
+	var base int64
+	for _, c := range d.cells {
+		gd := d.ghosted(c)
+		for z := 0; z < c.size[2]; z++ {
+			for y := 0; y < c.size[1]; y++ {
+				for x := 0; x < c.size[0]; x++ {
+					for m := 0; m < 5; m++ {
+						v := seedValue(m, c.start[0]+x, c.start[1]+y, c.start[2]+z, d.n)
+						off := base + cellIndex(gd, m, x+g, y+g, z+g)
+						binary.LittleEndian.PutUint64(u[off:], math64bits(v))
+					}
+				}
+			}
+		}
+		base += d.cellExtent(c)
+	}
+}
+
+// seedValue is the initial solution value at global (m, i, j, k).
+func seedValue(m, i, j, k, n int) float64 {
+	return float64(m+1) + 0.5*float64(i) + 0.25*float64(j) + 0.125*float64(k) + 1.0/float64(n)
+}
+
+func math64bits(v float64) uint64 {
+	return uint64frombits(v)
+}
+
+// sweep runs one BT-like relaxation sweep: a 7-point stencil smoothing
+// of each component over each cell's interior (cell-local; the halo is
+// not exchanged — the kernel only provides a representative compute
+// load, see DESIGN.md).
+func (d *decomp) sweep(u []byte) {
+	var base int64
+	for _, c := range d.cells {
+		gd := d.ghosted(c)
+		g := d.ghost
+		sx, sy, sz := c.size[0], c.size[1], c.size[2]
+		// Strides in doubles for neighbor access.
+		dx := int64(5)
+		dy := int64(5 * gd[0])
+		dz := int64(5 * gd[0] * gd[1])
+		buf := u[base : base+d.cellExtent(c)]
+		for z := 0; z < sz; z++ {
+			for y := 0; y < sy; y++ {
+				row := cellIndex(gd, 0, g, y+g, z+g) / 8
+				for x := 0; x < sx; x++ {
+					for m := 0; m < 5; m++ {
+						i := row + int64(5*x) + int64(m)
+						cv := loadF(buf, i)
+						acc := 2 * cv
+						if x > 0 {
+							acc += loadF(buf, i-dx)
+						}
+						if x < sx-1 {
+							acc += loadF(buf, i+dx)
+						}
+						if y > 0 {
+							acc += loadF(buf, i-dy)
+						}
+						if y < sy-1 {
+							acc += loadF(buf, i+dy)
+						}
+						if z > 0 {
+							acc += loadF(buf, i-dz)
+						}
+						if z < sz-1 {
+							acc += loadF(buf, i+dz)
+						}
+						storeF(buf, i, 0.125*acc)
+					}
+				}
+			}
+		}
+		base += d.cellExtent(c)
+	}
+}
+
+// equalInterior compares the cell interiors of two local buffers.
+func (d *decomp) equalInterior(a, b []byte) bool {
+	g := d.ghost
+	var base int64
+	for _, c := range d.cells {
+		gd := d.ghosted(c)
+		rowBytes := int64(cellBytes) * int64(c.size[0])
+		for z := 0; z < c.size[2]; z++ {
+			for y := 0; y < c.size[1]; y++ {
+				off := base + cellIndex(gd, 0, g, y+g, z+g)
+				if string(a[off:off+rowBytes]) != string(b[off:off+rowBytes]) {
+					return false
+				}
+			}
+		}
+		base += d.cellExtent(c)
+	}
+	return true
+}
+
+func loadF(b []byte, i int64) float64 {
+	return float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
+}
+
+func storeF(b []byte, i int64, v float64) {
+	binary.LittleEndian.PutUint64(b[i*8:], uint64frombits(v))
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/datatype"
+	"repro/internal/mpi"
+	"repro/internal/storage"
+)
+
+// Fault-injection tests: backend errors must surface as errors from the
+// I/O calls (never panics, never silent truncation) through every path —
+// contiguous, staged, sieving, and two-phase collective.
+
+func faultyWorld(t *testing.T, eng Engine, scenario func(f *File, fb *storage.Faulty) error) error {
+	t.Helper()
+	fb := storage.NewFaulty(storage.NewMem())
+	sh := NewShared(fb)
+	var opErr error
+	_, err := mpi.Run(1, func(p *mpi.Proc) {
+		f, err := Open(p, sh, Options{Engine: eng, SieveBufSize: 64, PackBufSize: 32})
+		if err != nil {
+			panic(err)
+		}
+		defer f.Close()
+		opErr = scenario(f, fb)
+	})
+	if err != nil {
+		t.Fatalf("world error (should have been an I/O error): %v", err)
+	}
+	return opErr
+}
+
+func TestFaultContiguousWrite(t *testing.T) {
+	for _, eng := range []Engine{Listless, ListBased} {
+		err := faultyWorld(t, eng, func(f *File, fb *storage.Faulty) error {
+			fb.FailWrites(1)
+			_, err := f.WriteAt(0, 64, datatype.Byte, make([]byte, 64))
+			return err
+		})
+		if !errors.Is(err, storage.ErrInjected) {
+			t.Errorf("%v: err = %v, want injected", eng, err)
+		}
+	}
+}
+
+func TestFaultSievingWrite(t *testing.T) {
+	ft, err := datatype.Vector(16, 1, 2, datatype.Double)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, eng := range []Engine{Listless, ListBased} {
+		// Fail the write-back of a sieve window.
+		werr := faultyWorld(t, eng, func(f *File, fb *storage.Faulty) error {
+			if err := f.SetView(0, datatype.Byte, ft); err != nil {
+				return err
+			}
+			fb.FailWrites(1)
+			_, err := f.WriteAt(0, 64, datatype.Byte, make([]byte, 64))
+			return err
+		})
+		if !errors.Is(werr, storage.ErrInjected) {
+			t.Errorf("%v: sieve write err = %v", eng, werr)
+		}
+		// Fail the read of a later sieve window (RMW pre-read).
+		rerr := faultyWorld(t, eng, func(f *File, fb *storage.Faulty) error {
+			if err := f.SetView(0, datatype.Byte, ft); err != nil {
+				return err
+			}
+			fb.FailReads(2)
+			_, err := f.ReadAt(0, 128, datatype.Byte, make([]byte, 128))
+			return err
+		})
+		if !errors.Is(rerr, storage.ErrInjected) {
+			t.Errorf("%v: sieve read err = %v", eng, rerr)
+		}
+	}
+}
+
+func TestFaultCollectiveWrite(t *testing.T) {
+	const P = 4
+	for _, eng := range []Engine{Listless, ListBased} {
+		fb := storage.NewFaulty(storage.NewMem())
+		sh := NewShared(fb)
+		errs := make([]error, P)
+		_, err := mpi.Run(P, func(p *mpi.Proc) {
+			f, err := Open(p, sh, Options{Engine: eng, CollBufSize: 128})
+			if err != nil {
+				panic(err)
+			}
+			defer f.Close()
+			ft := noncontigTypeP(p.Rank(), P, 16, 8)
+			if err := f.SetView(0, datatype.Byte, ft); err != nil {
+				panic(err)
+			}
+			if p.Rank() == 0 {
+				fb.FailWrites(1)
+			}
+			p.Barrier()
+			_, errs[p.Rank()] = f.WriteAtAll(0, 128, datatype.Byte, make([]byte, 128))
+		})
+		if err != nil {
+			t.Fatalf("%v: world error: %v", eng, err)
+		}
+		any := false
+		for _, e := range errs {
+			if errors.Is(e, storage.ErrInjected) {
+				any = true
+			}
+		}
+		if !any {
+			t.Errorf("%v: no rank saw the injected collective write fault", eng)
+		}
+	}
+}
+
+func TestFaultHealRecovers(t *testing.T) {
+	err := faultyWorld(t, Listless, func(f *File, fb *storage.Faulty) error {
+		fb.FailWrites(1)
+		if _, err := f.WriteAt(0, 8, datatype.Byte, make([]byte, 8)); err == nil {
+			t.Error("expected injected failure")
+		}
+		fb.Heal()
+		_, err := f.WriteAt(0, 8, datatype.Byte, make([]byte, 8))
+		return err
+	})
+	if err != nil {
+		t.Fatalf("post-heal write failed: %v", err)
+	}
+}

@@ -1,0 +1,310 @@
+package core
+
+import (
+	"repro/internal/datatype"
+	"repro/internal/flatten"
+	"repro/internal/fotf"
+	"repro/internal/storage"
+)
+
+// Independent I/O.  The four memory/file contiguity combinations of
+// Figure 1 take different paths:
+//
+//	c-c:   direct contiguous backend access;
+//	nc-c:  stage through the pack buffer (pack/unpack the memtype);
+//	c-nc:  data sieving on the fileview, user buffer used directly;
+//	nc-nc: data sieving combined with pack-buffer staging (Figure 3).
+
+// WriteAt writes count instances of memtype from buf into the view at
+// offset off (in etypes), independently of other ranks.  It returns the
+// number of data bytes written.
+func (f *File) WriteAt(off int64, count int64, memtype *datatype.Type, buf []byte) (int64, error) {
+	d, err := f.checkAccess(off, count, memtype, buf)
+	if err != nil || d == 0 {
+		return 0, err
+	}
+	if err := f.transferIndependent(off*f.v.esize, d, memtype, count, buf, true); err != nil {
+		return 0, err
+	}
+	f.Stats.BytesWritten += d
+	return d, nil
+}
+
+// ReadAt reads count instances of memtype from the view at offset off
+// (in etypes) into buf, independently of other ranks.  It returns the
+// number of data bytes read.
+func (f *File) ReadAt(off int64, count int64, memtype *datatype.Type, buf []byte) (int64, error) {
+	d, err := f.checkAccess(off, count, memtype, buf)
+	if err != nil || d == 0 {
+		return 0, err
+	}
+	if err := f.transferIndependent(off*f.v.esize, d, memtype, count, buf, false); err != nil {
+		return 0, err
+	}
+	f.Stats.BytesRead += d
+	return d, nil
+}
+
+// Write writes at the individual file pointer and advances it.
+func (f *File) Write(count int64, memtype *datatype.Type, buf []byte) (int64, error) {
+	n, err := f.WriteAt(f.ptr, count, memtype, buf)
+	f.ptr += n / f.v.esize
+	return n, err
+}
+
+// Read reads at the individual file pointer and advances it.
+func (f *File) Read(count int64, memtype *datatype.Type, buf []byte) (int64, error) {
+	n, err := f.ReadAt(f.ptr, count, memtype, buf)
+	f.ptr += n / f.v.esize
+	return n, err
+}
+
+// memIsContig reports whether the memory data of the access is one
+// contiguous run.
+func memIsContig(memtype *datatype.Type, count int64) bool {
+	return memtype.ContiguousTiled() || (count == 1 && memtype.Dense())
+}
+
+// transferIndependent moves d data bytes between buf (count instances of
+// memtype) and the view starting at view data offset d0.
+func (f *File) transferIndependent(d0, d int64, memtype *datatype.Type, count int64, buf []byte, write bool) error {
+	mem := f.newMemState(memtype, count)
+	memContig := memIsContig(memtype, count)
+
+	if f.atomic {
+		// Atomic mode: hold the whole access range for the duration so
+		// overlapping concurrent accesses serialize as units.
+		lo := f.dataToFileStart(d0)
+		hi := f.dataToFileEnd(d0 + d)
+		unlock := f.sh.locks.Lock(lo, hi)
+		defer unlock()
+	}
+
+	if f.v.ftype.ContiguousTiled() {
+		start := f.dataToFileStart(d0)
+		if memContig {
+			// c-c: direct contiguous access.
+			m0 := memtype.TrueLB()
+			if write {
+				_, err := f.sh.b.WriteAt(buf[m0:m0+d], start)
+				return err
+			}
+			return storage.ReadFull(f.sh.b, buf[m0:m0+d], start)
+		}
+		// nc-c: stage through the pack buffer.
+		pb := make([]byte, minI64(int64(f.opts.PackBufSize), d))
+		for done := int64(0); done < d; {
+			n := minI64(int64(len(pb)), d-done)
+			if write {
+				f.packUser(pb, buf, mem, done, n)
+				if _, err := f.sh.b.WriteAt(pb[:n], start+done); err != nil {
+					return err
+				}
+			} else {
+				if err := storage.ReadFull(f.sh.b, pb[:n], start+done); err != nil {
+					return err
+				}
+				f.unpackUser(buf, pb, mem, done, n)
+			}
+			done += n
+		}
+		return nil
+	}
+
+	// Non-contiguous fileview: data sieving over the file range that
+	// backs data [d0, d0+d).
+	lo := f.dataToFileStart(d0)
+	hi := f.dataToFileEnd(d0 + d)
+
+	// Sieving-vs-direct decision (the paper's §5 outlook): when the
+	// access is sparse, reading/writing whole sieve windows moves mostly
+	// useless bytes and the RMW write-back doubles the traffic; below
+	// the density threshold, issue one backend access per block instead.
+	if f.opts.SieveDensity > 0 && float64(d) < f.opts.SieveDensity*float64(hi-lo) {
+		return f.transferDirect(d0, d, buf, mem, memContig, write)
+	}
+
+	win := make([]byte, minI64(int64(f.opts.SieveBufSize), hi-lo))
+	var pb []byte
+	if !memContig {
+		pb = make([]byte, f.opts.PackBufSize)
+	}
+
+	// The list-based engine walks its ol-list with a sequential cursor;
+	// initial positioning is the linear O(N_block) traversal of §2.2.
+	var fc *flatten.Cursor
+	if f.opts.Engine == ListBased {
+		fc = f.v.flat.SeekData(d0)
+	}
+
+	dw := d0 // view-data cursor
+	for winLo := lo; winLo < hi; winLo += int64(len(win)) {
+		winHi := minI64(winLo+int64(len(win)), hi)
+		w := win[:winHi-winLo]
+
+		// Data bytes inside this window.
+		var n int64
+		if fc != nil {
+			n = fc.CountUpTo(winHi)
+		} else {
+			n = fotf.BufToData(f.v.ftype, winHi-f.v.disp) - (dw - d0) - fotf.BufToData(f.v.ftype, lo-f.v.disp)
+		}
+		if n == 0 {
+			continue
+		}
+		if n > d-(dw-d0) {
+			n = d - (dw - d0)
+		}
+
+		if write {
+			// In atomic mode the whole access range is already held
+			// (and the lock table is not reentrant); otherwise lock the
+			// window for the read-modify-write cycle.
+			unlock := func() {}
+			if !f.atomic {
+				unlock = f.sh.locks.Lock(winLo, winHi)
+			}
+			if n != winHi-winLo {
+				// Read-modify-write: fill the gaps from the file.
+				if err := storage.ReadFull(f.sh.b, w, winLo); err != nil {
+					unlock()
+					return err
+				}
+			}
+			if err := f.moveWindow(w, winLo, dw, n, buf, mem, memContig, d0, pb, true, fc); err != nil {
+				unlock()
+				return err
+			}
+			if _, err := f.sh.b.WriteAt(w, winLo); err != nil {
+				unlock()
+				return err
+			}
+			unlock()
+			f.Stats.SieveWrites++
+		} else {
+			if err := storage.ReadFull(f.sh.b, w, winLo); err != nil {
+				return err
+			}
+			f.Stats.SieveReads++
+			if err := f.moveWindow(w, winLo, dw, n, buf, mem, memContig, d0, pb, false, fc); err != nil {
+				return err
+			}
+		}
+		dw += n
+	}
+	return nil
+}
+
+// moveWindow copies view data [dv, dv+n) between the file window w
+// (holding absolute file range starting at winLo) and the user buffer,
+// staging through pb when the memory layout is non-contiguous.
+// write=true copies user→window.
+func (f *File) moveWindow(w []byte, winLo, dv, n int64, buf []byte, mem *memState, memContig bool, d0 int64, pb []byte, write bool, fc *flatten.Cursor) error {
+	chunk := n
+	if !memContig && chunk > int64(len(pb)) {
+		chunk = int64(len(pb))
+	}
+	for m := int64(0); m < n; m += chunk {
+		c := minI64(chunk, n-m)
+		var cb []byte
+		if memContig {
+			u := mem.t.TrueLB() + (dv - d0) + m
+			cb = buf[u : u+c]
+		} else {
+			cb = pb[:c]
+			if write {
+				f.packUser(cb, buf, mem, (dv-d0)+m, c)
+			}
+		}
+		// Copy between contiguous cb and the window per the fileview.
+		if f.opts.Engine == ListBased {
+			fc.Each(c, func(fileOff, dataOff, ln int64) {
+				if write {
+					copy(w[fileOff-winLo:fileOff-winLo+ln], cb[dataOff-(dv+m):])
+				} else {
+					copy(cb[dataOff-(dv+m):dataOff-(dv+m)+ln], w[fileOff-winLo:])
+				}
+			})
+		} else {
+			// write: unpack cb into the window (typed by the filetype,
+			// biased to the window start — the virtual file buffer of
+			// §3.2.2); read: pack from the window.
+			fotf.CopyRange(cb, w, f.v.ftype, dv+m, dv+m+c, winLo-f.v.disp, !write)
+		}
+		if !memContig && !write {
+			f.unpackUser(buf, cb, mem, (dv-d0)+m, c)
+		}
+	}
+	return nil
+}
+
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// transferDirect performs a non-contiguous independent access as a
+// sequence of direct contiguous backend accesses, one per run of the
+// fileview — the "multiple file accesses" alternative to data sieving.
+// No read-modify-write and no byte-range locks are needed because every
+// backend access touches exactly the bytes of the view.
+func (f *File) transferDirect(d0, d int64, buf []byte, mem *memState, memContig bool, write bool) error {
+	var pb []byte
+	if !memContig {
+		pb = make([]byte, minI64(int64(f.opts.PackBufSize), d))
+	}
+	// Process the access in data-contiguous chunks bounded by the pack
+	// buffer, issuing one backend call per fileview run within a chunk.
+	chunk := d
+	if !memContig && chunk > int64(len(pb)) {
+		chunk = int64(len(pb))
+	}
+
+	var fc *flatten.Cursor
+	if f.opts.Engine == ListBased {
+		fc = f.v.flat.SeekData(d0)
+	}
+
+	var ioErr error
+	for m := int64(0); m < d && ioErr == nil; m += chunk {
+		c := minI64(chunk, d-m)
+		var cb []byte
+		if memContig {
+			u := mem.t.TrueLB() + m
+			cb = buf[u : u+c]
+		} else {
+			cb = pb[:c]
+			if write {
+				f.packUser(cb, buf, mem, m, c)
+			}
+		}
+		access := func(fileOff, dataOff, ln int64) {
+			if ioErr != nil {
+				return
+			}
+			piece := cb[dataOff-(d0+m) : dataOff-(d0+m)+ln]
+			if write {
+				_, ioErr = f.sh.b.WriteAt(piece, fileOff)
+				f.Stats.DirectWrites++
+			} else {
+				ioErr = storage.ReadFull(f.sh.b, piece, fileOff)
+				f.Stats.DirectReads++
+			}
+		}
+		if f.opts.Engine == ListBased {
+			fc.Each(c, access)
+		} else {
+			fotf.Runs(f.v.ftype, d0+m, d0+m+c, func(bufOff, dataOff, runLen, stride, n int64) {
+				for i := int64(0); i < n; i++ {
+					access(f.v.disp+bufOff+i*stride, dataOff+i*runLen, runLen)
+				}
+			})
+		}
+		if ioErr == nil && !memContig && !write {
+			f.unpackUser(buf, cb, mem, m, c)
+		}
+	}
+	return ioErr
+}

@@ -1,0 +1,92 @@
+package core
+
+import "repro/internal/datatype"
+
+// Nonblocking and split-collective operations (MPI-IO §9.4.3, §9.4.5).
+//
+// Independent nonblocking operations (IReadAt / IWriteAt) overlap I/O
+// with computation: the transfer runs in the background and Wait joins
+// it.  Independent transfers never touch the message-passing runtime, so
+// any other use of the rank is safe while one is in flight (only the
+// buffer must not be reused until Wait).  At most one operation may be
+// outstanding per file handle — the handle's Stats are not synchronized.
+//
+// Split collectives (ReadAtAllBegin/End, WriteAtAllBegin/End) start a
+// collective transfer in the background.  Because the collective engages
+// the rank's mailbox, the caller must not perform *any* other
+// communication or file operation on the same rank between Begin and
+// End (MPI imposes the same one-outstanding-split-collective rule per
+// file handle; we extend it to the rank for the shared-memory runtime).
+
+// Request is a handle on an in-flight nonblocking operation.
+type Request struct {
+	done chan struct{}
+	n    int64
+	err  error
+}
+
+// Wait blocks until the operation completes and returns its result.
+func (r *Request) Wait() (int64, error) {
+	<-r.done
+	return r.n, r.err
+}
+
+// Test reports whether the operation has completed, without blocking.
+func (r *Request) Test() bool {
+	select {
+	case <-r.done:
+		return true
+	default:
+		return false
+	}
+}
+
+func (f *File) async(op func() (int64, error)) *Request {
+	r := &Request{done: make(chan struct{})}
+	go func() {
+		defer close(r.done)
+		defer func() {
+			if e := recover(); e != nil {
+				r.err = recoverToError(e)
+			}
+		}()
+		r.n, r.err = op()
+	}()
+	return r
+}
+
+func recoverToError(e interface{}) error {
+	if err, ok := e.(error); ok {
+		return err
+	}
+	return errPanic{v: e}
+}
+
+type errPanic struct{ v interface{} }
+
+func (e errPanic) Error() string { return "core: background operation panicked" }
+
+// IWriteAt starts a nonblocking independent write (MPI_File_iwrite_at).
+// buf must not be modified until Wait returns.
+func (f *File) IWriteAt(off int64, count int64, memtype *datatype.Type, buf []byte) *Request {
+	return f.async(func() (int64, error) { return f.WriteAt(off, count, memtype, buf) })
+}
+
+// IReadAt starts a nonblocking independent read (MPI_File_iread_at).
+// buf must not be read until Wait returns.
+func (f *File) IReadAt(off int64, count int64, memtype *datatype.Type, buf []byte) *Request {
+	return f.async(func() (int64, error) { return f.ReadAt(off, count, memtype, buf) })
+}
+
+// WriteAtAllBegin starts a split collective write
+// (MPI_File_write_at_all_begin).  All ranks must call it; no other
+// operation may be performed on this rank until End.
+func (f *File) WriteAtAllBegin(off int64, count int64, memtype *datatype.Type, buf []byte) *Request {
+	return f.async(func() (int64, error) { return f.WriteAtAll(off, count, memtype, buf) })
+}
+
+// ReadAtAllBegin starts a split collective read
+// (MPI_File_read_at_all_begin).
+func (f *File) ReadAtAllBegin(off int64, count int64, memtype *datatype.Type, buf []byte) *Request {
+	return f.async(func() (int64, error) { return f.ReadAtAll(off, count, memtype, buf) })
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/datatype"
+	"repro/internal/mpi"
+	"repro/internal/storage"
+)
+
+func TestNonblockingIndependentRoundTrip(t *testing.T) {
+	be := storage.NewMem()
+	sh := NewShared(be)
+	_, err := mpi.Run(2, func(p *mpi.Proc) {
+		f, err := Open(p, sh, Options{})
+		if err != nil {
+			panic(err)
+		}
+		defer f.Close()
+		ft := noncontigTypeP(p.Rank(), 2, 32, 16)
+		if err := f.SetView(0, datatype.Byte, ft); err != nil {
+			panic(err)
+		}
+		data := pattern(p.Rank(), 512)
+		req := f.IWriteAt(0, 512, datatype.Byte, data)
+		// Overlap "compute" with the I/O.
+		sum := 0
+		for i := 0; i < 100000; i++ {
+			sum += i
+		}
+		if n, err := req.Wait(); err != nil || n != 512 {
+			panic(err)
+		}
+		got := make([]byte, 512)
+		rreq := f.IReadAt(0, 512, datatype.Byte, got)
+		for !rreq.Test() {
+		}
+		if n, err := rreq.Wait(); err != nil || n != 512 {
+			panic(err)
+		}
+		if !bytes.Equal(got, data) {
+			panic("nonblocking round trip mismatch")
+		}
+		_ = sum
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitCollective(t *testing.T) {
+	const P = 4
+	for _, eng := range []Engine{Listless, ListBased} {
+		be := storage.NewMem()
+		sh := NewShared(be)
+		_, err := mpi.Run(P, func(p *mpi.Proc) {
+			f, err := Open(p, sh, Options{Engine: eng})
+			if err != nil {
+				panic(err)
+			}
+			defer f.Close()
+			ft := noncontigTypeP(p.Rank(), P, 16, 16)
+			if err := f.SetView(0, datatype.Byte, ft); err != nil {
+				panic(err)
+			}
+			data := pattern(p.Rank(), 256)
+			wreq := f.WriteAtAllBegin(0, 256, datatype.Byte, data)
+			if n, err := wreq.Wait(); err != nil || n != 256 {
+				panic(err)
+			}
+			got := make([]byte, 256)
+			rreq := f.ReadAtAllBegin(0, 256, datatype.Byte, got)
+			if n, err := rreq.Wait(); err != nil || n != 256 {
+				panic(err)
+			}
+			if !bytes.Equal(got, data) {
+				panic("split collective mismatch")
+			}
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", eng, err)
+		}
+	}
+}
+
+func TestNonblockingErrorPropagation(t *testing.T) {
+	fb := storage.NewFaulty(storage.NewMem())
+	sh := NewShared(fb)
+	_, err := mpi.Run(1, func(p *mpi.Proc) {
+		f, err := Open(p, sh, Options{})
+		if err != nil {
+			panic(err)
+		}
+		defer f.Close()
+		fb.FailWrites(1)
+		req := f.IWriteAt(0, 64, datatype.Byte, make([]byte, 64))
+		if _, werr := req.Wait(); !errors.Is(werr, storage.ErrInjected) {
+			panic("injected fault not propagated through nonblocking op")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRequestWaitIsIdempotent(t *testing.T) {
+	be := storage.NewMem()
+	sh := NewShared(be)
+	_, err := mpi.Run(1, func(p *mpi.Proc) {
+		f, err := Open(p, sh, Options{})
+		if err != nil {
+			panic(err)
+		}
+		defer f.Close()
+		req := f.IWriteAt(0, 8, datatype.Byte, make([]byte, 8))
+		for i := 0; i < 3; i++ {
+			if n, err := req.Wait(); err != nil || n != 8 {
+				panic("repeated Wait changed the result")
+			}
+		}
+		if !req.Test() {
+			panic("Test false after completion")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/datatype"
+	"repro/internal/mpi"
+	"repro/internal/storage"
+)
+
+// TestQuickCrossEngineEquivalence drives both engines through randomized
+// partitioned write/read scenarios (random block geometry, buffer sizes,
+// process counts, offsets, independent and collective) and requires
+// byte-identical files and read-back buffers.
+func TestQuickCrossEngineEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		P := 1 + r.Intn(4)
+		blockcount := int64(1 + r.Intn(40))
+		blocklen := int64(1 + r.Intn(48))
+		collective := r.Intn(2) == 1
+		offEtypes := r.Int63n(blockcount * blocklen / 2)
+		dAll := blockcount*blocklen - offEtypes // bytes each rank moves
+		opts := Options{
+			SieveBufSize: 32 + r.Intn(512),
+			PackBufSize:  16 + r.Intn(256),
+			CollBufSize:  64 + r.Intn(1024),
+		}
+		if r.Intn(2) == 1 && P > 1 {
+			opts.IONodes = 1 + r.Intn(P)
+		}
+
+		var files [2][]byte
+		var reads [2][][]byte
+		for ei, eng := range []Engine{Listless, ListBased} {
+			be := storage.NewMem()
+			sh := NewShared(be)
+			o := opts
+			o.Engine = eng
+			readBack := make([][]byte, P)
+			_, err := mpi.Run(P, func(p *mpi.Proc) {
+				fh, err := Open(p, sh, o)
+				if err != nil {
+					panic(err)
+				}
+				ft := noncontigTypeP(p.Rank(), P, blockcount, blocklen)
+				if err := fh.SetView(0, datatype.Byte, ft); err != nil {
+					panic(err)
+				}
+				data := pattern(p.Rank()+int(seed%17), dAll)
+				var werr error
+				if collective {
+					_, werr = fh.WriteAtAll(offEtypes, dAll, datatype.Byte, data)
+				} else {
+					_, werr = fh.WriteAt(offEtypes, dAll, datatype.Byte, data)
+				}
+				if werr != nil {
+					panic(werr)
+				}
+				got := make([]byte, dAll)
+				var rerr error
+				if collective {
+					_, rerr = fh.ReadAtAll(offEtypes, dAll, datatype.Byte, got)
+				} else {
+					_, rerr = fh.ReadAt(offEtypes, dAll, datatype.Byte, got)
+				}
+				if rerr != nil {
+					panic(rerr)
+				}
+				if !bytes.Equal(got, data) {
+					panic("round trip mismatch")
+				}
+				readBack[p.Rank()] = got
+				fh.Close()
+			})
+			if err != nil {
+				t.Logf("seed %d engine %v: %v", seed, eng, err)
+				return false
+			}
+			files[ei] = be.Bytes()
+			reads[ei] = readBack
+		}
+		if !bytes.Equal(files[0], files[1]) {
+			t.Logf("seed %d: files differ (P=%d bc=%d bl=%d coll=%v off=%d opts=%+v)",
+				seed, P, blockcount, blocklen, collective, offEtypes, opts)
+			return false
+		}
+		for rk := 0; rk < P; rk++ {
+			if !bytes.Equal(reads[0][rk], reads[1][rk]) {
+				t.Logf("seed %d: rank %d read-back differs between engines", seed, rk)
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 60}
+	if testing.Short() {
+		cfg.MaxCount = 15
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickRandomFiletypesIndependent round-trips random filetype trees
+// through independent I/O on a single rank under both engines.
+func TestQuickRandomFiletypesIndependent(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ft := datatype.RandomFiletype(r, 3)
+		d := 3 * ft.Size() // three filetype instances
+		offEtypes := r.Int63n(ft.Size())
+		opts := Options{
+			SieveBufSize: 16 + r.Intn(128),
+			PackBufSize:  16 + r.Intn(64),
+		}
+		var files [2][]byte
+		for ei, eng := range []Engine{Listless, ListBased} {
+			be := storage.NewMem()
+			sh := NewShared(be)
+			o := opts
+			o.Engine = eng
+			_, err := mpi.Run(1, func(p *mpi.Proc) {
+				fh, err := Open(p, sh, o)
+				if err != nil {
+					panic(err)
+				}
+				if err := fh.SetView(r.Int63n(8)*0, datatype.Byte, ft); err != nil {
+					panic(err)
+				}
+				data := pattern(int(seed%31), d)
+				if _, err := fh.WriteAt(offEtypes, d, datatype.Byte, data); err != nil {
+					panic(err)
+				}
+				got := make([]byte, d)
+				if _, err := fh.ReadAt(offEtypes, d, datatype.Byte, got); err != nil {
+					panic(err)
+				}
+				if !bytes.Equal(got, data) {
+					panic("random filetype round trip mismatch")
+				}
+				fh.Close()
+			})
+			if err != nil {
+				t.Logf("seed %d engine %v type %s: %v", seed, eng, ft, err)
+				return false
+			}
+			files[ei] = be.Bytes()
+		}
+		if !bytes.Equal(files[0], files[1]) {
+			t.Logf("seed %d: files differ for type %s", seed, ft)
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 80}
+	if testing.Short() {
+		cfg.MaxCount = 20
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,122 @@
+package core
+
+import "repro/internal/datatype"
+
+// Shared-file-pointer access (MPI-IO §9.4.4): one pointer per file,
+// shared by all ranks.  The independent variants (ReadShared /
+// WriteShared) serialize against each other in arrival order; the
+// collective "ordered" variants serialize deterministically in rank
+// order.  All ranks must use views with the same etype size for the
+// shared pointer to be meaningful; accesses are positioned in etypes
+// like the explicit-offset operations.
+
+// sharedFetchAdd atomically claims n etypes from the shared pointer and
+// returns the claimed offset.
+func (s *Shared) sharedFetchAdd(n int64) int64 {
+	s.spMu.Lock()
+	off := s.sp
+	s.sp += n
+	s.spMu.Unlock()
+	return off
+}
+
+// SharedOffset reports the current shared file pointer, in etypes.
+func (s *Shared) SharedOffset() int64 {
+	s.spMu.Lock()
+	defer s.spMu.Unlock()
+	return s.sp
+}
+
+// SeekShared sets the shared file pointer (collective; rank 0's value
+// wins, and all ranks synchronize around the update).
+func (f *File) SeekShared(offset int64) {
+	f.p.Barrier()
+	if f.p.Rank() == 0 {
+		f.sh.spMu.Lock()
+		f.sh.sp = offset
+		f.sh.spMu.Unlock()
+	}
+	f.p.Barrier()
+}
+
+// WriteShared writes count instances of memtype at the shared file
+// pointer and advances it.  Concurrent callers are serialized in
+// arrival order; their regions never overlap.
+func (f *File) WriteShared(count int64, memtype *datatype.Type, buf []byte) (int64, error) {
+	d, err := f.checkAccess(0, count, memtype, buf)
+	if err != nil || d == 0 {
+		return 0, err
+	}
+	off := f.sh.sharedFetchAdd(d / f.v.esize)
+	return f.WriteAt(off, count, memtype, buf)
+}
+
+// ReadShared reads count instances of memtype at the shared file pointer
+// and advances it.
+func (f *File) ReadShared(count int64, memtype *datatype.Type, buf []byte) (int64, error) {
+	d, err := f.checkAccess(0, count, memtype, buf)
+	if err != nil || d == 0 {
+		return 0, err
+	}
+	off := f.sh.sharedFetchAdd(d / f.v.esize)
+	return f.ReadAt(off, count, memtype, buf)
+}
+
+// orderedOffsets computes, collectively, each rank's offset for an
+// ordered access: the shared pointer plus the prefix sum of the lower
+// ranks' etype counts; the pointer advances by the total.
+func (f *File) orderedOffsets(myEtypes int64) int64 {
+	counts := f.p.AllgatherInt64(myEtypes)
+	var prefix, total int64
+	for r, c := range counts {
+		if r < f.p.Rank() {
+			prefix += c
+		}
+		total += c
+	}
+	// Every rank computes the same total; rank 0 commits the pointer
+	// advance while all ranks wait, so the base is read consistently.
+	base := int64(0)
+	if f.p.Rank() == 0 {
+		base = f.sh.sharedFetchAdd(total)
+	}
+	bases := f.p.AllgatherInt64(base)
+	return bases[0] + prefix
+}
+
+// WriteOrdered is the collective shared-pointer write: the ranks' data
+// lands in rank order starting at the shared pointer (MPI_File_write_ordered).
+func (f *File) WriteOrdered(count int64, memtype *datatype.Type, buf []byte) (int64, error) {
+	d, err := f.checkAccess(0, count, memtype, buf)
+	if err != nil {
+		return 0, err
+	}
+	off := f.orderedOffsets(d / f.v.esize)
+	return f.WriteAtAll(off, count, memtype, buf)
+}
+
+// ReadOrdered is the collective shared-pointer read
+// (MPI_File_read_ordered).
+func (f *File) ReadOrdered(count int64, memtype *datatype.Type, buf []byte) (int64, error) {
+	d, err := f.checkAccess(0, count, memtype, buf)
+	if err != nil {
+		return 0, err
+	}
+	off := f.orderedOffsets(d / f.v.esize)
+	return f.ReadAtAll(off, count, memtype, buf)
+}
+
+// Size reports the current backend size in bytes (MPI_File_get_size).
+func (f *File) Size() int64 { return f.sh.b.Size() }
+
+// Preallocate grows the file to at least n bytes (MPI_File_preallocate;
+// collective).
+func (f *File) Preallocate(n int64) error {
+	f.p.Barrier()
+	var err error
+	if f.p.Rank() == 0 && n > f.sh.b.Size() {
+		err = f.sh.b.Truncate(n)
+	}
+	f.p.Barrier()
+	return err
+}

@@ -1,0 +1,257 @@
+package core
+
+import (
+	"bytes"
+	"sort"
+	"testing"
+
+	"repro/internal/datatype"
+	"repro/internal/mpi"
+	"repro/internal/storage"
+)
+
+func TestWriteSharedDisjointRegions(t *testing.T) {
+	const P = 6
+	const per = 128
+	be := storage.NewMem()
+	sh := NewShared(be)
+	_, err := mpi.Run(P, func(p *mpi.Proc) {
+		f, err := Open(p, sh, Options{})
+		if err != nil {
+			panic(err)
+		}
+		defer f.Close()
+		data := bytes.Repeat([]byte{byte('A' + p.Rank())}, per)
+		for i := 0; i < 3; i++ {
+			if _, err := f.WriteShared(per, datatype.Byte, data); err != nil {
+				panic(err)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh.SharedOffset() != 3*P*per {
+		t.Fatalf("shared pointer = %d, want %d", sh.SharedOffset(), 3*P*per)
+	}
+	// Every per-sized slot must be wholly one rank's letter, and each
+	// rank must own exactly 3 slots.
+	raw := be.Bytes()
+	if len(raw) != 3*P*per {
+		t.Fatalf("file size %d", len(raw))
+	}
+	counts := map[byte]int{}
+	for s := 0; s < 3*P; s++ {
+		slot := raw[s*per : (s+1)*per]
+		for _, b := range slot {
+			if b != slot[0] {
+				t.Fatalf("slot %d mixes data", s)
+			}
+		}
+		counts[slot[0]]++
+	}
+	for r := 0; r < P; r++ {
+		if counts[byte('A'+r)] != 3 {
+			t.Fatalf("rank %d owns %d slots", r, counts[byte('A'+r)])
+		}
+	}
+}
+
+func TestReadSharedConsumesInOrder(t *testing.T) {
+	const P = 4
+	be := storage.NewMem()
+	sh := NewShared(be)
+	// Pre-fill 4 records of 8 bytes: 0,1,2,3.
+	for i := 0; i < P; i++ {
+		be.WriteAt(bytes.Repeat([]byte{byte(i)}, 8), int64(i)*8)
+	}
+	got := make([]byte, P)
+	_, err := mpi.Run(P, func(p *mpi.Proc) {
+		f, err := Open(p, sh, Options{})
+		if err != nil {
+			panic(err)
+		}
+		defer f.Close()
+		buf := make([]byte, 8)
+		if _, err := f.ReadShared(8, datatype.Byte, buf); err != nil {
+			panic(err)
+		}
+		for _, b := range buf {
+			if b != buf[0] {
+				panic("record mixes data")
+			}
+		}
+		got[p.Rank()] = buf[0]
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each record consumed exactly once.
+	sorted := append([]byte(nil), got...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for i, b := range sorted {
+		if b != byte(i) {
+			t.Fatalf("records consumed %v", got)
+		}
+	}
+}
+
+func TestWriteOrderedRankOrder(t *testing.T) {
+	const P = 5
+	for _, eng := range []Engine{Listless, ListBased} {
+		be := storage.NewMem()
+		sh := NewShared(be)
+		_, err := mpi.Run(P, func(p *mpi.Proc) {
+			f, err := Open(p, sh, Options{Engine: eng})
+			if err != nil {
+				panic(err)
+			}
+			defer f.Close()
+			// Variable sizes per rank: rank r writes (r+1)*8 bytes.
+			n := int64(p.Rank()+1) * 8
+			data := bytes.Repeat([]byte{byte('a' + p.Rank())}, int(n))
+			for round := 0; round < 2; round++ {
+				if _, err := f.WriteOrdered(n, datatype.Byte, data); err != nil {
+					panic(err)
+				}
+			}
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", eng, err)
+		}
+		raw := be.Bytes()
+		var want []byte
+		for round := 0; round < 2; round++ {
+			for r := 0; r < P; r++ {
+				want = append(want, bytes.Repeat([]byte{byte('a' + r)}, (r+1)*8)...)
+			}
+		}
+		if !bytes.Equal(raw, want) {
+			t.Fatalf("%v: ordered write layout wrong:\n got %q\nwant %q", eng, raw, want)
+		}
+	}
+}
+
+func TestReadOrderedRoundTrip(t *testing.T) {
+	const P = 3
+	be := storage.NewMem()
+	sh := NewShared(be)
+	_, err := mpi.Run(P, func(p *mpi.Proc) {
+		f, err := Open(p, sh, Options{})
+		if err != nil {
+			panic(err)
+		}
+		defer f.Close()
+		n := int64(16)
+		data := bytes.Repeat([]byte{byte('x' + p.Rank())}, int(n))
+		if _, err := f.WriteOrdered(n, datatype.Byte, data); err != nil {
+			panic(err)
+		}
+		f.SeekShared(0)
+		got := make([]byte, n)
+		if _, err := f.ReadOrdered(n, datatype.Byte, got); err != nil {
+			panic(err)
+		}
+		if !bytes.Equal(got, data) {
+			panic("ordered read did not return this rank's segment")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh.SharedOffset() != 3*16 {
+		t.Fatalf("pointer = %d", sh.SharedOffset())
+	}
+}
+
+func TestOrderedWithIdleRanks(t *testing.T) {
+	const P = 4
+	be := storage.NewMem()
+	sh := NewShared(be)
+	_, err := mpi.Run(P, func(p *mpi.Proc) {
+		f, err := Open(p, sh, Options{})
+		if err != nil {
+			panic(err)
+		}
+		defer f.Close()
+		var n int64
+		var data []byte
+		if p.Rank()%2 == 1 {
+			n = 8
+			data = bytes.Repeat([]byte{byte(p.Rank())}, 8)
+		}
+		if _, err := f.WriteOrdered(n, datatype.Byte, data); err != nil {
+			panic(err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := be.Bytes()
+	want := append(bytes.Repeat([]byte{1}, 8), bytes.Repeat([]byte{3}, 8)...)
+	if !bytes.Equal(raw, want) {
+		t.Fatalf("layout %v, want %v", raw, want)
+	}
+}
+
+func TestSeekSharedAndSizePreallocate(t *testing.T) {
+	be := storage.NewMem()
+	sh := NewShared(be)
+	_, err := mpi.Run(2, func(p *mpi.Proc) {
+		f, err := Open(p, sh, Options{})
+		if err != nil {
+			panic(err)
+		}
+		defer f.Close()
+		if err := f.Preallocate(1024); err != nil {
+			panic(err)
+		}
+		if f.Size() != 1024 {
+			panic("preallocate did not grow the file")
+		}
+		f.SeekShared(100)
+		if p.Rank() == 0 {
+			if _, err := f.WriteShared(4, datatype.Byte, []byte("abcd")); err != nil {
+				panic(err)
+			}
+		}
+		p.Barrier()
+		if p.Rank() == 1 {
+			got := make([]byte, 4)
+			if err := storage.ReadFull(sh.Backend(), got, 100); err != nil {
+				panic(err)
+			}
+			if !bytes.Equal(got, []byte("abcd")) {
+				panic("seek-shared write landed wrong")
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSharedPointerEtypeUnits(t *testing.T) {
+	// With a double etype, the shared pointer advances in doubles.
+	be := storage.NewMem()
+	sh := NewShared(be)
+	_, err := mpi.Run(1, func(p *mpi.Proc) {
+		f, err := Open(p, sh, Options{})
+		if err != nil {
+			panic(err)
+		}
+		defer f.Close()
+		if err := f.SetView(0, datatype.Double, datatype.Double); err != nil {
+			panic(err)
+		}
+		if _, err := f.WriteShared(16, datatype.Byte, make([]byte, 16)); err != nil {
+			panic(err)
+		}
+		if sh.SharedOffset() != 2 { // two doubles
+			panic("shared pointer not in etype units")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

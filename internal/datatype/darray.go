@@ -1,0 +1,215 @@
+package datatype
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Distribution selects the per-dimension distribution of a Darray
+// (distributed array) type, mirroring MPI_Type_create_darray.
+type Distribution uint8
+
+// The darray distributions.
+const (
+	// DistNone leaves the dimension undistributed (the whole extent on
+	// every process along that dimension).
+	DistNone Distribution = iota
+	// DistBlock gives each process one contiguous block
+	// (MPI_DISTRIBUTE_BLOCK).
+	DistBlock
+	// DistCyclic deals elements round-robin in chunks of the given
+	// distribution argument (MPI_DISTRIBUTE_CYCLIC).
+	DistCyclic
+)
+
+func (d Distribution) String() string {
+	switch d {
+	case DistNone:
+		return "none"
+	case DistBlock:
+		return "block"
+	case DistCyclic:
+		return "cyclic"
+	}
+	return fmt.Sprintf("Distribution(%d)", uint8(d))
+}
+
+// DefaultDistArg requests the default distribution argument
+// (MPI_DISTRIBUTE_DFLT_DARG): ⌈size/procs⌉ for block, 1 for cyclic.
+const DefaultDistArg int64 = -1
+
+// DarraySpec describes a distributed array in the style of
+// MPI_Type_create_darray: an ndims-dimensional array of Elem element
+// types, distributed over a process grid, from which the calling
+// process's rank selects its portion.
+type DarraySpec struct {
+	Size  int // total number of processes
+	Rank  int // calling process
+	Sizes []int64
+	// Distribs, DistArgs and ProcDims have one entry per dimension.
+	Distribs []Distribution
+	DistArgs []int64 // block/cyclic argument per dimension (DefaultDistArg ok)
+	ProcDims []int64 // process-grid extent per dimension (1 for DistNone)
+	Order    Order
+	Elem     *Type
+}
+
+// Darray builds the datatype selecting rank's portion of the distributed
+// array, with the whole array as extent (so it tiles correctly as a
+// filetype), like MPI_Type_create_darray.
+//
+// Block distribution gives process c of the dimension's grid the range
+// [c·⌈n/p⌉, min((c+1)·⌈n/p⌉, n)) (the MPI definition; trailing processes
+// may be empty when n is much smaller than p·arg).  Cyclic distribution
+// deals chunks of the argument size round-robin.
+func Darray(spec DarraySpec) (*Type, error) {
+	n := len(spec.Sizes)
+	if n == 0 {
+		return nil, errors.New("datatype: darray needs at least one dimension")
+	}
+	if len(spec.Distribs) != n || len(spec.DistArgs) != n || len(spec.ProcDims) != n {
+		return nil, errors.New("datatype: darray spec slices must have one entry per dimension")
+	}
+	if spec.Elem == nil {
+		return nil, errNilChild
+	}
+	if spec.Size <= 0 || spec.Rank < 0 || spec.Rank >= spec.Size {
+		return nil, fmt.Errorf("datatype: darray rank %d out of range [0,%d)", spec.Rank, spec.Size)
+	}
+	var gridTotal int64 = 1
+	for d := 0; d < n; d++ {
+		if spec.Sizes[d] <= 0 {
+			return nil, fmt.Errorf("datatype: darray dimension %d has size %d", d, spec.Sizes[d])
+		}
+		pd := spec.ProcDims[d]
+		if pd <= 0 {
+			return nil, fmt.Errorf("datatype: darray process grid dim %d = %d", d, pd)
+		}
+		if spec.Distribs[d] == DistNone && pd != 1 {
+			return nil, fmt.Errorf("datatype: darray dim %d undistributed but grid dim %d != 1", d, pd)
+		}
+		gridTotal *= pd
+	}
+	if gridTotal != int64(spec.Size) {
+		return nil, fmt.Errorf("datatype: darray process grid volume %d != size %d", gridTotal, spec.Size)
+	}
+
+	// Decompose the rank into per-dimension grid coordinates.  Like MPI,
+	// ranks vary fastest in the last dimension for C order and in the
+	// first for Fortran order.
+	coords := make([]int64, n)
+	r := int64(spec.Rank)
+	if spec.Order == OrderC {
+		for d := n - 1; d >= 0; d-- {
+			coords[d] = r % spec.ProcDims[d]
+			r /= spec.ProcDims[d]
+		}
+	} else {
+		for d := 0; d < n; d++ {
+			coords[d] = r % spec.ProcDims[d]
+			r /= spec.ProcDims[d]
+		}
+	}
+
+	// Build per-dimension index descriptors, then compose innermost-out.
+	dims := make([]dimSel, n)
+	for d := 0; d < n; d++ {
+		sel, err := dimSelect(spec.Sizes[d], spec.Distribs[d], spec.DistArgs[d], spec.ProcDims[d], coords[d])
+		if err != nil {
+			return nil, fmt.Errorf("datatype: darray dim %d: %w", d, err)
+		}
+		dims[d] = sel
+	}
+
+	// Normalize to C order (last dimension fastest).
+	sizes := spec.Sizes
+	if spec.Order == OrderFortran {
+		sizes = reverse64(sizes)
+		rev := make([]dimSel, n)
+		for i := range dims {
+			rev[n-1-i] = dims[i]
+		}
+		dims = rev
+	} else {
+		sizes = append([]int64(nil), sizes...)
+	}
+
+	// Compose: start from the element type and wrap one dimension at a
+	// time, innermost (fastest-varying) first.  After each dimension the
+	// type is resized to span the dimension's full slot, so the next
+	// (outer) dimension can index whole slots with plain block runs.
+	cur := spec.Elem
+	slot := spec.Elem.Extent() // extent of one index step at this level
+	for d := n - 1; d >= 0; d-- {
+		sel := dims[d]
+		blocklens := make([]int64, len(sel.runs))
+		displs := make([]int64, len(sel.runs))
+		for i, run := range sel.runs {
+			blocklens[i] = run.n
+			displs[i] = run.start * slot
+		}
+		var err error
+		cur, err = Hindexed(blocklens, displs, cur)
+		if err != nil {
+			return nil, err
+		}
+		slot *= sizes[d]
+		cur, err = Resized(cur, 0, slot)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return cur, nil
+}
+
+// dimSel is the set of index runs a process owns along one dimension.
+type dimSel struct {
+	runs []idxRun
+}
+
+type idxRun struct {
+	start, n int64
+}
+
+func dimSelect(size int64, dist Distribution, arg, procs, coord int64) (dimSel, error) {
+	switch dist {
+	case DistNone:
+		return dimSel{runs: []idxRun{{0, size}}}, nil
+	case DistBlock:
+		if arg == DefaultDistArg {
+			arg = (size + procs - 1) / procs
+		}
+		if arg <= 0 {
+			return dimSel{}, fmt.Errorf("block argument %d", arg)
+		}
+		if arg*procs < size {
+			return dimSel{}, fmt.Errorf("block argument %d too small for size %d over %d procs", arg, size, procs)
+		}
+		start := coord * arg
+		if start >= size {
+			return dimSel{}, nil // empty portion
+		}
+		n := arg
+		if start+n > size {
+			n = size - start
+		}
+		return dimSel{runs: []idxRun{{start, n}}}, nil
+	case DistCyclic:
+		if arg == DefaultDistArg {
+			arg = 1
+		}
+		if arg <= 0 {
+			return dimSel{}, fmt.Errorf("cyclic argument %d", arg)
+		}
+		var runs []idxRun
+		for start := coord * arg; start < size; start += procs * arg {
+			n := arg
+			if start+n > size {
+				n = size - start
+			}
+			runs = append(runs, idxRun{start, n})
+		}
+		return dimSel{runs: runs}, nil
+	}
+	return dimSel{}, fmt.Errorf("unknown distribution %v", dist)
+}

@@ -1,0 +1,308 @@
+package datatype
+
+import (
+	"testing"
+)
+
+func darray(t *testing.T, spec DarraySpec) *Type {
+	t.Helper()
+	dt, err := Darray(spec)
+	if err != nil {
+		t.Fatalf("Darray(%+v): %v", spec, err)
+	}
+	return dt
+}
+
+// collectAbs gathers the element indices selected by dt (element size
+// must divide all offsets).
+func selectedElems(t *testing.T, dt *Type, elemSize int64) []int64 {
+	t.Helper()
+	var out []int64
+	dt.Walk(func(off, ln int64) {
+		if off%elemSize != 0 || ln%elemSize != 0 {
+			t.Fatalf("non-element-aligned block (%d,%d)", off, ln)
+		}
+		for k := int64(0); k < ln/elemSize; k++ {
+			out = append(out, off/elemSize+k)
+		}
+	})
+	return out
+}
+
+func TestDarrayBlock1D(t *testing.T) {
+	// 10 doubles over 3 procs, block: ceil(10/3)=4 → [0,4), [4,8), [8,10).
+	want := [][]int64{{0, 1, 2, 3}, {4, 5, 6, 7}, {8, 9}}
+	for rank := 0; rank < 3; rank++ {
+		dt := darray(t, DarraySpec{
+			Size: 3, Rank: rank,
+			Sizes:    []int64{10},
+			Distribs: []Distribution{DistBlock},
+			DistArgs: []int64{DefaultDistArg},
+			ProcDims: []int64{3},
+			Order:    OrderC,
+			Elem:     Double,
+		})
+		if dt.Extent() != 80 {
+			t.Fatalf("rank %d: extent = %d, want 80", rank, dt.Extent())
+		}
+		got := selectedElems(t, dt, 8)
+		if len(got) != len(want[rank]) {
+			t.Fatalf("rank %d: elems %v, want %v", rank, got, want[rank])
+		}
+		for i := range got {
+			if got[i] != want[rank][i] {
+				t.Fatalf("rank %d: elems %v, want %v", rank, got, want[rank])
+			}
+		}
+	}
+}
+
+func TestDarrayCyclic1D(t *testing.T) {
+	// 10 elements over 2 procs, cyclic(1): evens and odds.
+	for rank := 0; rank < 2; rank++ {
+		dt := darray(t, DarraySpec{
+			Size: 2, Rank: rank,
+			Sizes:    []int64{10},
+			Distribs: []Distribution{DistCyclic},
+			DistArgs: []int64{DefaultDistArg},
+			ProcDims: []int64{2},
+			Order:    OrderC,
+			Elem:     Int32,
+		})
+		got := selectedElems(t, dt, 4)
+		if len(got) != 5 {
+			t.Fatalf("rank %d: %d elems", rank, len(got))
+		}
+		for i, e := range got {
+			if e != int64(2*i+rank) {
+				t.Fatalf("rank %d: elems %v", rank, got)
+			}
+		}
+	}
+}
+
+func TestDarrayBlockCyclic1D(t *testing.T) {
+	// 12 elements over 2 procs, cyclic(3): rank0 gets [0..3)+[6..9),
+	// rank1 gets [3..6)+[9..12).
+	dt := darray(t, DarraySpec{
+		Size: 2, Rank: 1,
+		Sizes:    []int64{12},
+		Distribs: []Distribution{DistCyclic},
+		DistArgs: []int64{3},
+		ProcDims: []int64{2},
+		Order:    OrderC,
+		Elem:     Byte,
+	})
+	got := selectedElems(t, dt, 1)
+	want := []int64{3, 4, 5, 9, 10, 11}
+	if len(got) != len(want) {
+		t.Fatalf("elems %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("elems %v, want %v", got, want)
+		}
+	}
+}
+
+func TestDarray2DBlockBlock(t *testing.T) {
+	// 4x6 array over a 2x2 grid, block-block, C order.  C-order rank
+	// decomposition: rank = c0*2 + c1.
+	dt := darray(t, DarraySpec{
+		Size: 4, Rank: 3, // coords (1,1): rows 2..3, cols 3..5
+		Sizes:    []int64{4, 6},
+		Distribs: []Distribution{DistBlock, DistBlock},
+		DistArgs: []int64{DefaultDistArg, DefaultDistArg},
+		ProcDims: []int64{2, 2},
+		Order:    OrderC,
+		Elem:     Double,
+	})
+	got := selectedElems(t, dt, 8)
+	want := []int64{2*6 + 3, 2*6 + 4, 2*6 + 5, 3*6 + 3, 3*6 + 4, 3*6 + 5}
+	if len(got) != len(want) {
+		t.Fatalf("elems %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("elems %v, want %v", got, want)
+		}
+	}
+	if dt.Extent() != 4*6*8 {
+		t.Fatalf("extent = %d", dt.Extent())
+	}
+}
+
+func TestDarrayMatchesSubarrayForBlock(t *testing.T) {
+	// A block-block darray must describe the same bytes as the
+	// equivalent subarray.
+	for rank := 0; rank < 4; rank++ {
+		da := darray(t, DarraySpec{
+			Size: 4, Rank: rank,
+			Sizes:    []int64{8, 8},
+			Distribs: []Distribution{DistBlock, DistBlock},
+			DistArgs: []int64{DefaultDistArg, DefaultDistArg},
+			ProcDims: []int64{2, 2},
+			Order:    OrderC,
+			Elem:     Double,
+		})
+		r0, r1 := int64(rank/2), int64(rank%2)
+		sa, err := Subarray(
+			[]int64{8, 8}, []int64{4, 4}, []int64{r0 * 4, r1 * 4},
+			OrderC, Double)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := selectedElems(t, da, 8)
+		b := selectedElems(t, sa, 8)
+		if len(a) != len(b) {
+			t.Fatalf("rank %d: %d vs %d elems", rank, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("rank %d: darray %v != subarray %v", rank, a, b)
+			}
+		}
+	}
+}
+
+func TestDarrayFortranOrder(t *testing.T) {
+	// Fortran order: first dimension fastest, ranks vary fastest in the
+	// first grid dimension.
+	dt := darray(t, DarraySpec{
+		Size: 2, Rank: 1,
+		Sizes:    []int64{4, 3},
+		Distribs: []Distribution{DistBlock, DistNone},
+		DistArgs: []int64{DefaultDistArg, DefaultDistArg},
+		ProcDims: []int64{2, 1},
+		Order:    OrderFortran,
+		Elem:     Double,
+	})
+	// Rank 1 owns rows (first dim) 2..3 of every column; element index
+	// in Fortran order is i0 + 4*i1.
+	got := selectedElems(t, dt, 8)
+	want := []int64{2, 3, 6, 7, 10, 11}
+	if len(got) != len(want) {
+		t.Fatalf("elems %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("elems %v, want %v", got, want)
+		}
+	}
+}
+
+func TestDarrayPartitionCoversArrayOnce(t *testing.T) {
+	// Union over all ranks covers every element exactly once, for a mix
+	// of distributions.
+	specs := []DarraySpec{
+		{
+			Size: 6, Sizes: []int64{7, 10},
+			Distribs: []Distribution{DistBlock, DistCyclic},
+			DistArgs: []int64{DefaultDistArg, 2},
+			ProcDims: []int64{2, 3},
+			Order:    OrderC, Elem: Byte,
+		},
+		{
+			Size: 4, Sizes: []int64{5, 3, 4},
+			Distribs: []Distribution{DistCyclic, DistNone, DistBlock},
+			DistArgs: []int64{DefaultDistArg, DefaultDistArg, DefaultDistArg},
+			ProcDims: []int64{2, 1, 2},
+			Order:    OrderFortran, Elem: Byte,
+		},
+	}
+	for si, base := range specs {
+		var total int64 = 1
+		for _, s := range base.Sizes {
+			total *= s
+		}
+		seen := make(map[int64]int)
+		for rank := 0; rank < base.Size; rank++ {
+			spec := base
+			spec.Rank = rank
+			dt := darray(t, spec)
+			for _, e := range selectedElems(t, dt, 1) {
+				seen[e]++
+			}
+		}
+		if int64(len(seen)) != total {
+			t.Fatalf("spec %d: covered %d of %d elements", si, len(seen), total)
+		}
+		for e, c := range seen {
+			if c != 1 {
+				t.Fatalf("spec %d: element %d covered %d times", si, e, c)
+			}
+		}
+	}
+}
+
+func TestDarrayAsFiletypeIsValid(t *testing.T) {
+	dt := darray(t, DarraySpec{
+		Size: 4, Rank: 2,
+		Sizes:    []int64{16, 16},
+		Distribs: []Distribution{DistCyclic, DistBlock},
+		DistArgs: []int64{2, DefaultDistArg},
+		ProcDims: []int64{2, 2},
+		Order:    OrderC,
+		Elem:     Double,
+	})
+	if err := ValidateFiletype(Double, dt); err != nil {
+		t.Fatalf("darray rejected as filetype: %v", err)
+	}
+	// And it round-trips the compact encoding.
+	got, err := Decode(Encode(dt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Size() != dt.Size() || got.Extent() != dt.Extent() {
+		t.Fatal("darray encode/decode mismatch")
+	}
+}
+
+func TestDarrayErrors(t *testing.T) {
+	ok := DarraySpec{
+		Size: 2, Rank: 0,
+		Sizes:    []int64{8},
+		Distribs: []Distribution{DistBlock},
+		DistArgs: []int64{DefaultDistArg},
+		ProcDims: []int64{2},
+		Order:    OrderC,
+		Elem:     Double,
+	}
+	bad := func(mut func(*DarraySpec)) DarraySpec {
+		s := ok
+		s.Sizes = append([]int64(nil), s.Sizes...)
+		s.Distribs = append([]Distribution(nil), s.Distribs...)
+		s.DistArgs = append([]int64(nil), s.DistArgs...)
+		s.ProcDims = append([]int64(nil), s.ProcDims...)
+		mut(&s)
+		return s
+	}
+	cases := []DarraySpec{
+		bad(func(s *DarraySpec) { s.Sizes = nil; s.Distribs = nil; s.DistArgs = nil; s.ProcDims = nil }),
+		bad(func(s *DarraySpec) { s.Elem = nil }),
+		bad(func(s *DarraySpec) { s.Rank = 5 }),
+		bad(func(s *DarraySpec) { s.Sizes[0] = 0 }),
+		bad(func(s *DarraySpec) { s.ProcDims[0] = 3 }),           // grid volume mismatch
+		bad(func(s *DarraySpec) { s.DistArgs[0] = 2 }),           // block arg too small (2*2 < 8)
+		bad(func(s *DarraySpec) { s.Distribs[0] = DistNone }),    // undistributed but grid 2
+		bad(func(s *DarraySpec) { s.Distribs = s.Distribs[:0] }), // length mismatch
+	}
+	for i, s := range cases {
+		if _, err := Darray(s); err == nil {
+			t.Errorf("case %d accepted: %+v", i, s)
+		}
+	}
+	// Block distribution with an oversized explicit argument leaves
+	// trailing ranks empty — legal, size 0.
+	s := ok
+	s.Size, s.ProcDims = 4, []int64{4}
+	s.DistArgs = []int64{4}
+	s.Rank = 3
+	dt, err := Darray(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dt.Size() != 0 {
+		t.Fatalf("trailing empty rank has size %d", dt.Size())
+	}
+}

@@ -1,0 +1,78 @@
+package datatype
+
+import "math/rand"
+
+// randomType builds a random datatype tree of bounded depth and block
+// count, usable as a filetype (non-negative monotone displacements).
+func randomType(r *rand.Rand, depth int) *Type {
+	if depth <= 0 || r.Intn(3) == 0 {
+		leaves := []*Type{Byte, Int16, Int32, Int64, Double}
+		return leaves[r.Intn(len(leaves))]
+	}
+	child := randomType(r, depth-1)
+	switch r.Intn(5) {
+	case 0:
+		dt, _ := Contiguous(int64(1+r.Intn(4)), child)
+		return dt
+	case 1:
+		count := int64(1 + r.Intn(5))
+		blocklen := int64(1 + r.Intn(3))
+		stride := blocklen + int64(r.Intn(3)) // >= blocklen keeps it monotone
+		dt, _ := Vector(count, blocklen, stride, child)
+		return dt
+	case 2:
+		n := 1 + r.Intn(4)
+		blocklens := make([]int64, n)
+		displs := make([]int64, n)
+		pos := int64(0)
+		for i := 0; i < n; i++ {
+			pos += int64(r.Intn(3))
+			blocklens[i] = int64(1 + r.Intn(3))
+			displs[i] = pos
+			pos += blocklens[i]
+		}
+		dt, _ := Indexed(blocklens, displs, child)
+		return dt
+	case 3:
+		ext := child.Extent()
+		dt, _ := Resized(child, 0, ext+int64(r.Intn(9)))
+		return dt
+	default:
+		n := 1 + r.Intn(3)
+		blocklens := make([]int64, n)
+		displs := make([]int64, n)
+		children := make([]*Type, n)
+		pos := int64(0)
+		for i := 0; i < n; i++ {
+			c := randomType(r, depth-1)
+			pos += int64(r.Intn(5))
+			blocklens[i] = int64(1 + r.Intn(2))
+			displs[i] = pos
+			children[i] = c
+			pos += blocklens[i] * c.Extent()
+		}
+		dt, _ := Struct(blocklens, displs, children)
+		return dt
+	}
+}
+
+// RandomFiletype returns a random filetype-legal datatype of at most
+// maxDepth constructor levels with non-zero size.  It exists for the
+// property-based tests of this package and of the packages built on it
+// (fotf, flatten, core); it is deterministic in r.
+func RandomFiletype(r *rand.Rand, maxDepth int) *Type {
+	for {
+		dt := randomType(r, maxDepth)
+		if dt.Size() > 0 && ValidateFiletype(Byte, dt) == nil {
+			return dt
+		}
+	}
+}
+
+// RandomMemtype returns a random datatype suitable as a memory datatype:
+// like RandomFiletype but without the monotonicity requirement being
+// essential (we still generate monotone maps so reference copies are
+// order-independent).
+func RandomMemtype(r *rand.Rand, maxDepth int) *Type {
+	return RandomFiletype(r, maxDepth)
+}

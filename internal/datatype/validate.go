@@ -1,0 +1,68 @@
+package datatype
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Filetype/etype legality, following MPI-IO (MPI-2 §9 / the paper §3.2.3):
+// an etype and a filetype must have non-negative, monotonically
+// non-decreasing displacements in their type maps, and the filetype must
+// be built from whole etypes.  These restrictions are what make the
+// mergeview contiguity check of the listless engine sound: each byte of
+// the file can be written at most once through each fileview.
+
+// ErrNotEtypeMultiple reports a filetype whose data is not a whole number
+// of etypes.
+var ErrNotEtypeMultiple = errors.New("datatype: filetype size is not a multiple of etype size")
+
+// ValidateEtype checks that t is usable as an elementary type.
+func ValidateEtype(t *Type) error {
+	if t == nil {
+		return errNilChild
+	}
+	if t.size <= 0 {
+		return fmt.Errorf("datatype: etype %s has size %d; must be positive", t, t.size)
+	}
+	return validateMonotonic(t, "etype")
+}
+
+// ValidateFiletype checks that ftype is usable as a filetype over etype:
+// monotone non-decreasing non-negative displacements, and a data size
+// that is a whole multiple of the etype size.
+func ValidateFiletype(etype, ftype *Type) error {
+	if err := ValidateEtype(etype); err != nil {
+		return err
+	}
+	if ftype == nil {
+		return errNilChild
+	}
+	if ftype.size%etype.size != 0 {
+		return fmt.Errorf("%w: filetype size %d, etype size %d", ErrNotEtypeMultiple, ftype.size, etype.size)
+	}
+	if ftype.Extent() < ftype.trueUB {
+		return fmt.Errorf("datatype: filetype extent %d smaller than data span end %d: instances would overlap",
+			ftype.Extent(), ftype.trueUB)
+	}
+	return validateMonotonic(ftype, "filetype")
+}
+
+func validateMonotonic(t *Type, what string) error {
+	var err error
+	prevEnd := int64(-1)
+	t.Walk(func(off, length int64) {
+		if err != nil {
+			return
+		}
+		if off < 0 {
+			err = fmt.Errorf("datatype: %s has negative displacement %d", what, off)
+			return
+		}
+		if off < prevEnd {
+			err = fmt.Errorf("datatype: %s type map not monotonically non-decreasing at offset %d", what, off)
+			return
+		}
+		prevEnd = off + length
+	})
+	return err
+}

@@ -1,0 +1,38 @@
+package fotf_test
+
+import (
+	"fmt"
+
+	"repro/internal/datatype"
+	"repro/internal/fotf"
+)
+
+// Pack gathers a strided buffer into contiguous form without ever
+// materializing an ol-list; the skip argument positions in O(depth).
+func ExamplePack() {
+	dt, _ := datatype.Vector(4, 1, 2, datatype.Byte) // every 2nd byte
+	src := []byte{'a', '.', 'b', '.', 'c', '.', 'd'}
+	dst := make([]byte, 4)
+	n := fotf.Pack(dst, src, dt, 0)
+	fmt.Printf("%d bytes: %s\n", n, dst[:n])
+
+	// Skipping two data bytes starts mid-type without traversal.
+	n = fotf.Pack(dst, src, dt, 2)
+	fmt.Printf("%d bytes: %s\n", n, dst[:n])
+	// Output:
+	// 4 bytes: abcd
+	// 2 bytes: cd
+}
+
+// TypeExtent and TypeSize convert between data sizes and buffer extents
+// at arbitrary starting points — the paper's MPIR_Type_ff_extent and
+// MPIR_Type_ff_size, used for all fileview positioning.
+func ExampleTypeExtent() {
+	dt, _ := datatype.Vector(8, 1, 3, datatype.Double) // 8B every 24B
+	ext := fotf.TypeExtent(dt, 0, 16)                  // extent of the first 16 data bytes
+	fmt.Println("extent of 16 data bytes:", ext)
+	fmt.Println("data within that extent:", fotf.TypeSize(dt, 0, ext))
+	// Output:
+	// extent of 16 data bytes: 32
+	// data within that extent: 16
+}

@@ -1,0 +1,273 @@
+// Package fotf implements flattening-on-the-fly, the datatype-handling
+// technique at the core of listless I/O (Träff et al., "Flattening on the
+// fly", EuroPVM/MPI 1999; Worringen et al., SC'03 §3.1).
+//
+// Instead of materializing a datatype as an explicit ol-list of
+// ⟨offset,length⟩ tuples, fotf operates directly on the datatype tree:
+//
+//   - Pack / Unpack move data between a typed buffer and a contiguous
+//     buffer in time proportional to the bytes moved plus the depth of
+//     the tree, regardless of the number of blocks in the type and of
+//     the number of bytes skipped;
+//   - TypeExtent / TypeSize (the paper's MPIR_Type_ff_extent and
+//     MPIR_Type_ff_size) convert between data sizes and buffer extents
+//     at arbitrary starting points in O(depth), replacing the O(N_block)
+//     linear ol-list traversal of list-based positioning;
+//   - Runs enumerates the contiguous runs backing a data range as
+//     *groups* of evenly spaced runs, so that callers copy with tight
+//     batch loops — the scalar analogue of the vector gather/scatter
+//     operations the SX implementation exploits.
+//
+// Data offsets ("data bytes", the paper's skipbytes) count the bytes of
+// actual data in type-map order.  Buffer offsets are byte positions
+// relative to the origin of instance 0 of the type.  All functions treat
+// the type as tiling indefinitely at its extent, which is how MPI-IO
+// fileviews use filetypes.
+package fotf
+
+import (
+	"sync"
+
+	"repro/internal/datatype"
+)
+
+// nodeInfo caches per-node prefix sums for indexed and struct nodes so
+// that block lookup inside a node is O(log blocks-of-node) instead of
+// linear.  The tables are proportional to the *tree* (the node's own
+// block count), never to the expanded number of leaf blocks.
+type nodeInfo struct {
+	cumSize []int64 // cumSize[i] = data bytes in blocks [0,i)
+}
+
+var nodeCache sync.Map // *datatype.Type -> *nodeInfo
+
+func info(t *datatype.Type) *nodeInfo {
+	if v, ok := nodeCache.Load(t); ok {
+		return v.(*nodeInfo)
+	}
+	var ni nodeInfo
+	switch t.Kind() {
+	case datatype.KindIndexed:
+		bl := t.Blocklens()
+		cs := t.Child().Size()
+		ni.cumSize = make([]int64, len(bl)+1)
+		for i, b := range bl {
+			ni.cumSize[i+1] = ni.cumSize[i] + b*cs
+		}
+	case datatype.KindStruct:
+		bl := t.Blocklens()
+		ch := t.Children()
+		ni.cumSize = make([]int64, len(bl)+1)
+		for i, b := range bl {
+			ni.cumSize[i+1] = ni.cumSize[i] + b*ch[i].Size()
+		}
+	}
+	v, _ := nodeCache.LoadOrStore(t, &ni)
+	return v.(*nodeInfo)
+}
+
+// findBlock returns the index i of the block containing data offset d,
+// i.e. the smallest i with cum[i+1] > d, skipping empty blocks.  The
+// caller guarantees 0 <= d < cum[len-1].
+func (ni *nodeInfo) findBlock(d int64) int {
+	lo, hi := 0, len(ni.cumSize)-2
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ni.cumSize[mid+1] <= d {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// EmitFunc receives one group of n evenly spaced runs: run i (0 <= i < n)
+// is runLen bytes at buffer offset bufOff + i*stride and corresponds to
+// data bytes [dataOff + i*runLen, dataOff + (i+1)*runLen).
+type EmitFunc func(bufOff, dataOff, runLen, stride, n int64)
+
+// Runs enumerates the contiguous runs of the typed data of t (tiling
+// indefinitely) restricted to the data range [d0, d1), in type-map order,
+// as groups of evenly spaced runs.  Positioning to d0 costs O(Depth);
+// the number of emitted groups is proportional to the runs actually
+// touched, with regular (vector-like) regions collapsed into single
+// groups.
+func Runs(t *datatype.Type, d0, d1 int64, emit EmitFunc) {
+	size := t.Size()
+	if d1 <= d0 || size == 0 {
+		return
+	}
+	if t.ContiguousTiled() {
+		// Contiguous tiling maps data offsets one-to-one to buffer
+		// offsets (shifted by TrueLB): one run, regardless of range.
+		emit(t.TrueLB()+d0, d0, d1-d0, 0, 1)
+		return
+	}
+	ext := t.Extent()
+	k0 := d0 / size
+	k1 := (d1 - 1) / size
+	for k := k0; k <= k1; k++ {
+		lo, hi := int64(0), size
+		if k == k0 {
+			lo = d0 - k*size
+		}
+		if k == k1 {
+			hi = d1 - k*size
+		}
+		runs(t, k*ext, k*size, lo, hi, emit)
+	}
+}
+
+// runs emits the runs of data range [lo, hi) of a single instance of t
+// whose origin is at buffer offset base; gd is the global data offset of
+// local data offset 0.
+func runs(t *datatype.Type, base, gd, lo, hi int64, emit EmitFunc) {
+	if hi <= lo {
+		return
+	}
+	switch t.Kind() {
+	case datatype.KindNamed:
+		emit(base+lo, gd+lo, hi-lo, 0, 1)
+
+	case datatype.KindResized:
+		runs(t.Child(), base, gd, lo, hi, emit)
+
+	case datatype.KindContiguous:
+		child := t.Child()
+		runsTiled(child, t.Count(), child.Extent(), base, gd, lo, hi, emit)
+
+	case datatype.KindVector:
+		child := t.Child()
+		per := t.Blocklen() * child.Size() // data bytes per block
+		k0 := lo / per
+		k1 := (hi - 1) / per
+		// A block is one dense run when its children tile contiguously,
+		// or when there is a single dense child.
+		blockDense := child.ContiguousTiled() || (t.Blocklen() == 1 && child.Dense())
+		if k0 == k1 {
+			blockRuns(t, base+k0*t.StrideBytes(), gd+k0*per, lo-k0*per, hi-k0*per, emit)
+			return
+		}
+		// Head partial block.
+		if lo != k0*per {
+			blockRuns(t, base+k0*t.StrideBytes(), gd+k0*per, lo-k0*per, per, emit)
+			k0++
+		}
+		// Tail partial block.
+		tail := hi != (k1+1)*per
+		kEnd := k1
+		if tail {
+			kEnd = k1 - 1
+		}
+		// Middle full blocks: one group when dense.
+		if kEnd >= k0 {
+			n := kEnd - k0 + 1
+			if blockDense {
+				emit(base+k0*t.StrideBytes()+child.TrueLB(), gd+k0*per, per, t.StrideBytes(), n)
+			} else {
+				for k := k0; k <= kEnd; k++ {
+					blockRuns(t, base+k*t.StrideBytes(), gd+k*per, 0, per, emit)
+				}
+			}
+		}
+		if tail {
+			blockRuns(t, base+k1*t.StrideBytes(), gd+k1*per, 0, hi-k1*per, emit)
+		}
+
+	case datatype.KindIndexed:
+		child := t.Child()
+		ni := info(t)
+		bl := t.Blocklens()
+		displs := t.Displs()
+		i := ni.findBlock(lo)
+		for ; i < len(bl) && ni.cumSize[i] < hi; i++ {
+			if bl[i] == 0 {
+				continue
+			}
+			blo, bhi := int64(0), bl[i]*child.Size()
+			if d := lo - ni.cumSize[i]; d > blo {
+				blo = d
+			}
+			if d := hi - ni.cumSize[i]; d < bhi {
+				bhi = d
+			}
+			runsTiled(child, bl[i], child.Extent(), base+displs[i], gd+ni.cumSize[i], blo, bhi, emit)
+		}
+
+	case datatype.KindStruct:
+		ni := info(t)
+		bl := t.Blocklens()
+		displs := t.Displs()
+		children := t.Children()
+		i := ni.findBlock(lo)
+		for ; i < len(bl) && ni.cumSize[i] < hi; i++ {
+			c := children[i]
+			if bl[i] == 0 || c.Size() == 0 {
+				continue
+			}
+			blo, bhi := int64(0), bl[i]*c.Size()
+			if d := lo - ni.cumSize[i]; d > blo {
+				blo = d
+			}
+			if d := hi - ni.cumSize[i]; d < bhi {
+				bhi = d
+			}
+			runsTiled(c, bl[i], c.Extent(), base+displs[i], gd+ni.cumSize[i], blo, bhi, emit)
+		}
+	}
+}
+
+// blockRuns emits the runs of data range [lo, hi) of one vector block of
+// t (blocklen children tiling at child extent) whose block origin is at
+// buffer offset base.
+func blockRuns(t *datatype.Type, base, gd, lo, hi int64, emit EmitFunc) {
+	child := t.Child()
+	runsTiled(child, t.Blocklen(), child.Extent(), base, gd, lo, hi, emit)
+}
+
+// runsTiled emits the runs of data range [lo, hi) of count instances of
+// child tiling at stride tile from buffer offset base.
+func runsTiled(child *datatype.Type, count, tile, base, gd, lo, hi int64, emit EmitFunc) {
+	if hi <= lo {
+		return
+	}
+	per := child.Size()
+	if per == 0 {
+		return
+	}
+	if child.ContiguousTiled() {
+		// The whole region is a single run (child extent == size)
+		// starting at the first child's TrueLB.
+		emit(base+child.TrueLB()+lo, gd+lo, hi-lo, 0, 1)
+		return
+	}
+	k0 := lo / per
+	k1 := (hi - 1) / per
+	if k0 == k1 {
+		runs(child, base+k0*tile, gd+k0*per, lo-k0*per, hi-k0*per, emit)
+		return
+	}
+	if lo != k0*per {
+		runs(child, base+k0*tile, gd+k0*per, lo-k0*per, per, emit)
+		k0++
+	}
+	tail := hi != (k1+1)*per
+	kEnd := k1
+	if tail {
+		kEnd = k1 - 1
+	}
+	if kEnd >= k0 {
+		n := kEnd - k0 + 1
+		if child.Dense() {
+			emit(base+k0*tile+child.TrueLB(), gd+k0*per, per, tile, n)
+		} else {
+			for k := k0; k <= kEnd; k++ {
+				runs(child, base+k*tile, gd+k*per, 0, per, emit)
+			}
+		}
+	}
+	if tail {
+		runs(child, base+k1*tile, gd+k1*per, 0, hi-k1*per, emit)
+	}
+}

@@ -1,0 +1,303 @@
+// Package mpi provides the message-passing process model that the MPI-IO
+// layer (internal/core) is built on: a fixed group of ranks running as
+// goroutines, point-to-point messages with source/tag matching, and the
+// collective operations two-phase I/O needs.
+//
+// This is the substitution for the NEC SX's MPI/SX runtime (see
+// DESIGN.md): a shared-memory rank model that exercises the identical
+// communication structure.  Messages are real byte-slice transfers with
+// per-pair FIFO ordering, so the ol-list exchange of list-based
+// collective I/O carries its true cost in copied bytes and message
+// counts, both of which are instrumented.
+package mpi
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Wildcards for Recv matching.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// Reserved internal tag space for collectives; user tags must be below.
+const collTagBase = 1 << 24
+
+// Stats aggregates the communication volume of a world or a process.
+type Stats struct {
+	Messages int64 // point-to-point messages sent
+	Bytes    int64 // payload bytes sent
+}
+
+type message struct {
+	src, tag int
+	data     []byte
+}
+
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []message
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	mb := &mailbox{}
+	mb.cond = sync.NewCond(&mb.mu)
+	return mb
+}
+
+func (mb *mailbox) put(m message) {
+	mb.mu.Lock()
+	mb.queue = append(mb.queue, m)
+	mb.mu.Unlock()
+	mb.cond.Broadcast()
+}
+
+// take removes and returns the earliest message matching (src, tag),
+// blocking until one arrives.  It panics with errAborted if the world
+// aborts while waiting.
+func (mb *mailbox) take(src, tag int) message {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for {
+		if mb.closed {
+			panic(errAborted{})
+		}
+		for i, m := range mb.queue {
+			if (src == AnySource || m.src == src) && (tag == AnyTag || m.tag == tag) {
+				mb.queue = append(mb.queue[:i], mb.queue[i+1:]...)
+				return m
+			}
+		}
+		mb.cond.Wait()
+	}
+}
+
+func (mb *mailbox) close() {
+	mb.mu.Lock()
+	mb.closed = true
+	mb.mu.Unlock()
+	mb.cond.Broadcast()
+}
+
+type errAborted struct{}
+
+func (errAborted) Error() string { return "mpi: world aborted" }
+
+type world struct {
+	size      int
+	mailboxes []*mailbox
+
+	barrierMu  sync.Mutex
+	barrierGen int
+	barrierCnt int
+	barrierC   *sync.Cond
+
+	msgs  atomic.Int64
+	bytes atomic.Int64
+
+	splitMu  sync.Mutex
+	splitGen []int // per-rank Split-call counter
+	splits   map[string]*splitEntry
+
+	abortOnce sync.Once
+}
+
+func (w *world) abort() {
+	w.abortOnce.Do(func() {
+		for _, mb := range w.mailboxes {
+			mb.close()
+		}
+		w.barrierMu.Lock()
+		w.barrierGen = -1 << 30
+		w.barrierMu.Unlock()
+		w.barrierC.Broadcast()
+	})
+}
+
+// Proc is one rank's handle on the world.  A Proc is owned by a single
+// goroutine and must not be shared.
+type Proc struct {
+	rank int
+	w    *world
+
+	sentMsgs  int64
+	sentBytes int64
+}
+
+// Rank reports this process's rank in [0, Size()).
+func (p *Proc) Rank() int { return p.rank }
+
+// Size reports the number of processes in the world.
+func (p *Proc) Size() int { return p.w.size }
+
+// SentStats reports this process's cumulative send volume.
+func (p *Proc) SentStats() Stats {
+	return Stats{Messages: p.sentMsgs, Bytes: p.sentBytes}
+}
+
+// Run executes fn on n ranks and waits for all of them.  It returns the
+// aggregate communication statistics and the first panic (as an error),
+// if any; a panic in one rank aborts the whole world.
+func Run(n int, fn func(p *Proc)) (Stats, error) {
+	if n <= 0 {
+		return Stats{}, fmt.Errorf("mpi: world size %d", n)
+	}
+	w := &world{size: n, mailboxes: make([]*mailbox, n)}
+	w.barrierC = sync.NewCond(&w.barrierMu)
+	w.splitGen = make([]int, n)
+	w.splits = make(map[string]*splitEntry)
+	for i := range w.mailboxes {
+		w.mailboxes[i] = newMailbox()
+	}
+	var (
+		wg     sync.WaitGroup
+		errMu  sync.Mutex
+		runErr error
+	)
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if e := recover(); e != nil {
+					if _, ok := e.(errAborted); !ok {
+						errMu.Lock()
+						if runErr == nil {
+							runErr = fmt.Errorf("mpi: rank %d panicked: %v", rank, e)
+						}
+						errMu.Unlock()
+					}
+					w.abort()
+				}
+			}()
+			fn(&Proc{rank: rank, w: w})
+		}(r)
+	}
+	wg.Wait()
+	return Stats{Messages: w.msgs.Load(), Bytes: w.bytes.Load()}, runErr
+}
+
+// Send delivers a copy of data to dst with the given tag.  Send is
+// buffered: it never blocks on the receiver.
+func (p *Proc) Send(dst, tag int, data []byte) {
+	if dst < 0 || dst >= p.w.size {
+		panic(fmt.Sprintf("mpi: send to invalid rank %d", dst))
+	}
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	p.sentMsgs++
+	p.sentBytes += int64(len(data))
+	p.w.msgs.Add(1)
+	p.w.bytes.Add(int64(len(data)))
+	p.w.mailboxes[dst].put(message{src: p.rank, tag: tag, data: buf})
+}
+
+// SendNoCopy delivers data without copying; the caller must not modify
+// data afterwards.  Used for large one-shot payloads.
+func (p *Proc) SendNoCopy(dst, tag int, data []byte) {
+	if dst < 0 || dst >= p.w.size {
+		panic(fmt.Sprintf("mpi: send to invalid rank %d", dst))
+	}
+	p.sentMsgs++
+	p.sentBytes += int64(len(data))
+	p.w.msgs.Add(1)
+	p.w.bytes.Add(int64(len(data)))
+	p.w.mailboxes[dst].put(message{src: p.rank, tag: tag, data: data})
+}
+
+// Recv blocks until a message matching (src, tag) arrives and returns its
+// payload and envelope.  src may be AnySource and tag may be AnyTag.
+// Matching messages from the same source with the same tag are received
+// in the order they were sent.
+func (p *Proc) Recv(src, tag int) (data []byte, fromSrc, fromTag int) {
+	m := p.w.mailboxes[p.rank].take(src, tag)
+	return m.data, m.src, m.tag
+}
+
+// Barrier blocks until all ranks have entered it.
+func (p *Proc) Barrier() {
+	w := p.w
+	w.barrierMu.Lock()
+	gen := w.barrierGen
+	if gen < 0 {
+		w.barrierMu.Unlock()
+		panic(errAborted{})
+	}
+	w.barrierCnt++
+	if w.barrierCnt == w.size {
+		w.barrierCnt = 0
+		w.barrierGen++
+		w.barrierMu.Unlock()
+		w.barrierC.Broadcast()
+		return
+	}
+	for w.barrierGen == gen {
+		w.barrierC.Wait()
+	}
+	aborted := w.barrierGen < 0
+	w.barrierMu.Unlock()
+	if aborted {
+		panic(errAborted{})
+	}
+}
+
+// splitWorlds registers the sub-worlds of Split calls so that all
+// members of a color share one world object.
+type splitEntry struct {
+	w     *world
+	taken int
+}
+
+// Split partitions the world collectively (like MPI_Comm_split): every
+// rank passes a color and a key; ranks with equal color form a new
+// world, ranked by (key, old rank).  The returned Proc addresses only
+// the new world; the original Proc stays valid for the old one.  Every
+// rank of the world must call Split the same number of times.
+func (p *Proc) Split(color, key int) *Proc {
+	// Gather (color, key) from everyone via the parent world.
+	pairs := p.AllgatherInt64s([]int64{int64(color), int64(key)})
+
+	// Compute my rank within my color group: order by (key, old rank).
+	var size, newRank int
+	for r, kv := range pairs {
+		if int(kv[0]) != color {
+			continue
+		}
+		size++
+		if kv[1] < int64(key) || (kv[1] == int64(key) && r < p.rank) {
+			newRank++
+		}
+	}
+
+	// Get or create the shared sub-world for this (generation, color).
+	w := p.w
+	w.splitMu.Lock()
+	gen := w.splitGen[p.rank]
+	w.splitGen[p.rank]++
+	keyStr := fmt.Sprintf("%d/%d", gen, color)
+	ent := w.splits[keyStr]
+	if ent == nil {
+		sub := &world{size: size, mailboxes: make([]*mailbox, size)}
+		sub.barrierC = sync.NewCond(&sub.barrierMu)
+		sub.splitGen = make([]int, size)
+		sub.splits = make(map[string]*splitEntry)
+		for i := range sub.mailboxes {
+			sub.mailboxes[i] = newMailbox()
+		}
+		ent = &splitEntry{w: sub}
+		w.splits[keyStr] = ent
+	}
+	ent.taken++
+	if ent.taken == size {
+		delete(w.splits, keyStr) // all members joined; free the slot
+	}
+	sub := ent.w
+	w.splitMu.Unlock()
+
+	return &Proc{rank: newRank, w: sub}
+}

@@ -1,0 +1,381 @@
+package mpi
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestRunBasics(t *testing.T) {
+	seen := make([]bool, 5)
+	_, err := Run(5, func(p *Proc) {
+		if p.Size() != 5 {
+			t.Errorf("size = %d", p.Size())
+		}
+		seen[p.Rank()] = true // distinct indices per rank: no race
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, ok := range seen {
+		if !ok {
+			t.Errorf("rank %d never ran", r)
+		}
+	}
+	if _, err := Run(0, func(*Proc) {}); err == nil {
+		t.Fatal("size-0 world must fail")
+	}
+}
+
+func TestSendRecvOrdering(t *testing.T) {
+	_, err := Run(2, func(p *Proc) {
+		const n = 100
+		if p.Rank() == 0 {
+			for i := 0; i < n; i++ {
+				p.Send(1, 7, []byte{byte(i)})
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				got, src, tag := p.Recv(0, 7)
+				if src != 0 || tag != 7 || got[0] != byte(i) {
+					t.Errorf("message %d: got %d from %d tag %d", i, got[0], src, tag)
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecvTagSelection(t *testing.T) {
+	_, err := Run(2, func(p *Proc) {
+		if p.Rank() == 0 {
+			p.Send(1, 1, []byte("a"))
+			p.Send(1, 2, []byte("b"))
+		} else {
+			// Receive tag 2 first even though tag 1 arrived first.
+			got, _, _ := p.Recv(0, 2)
+			if string(got) != "b" {
+				t.Errorf("tag 2 payload = %q", got)
+			}
+			got, _, _ = p.Recv(0, 1)
+			if string(got) != "a" {
+				t.Errorf("tag 1 payload = %q", got)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecvWildcards(t *testing.T) {
+	_, err := Run(4, func(p *Proc) {
+		if p.Rank() == 0 {
+			got := map[int]bool{}
+			for i := 0; i < 3; i++ {
+				data, src, tag := p.Recv(AnySource, AnyTag)
+				if tag != src*10 || string(data) != fmt.Sprint(src) {
+					t.Errorf("bad message from %d: %q tag %d", src, data, tag)
+				}
+				got[src] = true
+			}
+			if len(got) != 3 {
+				t.Errorf("received from %d distinct sources", len(got))
+			}
+		} else {
+			p.Send(0, p.Rank()*10, []byte(fmt.Sprint(p.Rank())))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendCopiesPayload(t *testing.T) {
+	_, err := Run(2, func(p *Proc) {
+		if p.Rank() == 0 {
+			buf := []byte("hello")
+			p.Send(1, 0, buf)
+			copy(buf, "XXXXX") // must not affect the receiver
+		} else {
+			got, _, _ := p.Recv(0, 0)
+			if string(got) != "hello" {
+				t.Errorf("payload = %q, corrupted by sender reuse", got)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrier(t *testing.T) {
+	// All ranks increment before the barrier; after it everyone must see
+	// the full count.  Repeat to exercise generations.
+	const P = 8
+	counts := make([]int32, 3)
+	_, err := Run(P, func(p *Proc) {
+		for round := 0; round < 3; round++ {
+			// Distinct slot per rank per round avoids atomics: each rank
+			// adds to a rank-private cell, then we sum after the barrier.
+			p.Barrier()
+			if round == 0 && p.Rank() == 0 {
+				counts[0] = P
+			}
+			p.Barrier()
+			if counts[0] != P {
+				t.Errorf("rank %d round %d: count %d", p.Rank(), round, counts[0])
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBcast(t *testing.T) {
+	_, err := Run(6, func(p *Proc) {
+		var data []byte
+		if p.Rank() == 2 {
+			data = []byte("payload")
+		}
+		got := p.Bcast(2, data)
+		if string(got) != "payload" {
+			t.Errorf("rank %d: bcast = %q", p.Rank(), got)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGatherAllgather(t *testing.T) {
+	_, err := Run(5, func(p *Proc) {
+		mine := []byte(strings.Repeat("x", p.Rank()+1))
+		parts := p.Gather(3, mine)
+		if p.Rank() == 3 {
+			for r, part := range parts {
+				if len(part) != r+1 {
+					t.Errorf("gather[%d] len = %d", r, len(part))
+				}
+			}
+		} else if parts != nil {
+			t.Errorf("rank %d: non-root gather result", p.Rank())
+		}
+		all := p.Allgather(mine)
+		for r, part := range all {
+			if len(part) != r+1 {
+				t.Errorf("rank %d: allgather[%d] len = %d", p.Rank(), r, len(part))
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllgatherEmptyParts(t *testing.T) {
+	_, err := Run(3, func(p *Proc) {
+		var mine []byte
+		if p.Rank() == 1 {
+			mine = []byte("z")
+		}
+		all := p.Allgather(mine)
+		if len(all[0]) != 0 || string(all[1]) != "z" || len(all[2]) != 0 {
+			t.Errorf("rank %d: allgather = %q", p.Rank(), all)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlltoall(t *testing.T) {
+	const P = 4
+	_, err := Run(P, func(p *Proc) {
+		parts := make([][]byte, P)
+		for r := 0; r < P; r++ {
+			parts[r] = []byte{byte(p.Rank()), byte(r)}
+		}
+		got := p.Alltoall(parts)
+		for r := 0; r < P; r++ {
+			want := []byte{byte(r), byte(p.Rank())}
+			if !bytes.Equal(got[r], want) {
+				t.Errorf("rank %d: from %d = %v, want %v", p.Rank(), r, got[r], want)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllreduceAndAllgatherInt64(t *testing.T) {
+	const P = 7
+	_, err := Run(P, func(p *Proc) {
+		v := int64(p.Rank() + 1)
+		if got := p.AllreduceInt64(v, OpSum); got != P*(P+1)/2 {
+			t.Errorf("sum = %d", got)
+		}
+		if got := p.AllreduceInt64(v, OpMax); got != P {
+			t.Errorf("max = %d", got)
+		}
+		if got := p.AllreduceInt64(v, OpMin); got != 1 {
+			t.Errorf("min = %d", got)
+		}
+		vec := p.AllgatherInt64(v)
+		for r, x := range vec {
+			if x != int64(r+1) {
+				t.Errorf("allgather[%d] = %d", r, x)
+			}
+		}
+		vs := p.AllgatherInt64s([]int64{v, -v})
+		for r, x := range vs {
+			if x[0] != int64(r+1) || x[1] != -int64(r+1) {
+				t.Errorf("allgatherInt64s[%d] = %v", r, x)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConsecutiveCollectivesDoNotCrossTalk(t *testing.T) {
+	_, err := Run(4, func(p *Proc) {
+		for i := 0; i < 50; i++ {
+			if got := p.AllreduceInt64(int64(i), OpMax); got != int64(i) {
+				t.Errorf("iteration %d: max = %d", i, got)
+				return
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPanicAbortsWorld(t *testing.T) {
+	_, err := Run(3, func(p *Proc) {
+		if p.Rank() == 1 {
+			panic("deliberate")
+		}
+		// Others block forever without the abort.
+		p.Recv(1, 99)
+	})
+	if err == nil || !strings.Contains(err.Error(), "deliberate") {
+		t.Fatalf("err = %v, want the deliberate panic", err)
+	}
+}
+
+func TestPanicAbortsBarrier(t *testing.T) {
+	_, err := Run(3, func(p *Proc) {
+		if p.Rank() == 2 {
+			panic("boom")
+		}
+		p.Barrier()
+	})
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	stats, err := Run(2, func(p *Proc) {
+		if p.Rank() == 0 {
+			p.Send(1, 0, make([]byte, 100))
+			p.SendNoCopy(1, 0, make([]byte, 50))
+			s := p.SentStats()
+			if s.Messages != 2 || s.Bytes != 150 {
+				t.Errorf("proc stats = %+v", s)
+			}
+		} else {
+			p.Recv(0, 0)
+			p.Recv(0, 0)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Messages != 2 || stats.Bytes != 150 {
+		t.Fatalf("world stats = %+v", stats)
+	}
+}
+
+func TestSendInvalidRankPanics(t *testing.T) {
+	_, err := Run(1, func(p *Proc) {
+		p.Send(5, 0, nil)
+	})
+	if err == nil {
+		t.Fatal("send to invalid rank must abort")
+	}
+}
+
+func TestSplitFormsGroups(t *testing.T) {
+	const P = 6
+	_, err := Run(P, func(p *Proc) {
+		color := p.Rank() % 2
+		sub := p.Split(color, p.Rank())
+		if sub.Size() != 3 {
+			t.Errorf("rank %d: sub size = %d", p.Rank(), sub.Size())
+			return
+		}
+		if want := p.Rank() / 2; sub.Rank() != want {
+			t.Errorf("rank %d: sub rank = %d, want %d", p.Rank(), sub.Rank(), want)
+			return
+		}
+		// The sub-world is fully functional: collectives stay inside it.
+		sum := sub.AllreduceInt64(int64(p.Rank()), OpSum)
+		want := int64(0 + 2 + 4)
+		if color == 1 {
+			want = 1 + 3 + 5
+		}
+		if sum != want {
+			t.Errorf("rank %d: group sum = %d, want %d", p.Rank(), sum, want)
+		}
+		sub.Barrier()
+		// Parent world still works after the split.
+		if got := p.AllreduceInt64(1, OpSum); got != P {
+			t.Errorf("rank %d: parent sum = %d", p.Rank(), got)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitKeyOrdersRanks(t *testing.T) {
+	const P = 4
+	_, err := Run(P, func(p *Proc) {
+		// Reverse the ordering via descending keys.
+		sub := p.Split(0, P-p.Rank())
+		if want := P - 1 - p.Rank(); sub.Rank() != want {
+			t.Errorf("rank %d: sub rank = %d, want %d", p.Rank(), sub.Rank(), want)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitRepeatedCalls(t *testing.T) {
+	_, err := Run(4, func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			sub := p.Split(p.Rank()/2, 0)
+			if sub.Size() != 2 {
+				t.Errorf("iteration %d: size %d", i, sub.Size())
+				return
+			}
+			if got := sub.AllreduceInt64(1, OpSum); got != 2 {
+				t.Errorf("iteration %d: sum %d", i, got)
+				return
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

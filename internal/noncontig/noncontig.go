@@ -1,0 +1,295 @@
+// Package noncontig implements the paper's synthetic benchmark (§4.1):
+// a highly configurable write-then-read workload over the Figure-4
+// vector-like fileview, measuring per-process bandwidth for the four
+// memory/file contiguity combinations, independently or collectively,
+// under either datatype engine.
+//
+// The fileview of process p out of P is
+//
+//	struct{ LB@0, hvector(blockcount × blocklen, stride P·blocklen)@p·blocklen, UB@extent }
+//
+// with extent = blockcount·P·blocklen, so the accesses of all processes
+// interleave without overlapping and together cover the file densely.
+package noncontig
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datatype"
+	"repro/internal/mpi"
+	"repro/internal/storage"
+)
+
+// Pattern selects the memory/file contiguity combination of Figure 1.
+type Pattern int
+
+// The four access patterns.
+const (
+	CC   Pattern = iota // contiguous memory, contiguous file
+	NcC                 // non-contiguous memory, contiguous file
+	CNc                 // contiguous memory, non-contiguous file
+	NcNc                // non-contiguous memory and file
+)
+
+func (p Pattern) String() string {
+	switch p {
+	case CC:
+		return "c-c"
+	case NcC:
+		return "nc-c"
+	case CNc:
+		return "c-nc"
+	case NcNc:
+		return "nc-nc"
+	}
+	return fmt.Sprintf("Pattern(%d)", int(p))
+}
+
+// ParsePattern parses the paper's pattern names (c-c, nc-c, c-nc, nc-nc).
+func ParsePattern(s string) (Pattern, error) {
+	for _, p := range []Pattern{CC, NcC, CNc, NcNc} {
+		if p.String() == s {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("noncontig: unknown pattern %q", s)
+}
+
+// Config parameterizes one benchmark run.
+type Config struct {
+	P          int     // number of processes
+	Blockcount int64   // N_block: blocks per process
+	Blocklen   int64   // S_block: bytes per block
+	Pattern    Pattern // memory/file contiguity combination
+	Collective bool    // collective vs independent access
+	Engine     core.Engine
+	Reps       int  // write+read repetitions (default 1)
+	Verify     bool // read-back verification on the first repetition
+	// Tiles scales the file size (the paper's file-size parameter):
+	// each operation accesses Tiles filetype instances (default 1).
+	Tiles int64
+
+	// Options tune the MPI-IO layer; Engine overrides Options.Engine.
+	Options core.Options
+	// Backend supplies the storage backend (default: fresh Mem).
+	Backend storage.Backend
+}
+
+func (c Config) tiles() int64 {
+	if c.Tiles > 0 {
+		return c.Tiles
+	}
+	return 1
+}
+
+// DataPerProc reports the bytes each process moves per operation.
+func (c Config) DataPerProc() int64 { return c.tiles() * c.Blockcount * c.Blocklen }
+
+// FileSize reports the total file size of the dense interleaving.
+func (c Config) FileSize() int64 { return int64(c.P) * c.DataPerProc() }
+
+// Result carries the measured bandwidths and the rank-0 engine stats.
+type Result struct {
+	Config    Config
+	WriteTime time.Duration // max across ranks, total over reps
+	ReadTime  time.Duration
+	WriteBpp  float64 // MB/s per process (1 MB = 1e6 bytes, as in the paper)
+	ReadBpp   float64
+	Stats     core.Stats // rank 0 file stats
+	Comm      mpi.Stats  // world communication totals
+	Verified  bool
+}
+
+// Filetype builds the Figure-4 fileview type for rank p of P.
+func Filetype(p, P int, blockcount, blocklen int64) (*datatype.Type, error) {
+	vec, err := datatype.Hvector(blockcount, blocklen, int64(P)*blocklen, datatype.Byte)
+	if err != nil {
+		return nil, err
+	}
+	disp := int64(p) * blocklen
+	extent := blockcount * int64(P) * blocklen
+	return datatype.Struct(
+		[]int64{1, 1, 1},
+		[]int64{0, disp, extent},
+		[]*datatype.Type{datatype.LBMarker, vec, datatype.UBMarker},
+	)
+}
+
+// Memtype builds the non-contiguous memory datatype: the same block
+// geometry with one-block gaps (stride 2·blocklen).
+func Memtype(blockcount, blocklen int64) (*datatype.Type, error) {
+	return datatype.Hvector(blockcount, blocklen, 2*blocklen, datatype.Byte)
+}
+
+// Run executes the benchmark and returns the measured result.
+func Run(cfg Config) (Result, error) {
+	if cfg.P <= 0 || cfg.Blockcount <= 0 || cfg.Blocklen <= 0 {
+		return Result{}, fmt.Errorf("noncontig: invalid config %+v", cfg)
+	}
+	if cfg.Reps <= 0 {
+		cfg.Reps = 1
+	}
+	be := cfg.Backend
+	if be == nil {
+		be = storage.NewMem()
+	}
+	// Pre-size the file so backend growth is not charged to the first
+	// write measured.
+	if be.Size() < cfg.FileSize() {
+		if err := be.Truncate(cfg.FileSize()); err != nil {
+			return Result{}, err
+		}
+	}
+	sh := core.NewShared(be)
+	opts := cfg.Options
+	opts.Engine = cfg.Engine
+
+	res := Result{Config: cfg, Verified: true}
+	var writeNs, readNs int64
+	var rank0Stats core.Stats
+	verifyFailed := false
+
+	comm, err := mpi.Run(cfg.P, func(p *mpi.Proc) {
+		f, err := core.Open(p, sh, opts)
+		if err != nil {
+			panic(err)
+		}
+		defer f.Close()
+
+		d := cfg.DataPerProc()
+		fileNC := cfg.Pattern == CNc || cfg.Pattern == NcNc
+		memNC := cfg.Pattern == NcC || cfg.Pattern == NcNc
+
+		// Install the fileview.
+		var viewOff int64 // access offset in etypes (bytes; etype stays Byte)
+		if fileNC {
+			ft, err := Filetype(p.Rank(), p.Size(), cfg.Blockcount, cfg.Blocklen)
+			if err != nil {
+				panic(err)
+			}
+			if err := f.SetView(0, datatype.Byte, ft); err != nil {
+				panic(err)
+			}
+		} else {
+			// Contiguous file: each process owns its own region.
+			viewOff = int64(p.Rank()) * d
+		}
+
+		// Build the memory buffer.
+		var memt *datatype.Type
+		var count int64
+		var buf []byte
+		if memNC {
+			mt, err := Memtype(cfg.Blockcount, cfg.Blocklen)
+			if err != nil {
+				panic(err)
+			}
+			memt, count = mt, cfg.tiles()
+			buf = make([]byte, count*mt.Extent())
+		} else {
+			memt, count = datatype.Byte, d
+			buf = make([]byte, d)
+		}
+		fillPattern(buf, p.Rank())
+
+		readBuf := make([]byte, len(buf))
+
+		write := func() {
+			var err error
+			if cfg.Collective {
+				_, err = f.WriteAtAll(viewOff, count, memt, buf)
+			} else {
+				_, err = f.WriteAt(viewOff, count, memt, buf)
+			}
+			if err != nil {
+				panic(err)
+			}
+		}
+		read := func() {
+			var err error
+			if cfg.Collective {
+				_, err = f.ReadAtAll(viewOff, count, memt, readBuf)
+			} else {
+				_, err = f.ReadAt(viewOff, count, memt, readBuf)
+			}
+			if err != nil {
+				panic(err)
+			}
+		}
+
+		var wNs, rNs int64
+		for rep := 0; rep < cfg.Reps; rep++ {
+			p.Barrier()
+			t0 := time.Now()
+			write()
+			p.Barrier()
+			wNs += time.Since(t0).Nanoseconds()
+
+			t1 := time.Now()
+			read()
+			p.Barrier()
+			rNs += time.Since(t1).Nanoseconds()
+
+			if rep == 0 && cfg.Verify {
+				if !verifyTyped(buf, readBuf, memt, count) {
+					verifyFailed = true
+				}
+			}
+		}
+		// Reduce the maximum elapsed times.
+		wMax := p.AllreduceInt64(wNs, mpi.OpMax)
+		rMax := p.AllreduceInt64(rNs, mpi.OpMax)
+		if p.Rank() == 0 {
+			writeNs, readNs = wMax, rMax
+			rank0Stats = f.Stats
+		}
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	if verifyFailed {
+		return Result{}, fmt.Errorf("noncontig: read-back verification failed (%+v)", cfg)
+	}
+
+	res.WriteTime = time.Duration(writeNs)
+	res.ReadTime = time.Duration(readNs)
+	bytesMoved := float64(cfg.DataPerProc() * int64(cfg.Reps))
+	if writeNs > 0 {
+		res.WriteBpp = bytesMoved / (float64(writeNs) / 1e9) / 1e6
+	}
+	if readNs > 0 {
+		res.ReadBpp = bytesMoved / (float64(readNs) / 1e9) / 1e6
+	}
+	res.Stats = rank0Stats
+	res.Comm = comm
+	return res, nil
+}
+
+// fillPattern writes a rank-dependent deterministic pattern.
+func fillPattern(b []byte, rank int) {
+	for i := range b {
+		b[i] = byte((rank*131 + i*7 + 13) % 251)
+	}
+}
+
+// verifyTyped compares only the typed (data-bearing) positions of two
+// memtype-described buffers.
+func verifyTyped(want, got []byte, memt *datatype.Type, count int64) bool {
+	if memt.Kind() == datatype.KindNamed {
+		return bytes.Equal(want, got)
+	}
+	ok := true
+	ext := memt.Extent()
+	for k := int64(0); k < count; k++ {
+		memt.Walk(func(off, ln int64) {
+			o := k*ext + off
+			if !bytes.Equal(want[o:o+ln], got[o:o+ln]) {
+				ok = false
+			}
+		})
+	}
+	return ok
+}

@@ -1,0 +1,61 @@
+package storage
+
+import (
+	"errors"
+	"sync/atomic"
+)
+
+// ErrInjected is the error produced by a Faulty backend when a fault
+// fires.
+var ErrInjected = errors.New("storage: injected fault")
+
+// Faulty wraps a Backend and fails operations on demand, for testing
+// error propagation through the sieving and two-phase I/O paths.
+type Faulty struct {
+	Backend
+	// FailReadAfter / FailWriteAfter make the n-th subsequent read or
+	// write (1-based) and everything after it fail; 0 disables.
+	failReadAfter  atomic.Int64
+	failWriteAfter atomic.Int64
+	reads, writes  atomic.Int64
+}
+
+// NewFaulty wraps b with fault injection disabled.
+func NewFaulty(b Backend) *Faulty {
+	return &Faulty{Backend: b}
+}
+
+// FailReads makes the n-th next read (1-based) and all later reads fail.
+func (f *Faulty) FailReads(n int64) {
+	f.reads.Store(0)
+	f.failReadAfter.Store(n)
+}
+
+// FailWrites makes the n-th next write (1-based) and all later writes
+// fail.
+func (f *Faulty) FailWrites(n int64) {
+	f.writes.Store(0)
+	f.failWriteAfter.Store(n)
+}
+
+// Heal disables fault injection.
+func (f *Faulty) Heal() {
+	f.failReadAfter.Store(0)
+	f.failWriteAfter.Store(0)
+}
+
+// ReadAt implements io.ReaderAt with fault injection.
+func (f *Faulty) ReadAt(p []byte, off int64) (int, error) {
+	if n := f.failReadAfter.Load(); n > 0 && f.reads.Add(1) >= n {
+		return 0, ErrInjected
+	}
+	return f.Backend.ReadAt(p, off)
+}
+
+// WriteAt implements io.WriterAt with fault injection.
+func (f *Faulty) WriteAt(p []byte, off int64) (int, error) {
+	if n := f.failWriteAfter.Load(); n > 0 && f.writes.Add(1) >= n {
+		return 0, ErrInjected
+	}
+	return f.Backend.WriteAt(p, off)
+}

@@ -1,0 +1,190 @@
+// Package storage provides the file-system substrate under the MPI-IO
+// layer: byte-addressed backends with POSIX-like contiguous ReadAt/
+// WriteAt semantics, a bandwidth/latency throttle for modelling slower
+// file systems, a range-lock table for atomic read-modify-write during
+// data sieving, and access instrumentation.
+//
+// The default in-memory backend stands in for the NEC SX's very fast
+// local file system (see DESIGN.md): contiguous access is far faster
+// than per-element software overhead, which is the regime in which the
+// paper's listless-I/O gains are largest.
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// Backend is a byte-addressed store with contiguous access, the only
+// interface the file system offers to the MPI-IO layer (POSIX-style:
+// no scatter/gather, no non-contiguous primitives).
+type Backend interface {
+	io.ReaderAt
+	io.WriterAt
+	// Size reports the current length of the store.
+	Size() int64
+	// Truncate sets the length of the store.
+	Truncate(n int64) error
+	// Sync flushes buffered state.
+	Sync() error
+}
+
+// Mem is a growable in-memory Backend.  It is safe for concurrent use.
+// Reads past the end return io.EOF after the available bytes, like
+// os.File.
+type Mem struct {
+	mu   sync.RWMutex
+	data []byte
+}
+
+// NewMem returns an empty in-memory backend.
+func NewMem() *Mem { return &Mem{} }
+
+// ReadAt implements io.ReaderAt.
+func (m *Mem) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("storage: negative offset %d", off)
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if off >= int64(len(m.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, m.data[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// WriteAt implements io.WriterAt, growing the store as needed.
+func (m *Mem) WriteAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("storage: negative offset %d", off)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	end := off + int64(len(p))
+	if end > int64(len(m.data)) {
+		if end > int64(cap(m.data)) {
+			grown := make([]byte, end, grow(cap(m.data), end))
+			copy(grown, m.data)
+			m.data = grown
+		} else {
+			m.data = m.data[:end]
+		}
+	}
+	copy(m.data[off:end], p)
+	return len(p), nil
+}
+
+func grow(c int, need int64) int64 {
+	n := int64(c) * 2
+	if n < need {
+		n = need
+	}
+	return n
+}
+
+// Size implements Backend.
+func (m *Mem) Size() int64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return int64(len(m.data))
+}
+
+// Truncate implements Backend.
+func (m *Mem) Truncate(n int64) error {
+	if n < 0 {
+		return fmt.Errorf("storage: negative truncate %d", n)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if n <= int64(len(m.data)) {
+		m.data = m.data[:n]
+		return nil
+	}
+	if n > int64(cap(m.data)) {
+		grown := make([]byte, n)
+		copy(grown, m.data)
+		m.data = grown
+		return nil
+	}
+	tail := m.data[len(m.data):n]
+	for i := range tail {
+		tail[i] = 0
+	}
+	m.data = m.data[:n]
+	return nil
+}
+
+// Sync implements Backend (a no-op for memory).
+func (m *Mem) Sync() error { return nil }
+
+// Bytes returns a copy of the store's contents, for tests.
+func (m *Mem) Bytes() []byte {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]byte, len(m.data))
+	copy(out, m.data)
+	return out
+}
+
+// File is a Backend backed by an *os.File.
+type File struct {
+	f *os.File
+}
+
+// OpenFile creates or opens path for read/write access.
+func OpenFile(path string) (*File, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &File{f: f}, nil
+}
+
+// ReadAt implements io.ReaderAt.
+func (fb *File) ReadAt(p []byte, off int64) (int, error) { return fb.f.ReadAt(p, off) }
+
+// WriteAt implements io.WriterAt.
+func (fb *File) WriteAt(p []byte, off int64) (int, error) { return fb.f.WriteAt(p, off) }
+
+// Size implements Backend.
+func (fb *File) Size() int64 {
+	fi, err := fb.f.Stat()
+	if err != nil {
+		return 0
+	}
+	return fi.Size()
+}
+
+// Truncate implements Backend.
+func (fb *File) Truncate(n int64) error { return fb.f.Truncate(n) }
+
+// Sync implements Backend.
+func (fb *File) Sync() error { return fb.f.Sync() }
+
+// Close closes the underlying file.
+func (fb *File) Close() error { return fb.f.Close() }
+
+// ErrShortRead is returned by ReadFull when zero-filling was required but
+// disabled.
+var ErrShortRead = errors.New("storage: short read")
+
+// ReadFull reads len(p) bytes at off, zero-filling anything past the end
+// of the store — the read semantics data sieving needs when its file
+// window extends past EOF.  Errors other than EOF are propagated.
+func ReadFull(b Backend, p []byte, off int64) error {
+	n, err := b.ReadAt(p, off)
+	if err != nil && err != io.EOF {
+		return err
+	}
+	for i := n; i < len(p); i++ {
+		p[i] = 0
+	}
+	return nil
+}

@@ -1,0 +1,163 @@
+package storage
+
+import (
+	"fmt"
+	"io"
+)
+
+// Striped distributes a byte range round-robin over several backends in
+// fixed-size stripe units (RAID-0 style) — a model of the striped
+// storage systems the paper's §4.2 points to for scaling accumulated
+// bandwidth with the number of processes.  Combined with Throttled
+// members it lets experiments study how the listless advantage shifts
+// when the file system itself scales.
+type Striped struct {
+	stripes []Backend
+	unit    int64
+}
+
+// NewStriped stripes over the given backends with the given unit size.
+func NewStriped(unit int64, stripes ...Backend) (*Striped, error) {
+	if unit <= 0 {
+		return nil, fmt.Errorf("storage: stripe unit %d", unit)
+	}
+	if len(stripes) == 0 {
+		return nil, fmt.Errorf("storage: no stripe backends")
+	}
+	return &Striped{stripes: stripes, unit: unit}, nil
+}
+
+// locate maps a global offset to (stripe index, offset within that
+// stripe's backing store).
+func (s *Striped) locate(off int64) (int, int64) {
+	unitIdx := off / s.unit
+	within := off - unitIdx*s.unit
+	stripe := int(unitIdx % int64(len(s.stripes)))
+	row := unitIdx / int64(len(s.stripes))
+	return stripe, row*s.unit + within
+}
+
+// each splits [off, off+n) into per-stripe contiguous pieces and calls
+// fn for each, stopping at the first error.
+func (s *Striped) each(off, n int64, fn func(b Backend, localOff int64, lo, hi int64) error) error {
+	for pos := off; pos < off+n; {
+		stripe, local := s.locate(pos)
+		end := (pos/s.unit + 1) * s.unit
+		if end > off+n {
+			end = off + n
+		}
+		if err := fn(s.stripes[stripe], local, pos-off, end-off); err != nil {
+			return err
+		}
+		pos = end
+	}
+	return nil
+}
+
+// ReadAt implements io.ReaderAt.  Missing bytes in any stripe read as
+// zeros; a Striped store never reports EOF mid-range (its Size is the
+// authoritative bound, as for the other backends zero-fill handling is
+// done by ReadFull).
+func (s *Striped) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("storage: negative offset %d", off)
+	}
+	size := s.Size()
+	if off >= size {
+		return 0, io.EOF
+	}
+	n := int64(len(p))
+	short := false
+	if off+n > size {
+		n = size - off
+		short = true
+	}
+	err := s.each(off, n, func(b Backend, localOff, lo, hi int64) error {
+		return ReadFull(b, p[lo:hi], localOff)
+	})
+	if err != nil {
+		return 0, err
+	}
+	if short {
+		return int(n), io.EOF
+	}
+	return int(n), nil
+}
+
+// WriteAt implements io.WriterAt.
+func (s *Striped) WriteAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("storage: negative offset %d", off)
+	}
+	err := s.each(off, int64(len(p)), func(b Backend, localOff, lo, hi int64) error {
+		_, werr := b.WriteAt(p[lo:hi], localOff)
+		return werr
+	})
+	if err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}
+
+// Size reports the logical size: the maximum global offset any stripe's
+// content reaches.
+func (s *Striped) Size() int64 {
+	var max int64
+	k := int64(len(s.stripes))
+	for i, b := range s.stripes {
+		bs := b.Size()
+		if bs == 0 {
+			continue
+		}
+		// The last byte of stripe i at local offset bs-1 lives at global
+		// offset: row*unit*k + i*unit + within.
+		last := bs - 1
+		row := last / s.unit
+		within := last - row*s.unit
+		global := row*s.unit*k + int64(i)*s.unit + within + 1
+		if global > max {
+			max = global
+		}
+	}
+	return max
+}
+
+// Truncate implements Backend by sizing every stripe to cover n bytes.
+func (s *Striped) Truncate(n int64) error {
+	if n < 0 {
+		return fmt.Errorf("storage: negative truncate %d", n)
+	}
+	k := int64(len(s.stripes))
+	for i, b := range s.stripes {
+		// Bytes of stripe i within [0, n): count whole rows plus the
+		// partial row.
+		var local int64
+		if n > 0 {
+			last := n - 1
+			row := last / (s.unit * k)
+			rem := last - row*s.unit*k // offset within the last row
+			local = row * s.unit
+			stripeStart := int64(i) * s.unit
+			switch {
+			case rem >= stripeStart+s.unit:
+				local += s.unit
+			case rem >= stripeStart:
+				local += rem - stripeStart + 1
+			}
+		}
+		if err := b.Truncate(local); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Sync flushes every stripe.
+func (s *Striped) Sync() error {
+	for _, b := range s.stripes {
+		if err := b.Sync(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,156 @@
+package storage
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func newStriped(t *testing.T, unit int64, n int) (*Striped, []*Mem) {
+	t.Helper()
+	mems := make([]*Mem, n)
+	backs := make([]Backend, n)
+	for i := range mems {
+		mems[i] = NewMem()
+		backs[i] = mems[i]
+	}
+	s, err := NewStriped(unit, backs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, mems
+}
+
+func TestStripedValidation(t *testing.T) {
+	if _, err := NewStriped(0, NewMem()); err == nil {
+		t.Error("zero unit accepted")
+	}
+	if _, err := NewStriped(64); err == nil {
+		t.Error("no backends accepted")
+	}
+}
+
+func TestStripedPlacement(t *testing.T) {
+	s, mems := newStriped(t, 4, 2)
+	// Write 12 bytes: units 0,2 -> stripe 0; unit 1 -> stripe 1.
+	data := []byte("abcdEFGHijkl")
+	if _, err := s.WriteAt(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := string(mems[0].Bytes()); got != "abcdijkl" {
+		t.Fatalf("stripe 0 = %q", got)
+	}
+	if got := string(mems[1].Bytes()); got != "EFGH" {
+		t.Fatalf("stripe 1 = %q", got)
+	}
+	if s.Size() != 12 {
+		t.Fatalf("size = %d", s.Size())
+	}
+	back := make([]byte, 12)
+	if _, err := s.ReadAt(back, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, data) {
+		t.Fatalf("read back %q", back)
+	}
+}
+
+func TestStripedUnalignedAccess(t *testing.T) {
+	s, _ := newStriped(t, 8, 3)
+	data := make([]byte, 100)
+	for i := range data {
+		data[i] = byte(i + 1)
+	}
+	if _, err := s.WriteAt(data, 5); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 100)
+	if _, err := s.ReadAt(got, 5); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("unaligned round trip failed")
+	}
+}
+
+func TestStripedReadPastEnd(t *testing.T) {
+	s, _ := newStriped(t, 8, 2)
+	s.WriteAt([]byte("abc"), 0)
+	buf := make([]byte, 10)
+	n, err := s.ReadAt(buf, 1)
+	if n != 2 || err != io.EOF {
+		t.Fatalf("ReadAt = %d, %v", n, err)
+	}
+	if n, err := s.ReadAt(buf, 50); n != 0 || err != io.EOF {
+		t.Fatalf("far read = %d, %v", n, err)
+	}
+	if _, err := s.ReadAt(buf, -1); err == nil {
+		t.Fatal("negative offset accepted")
+	}
+}
+
+func TestStripedTruncateAndSize(t *testing.T) {
+	s, mems := newStriped(t, 4, 2)
+	if err := s.Truncate(10); err != nil {
+		t.Fatal(err)
+	}
+	// 10 bytes: stripe0 units 0,2 -> 4+2=6; stripe1 unit 1 -> 4.
+	if mems[0].Size() != 6 || mems[1].Size() != 4 {
+		t.Fatalf("stripe sizes = %d,%d", mems[0].Size(), mems[1].Size())
+	}
+	if s.Size() != 10 {
+		t.Fatalf("size = %d", s.Size())
+	}
+	if err := s.Truncate(0); err != nil {
+		t.Fatal(err)
+	}
+	if s.Size() != 0 {
+		t.Fatalf("size after truncate 0 = %d", s.Size())
+	}
+	if err := s.Truncate(-1); err == nil {
+		t.Fatal("negative truncate accepted")
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickStripedMatchesMem(t *testing.T) {
+	// Property: a striped store behaves byte-identically to a plain Mem
+	// under any sequence of writes and reads.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		unit := int64(1 + r.Intn(16))
+		s, _ := newStriped(t, unit, 1+r.Intn(4))
+		ref := NewMem()
+		for op := 0; op < 24; op++ {
+			off := r.Int63n(256)
+			n := 1 + r.Intn(64)
+			if r.Intn(2) == 0 {
+				data := make([]byte, n)
+				r.Read(data)
+				s.WriteAt(data, off)
+				ref.WriteAt(data, off)
+			} else {
+				a := make([]byte, n)
+				b := make([]byte, n)
+				ReadFull(s, a, off)
+				ReadFull(ref, b, off)
+				if !bytes.Equal(a, b) {
+					t.Logf("seed %d: read mismatch at %d+%d", seed, off, n)
+					return false
+				}
+			}
+			if s.Size() != ref.Size() {
+				t.Logf("seed %d: size %d vs %d", seed, s.Size(), ref.Size())
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,108 @@
+package storage
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Throttled wraps a Backend with a bandwidth/latency cost model, used to
+// study how the listless-I/O advantage depends on the speed of the file
+// system relative to memory and interconnect (paper §4.2, "file-system
+// and memory performance").  Every operation pays Latency plus
+// size/bandwidth of busy time, accumulated across operations so that
+// sub-resolution costs are not lost.
+type Throttled struct {
+	Backend
+	ReadBW  int64         // bytes per second; 0 = unlimited
+	WriteBW int64         // bytes per second; 0 = unlimited
+	Latency time.Duration // per-operation seek/issue cost
+
+	debt atomic.Int64 // accumulated nanoseconds not yet slept
+}
+
+// NewThrottled wraps b with the given read/write bandwidths (bytes/s) and
+// per-operation latency.
+func NewThrottled(b Backend, readBW, writeBW int64, latency time.Duration) *Throttled {
+	return &Throttled{Backend: b, ReadBW: readBW, WriteBW: writeBW, Latency: latency}
+}
+
+func (t *Throttled) charge(n int, bw int64) {
+	ns := int64(t.Latency)
+	if bw > 0 {
+		ns += int64(n) * int64(time.Second) / bw
+	}
+	// Accumulate and sleep only when the debt is large enough for the
+	// sleeper to be meaningful; this keeps many small operations honest
+	// without millions of timer calls.
+	d := t.debt.Add(ns)
+	const quantum = int64(200 * time.Microsecond)
+	if d >= quantum {
+		if t.debt.CompareAndSwap(d, 0) {
+			time.Sleep(time.Duration(d))
+		}
+	}
+}
+
+// ReadAt implements io.ReaderAt with read-bandwidth charging.
+func (t *Throttled) ReadAt(p []byte, off int64) (int, error) {
+	t.charge(len(p), t.ReadBW)
+	return t.Backend.ReadAt(p, off)
+}
+
+// WriteAt implements io.WriterAt with write-bandwidth charging.
+func (t *Throttled) WriteAt(p []byte, off int64) (int, error) {
+	t.charge(len(p), t.WriteBW)
+	return t.Backend.WriteAt(p, off)
+}
+
+// AccessStats counts backend operations and bytes.
+type AccessStats struct {
+	Reads, Writes           int64
+	BytesRead, BytesWritten int64
+}
+
+// Instrumented wraps a Backend with operation counting.
+type Instrumented struct {
+	Backend
+	reads, writes           atomic.Int64
+	bytesRead, bytesWritten atomic.Int64
+}
+
+// NewInstrumented wraps b with access counters.
+func NewInstrumented(b Backend) *Instrumented {
+	return &Instrumented{Backend: b}
+}
+
+// ReadAt implements io.ReaderAt.
+func (in *Instrumented) ReadAt(p []byte, off int64) (int, error) {
+	n, err := in.Backend.ReadAt(p, off)
+	in.reads.Add(1)
+	in.bytesRead.Add(int64(n))
+	return n, err
+}
+
+// WriteAt implements io.WriterAt.
+func (in *Instrumented) WriteAt(p []byte, off int64) (int, error) {
+	n, err := in.Backend.WriteAt(p, off)
+	in.writes.Add(1)
+	in.bytesWritten.Add(int64(n))
+	return n, err
+}
+
+// Stats returns a snapshot of the access counters.
+func (in *Instrumented) Stats() AccessStats {
+	return AccessStats{
+		Reads:        in.reads.Load(),
+		Writes:       in.writes.Load(),
+		BytesRead:    in.bytesRead.Load(),
+		BytesWritten: in.bytesWritten.Load(),
+	}
+}
+
+// Reset zeroes the access counters.
+func (in *Instrumented) Reset() {
+	in.reads.Store(0)
+	in.writes.Store(0)
+	in.bytesRead.Store(0)
+	in.bytesWritten.Store(0)
+}

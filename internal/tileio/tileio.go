@@ -1,0 +1,264 @@
+// Package tileio implements an mpi-tile-io–style benchmark: a dense 2D
+// dataset accessed as a grid of per-process tiles through subarray
+// fileviews.  It is the "multi-dimensional arrays accessed in different
+// manners" workload the paper's outlook (§5) calls for, complementary to
+// noncontig (1D strided) and btio (3D cell-decomposed):
+//
+//   - each process owns one sx×sy tile of a (ntx·sx)×(nty·sy) element
+//     dataset (row-major), optionally *overlapping* its neighbours by a
+//     ghost ring — overlapping tiles make collective reads deliver the
+//     same file bytes to several processes, a case two-phase I/O must
+//     handle that neither noncontig nor btio exercises;
+//   - writes use disjoint tiles (MPI-IO forbids overlapping collective
+//     writes);
+//   - element size, tile geometry, collectivity and engine are all
+//     configurable.
+package tileio
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datatype"
+	"repro/internal/mpi"
+	"repro/internal/storage"
+)
+
+// Config parameterizes one tile-I/O run.
+type Config struct {
+	TilesX, TilesY int   // process grid (P = TilesX·TilesY)
+	TileX, TileY   int64 // interior tile size, in elements
+	ElemSize       int64 // bytes per element
+	// Overlap is the ghost ring width in elements: each process's *read*
+	// tile is grown by Overlap on every side (clipped at the dataset
+	// boundary).  Writes always use the interior tile.
+	Overlap    int64
+	Collective bool
+	Engine     core.Engine
+	Reps       int
+	Verify     bool
+
+	Options core.Options
+	Backend storage.Backend
+}
+
+// P reports the number of processes.
+func (c Config) P() int { return c.TilesX * c.TilesY }
+
+// DatasetElems reports the global dataset dimensions in elements.
+func (c Config) DatasetElems() (gx, gy int64) {
+	return int64(c.TilesX) * c.TileX, int64(c.TilesY) * c.TileY
+}
+
+// DatasetBytes reports the file size.
+func (c Config) DatasetBytes() int64 {
+	gx, gy := c.DatasetElems()
+	return gx * gy * c.ElemSize
+}
+
+// Result carries the measured bandwidths.
+type Result struct {
+	Config    Config
+	WriteTime time.Duration // max across ranks, total over reps
+	ReadTime  time.Duration
+	WriteBpp  float64 // MB/s per process (written interior bytes)
+	ReadBpp   float64 // MB/s per process (read ghosted bytes)
+	Stats     core.Stats
+	Verified  bool
+}
+
+// tileRegion returns rank's tile (optionally ghosted) as element ranges.
+func (c Config) tileRegion(rank int, ghost bool) (x0, y0, nx, ny int64) {
+	ti := int64(rank % c.TilesX)
+	tj := int64(rank / c.TilesX)
+	x0, y0 = ti*c.TileX, tj*c.TileY
+	nx, ny = c.TileX, c.TileY
+	if ghost && c.Overlap > 0 {
+		gx, gy := c.DatasetElems()
+		x1, y1 := x0+nx+c.Overlap, y0+ny+c.Overlap
+		x0 -= c.Overlap
+		y0 -= c.Overlap
+		if x0 < 0 {
+			x0 = 0
+		}
+		if y0 < 0 {
+			y0 = 0
+		}
+		if x1 > gx {
+			x1 = gx
+		}
+		if y1 > gy {
+			y1 = gy
+		}
+		nx, ny = x1-x0, y1-y0
+	}
+	return
+}
+
+// view builds the subarray fileview for rank's region.  The dataset is
+// row-major with x varying fastest.
+func (c Config) view(rank int, ghost bool) (*datatype.Type, int64, error) {
+	gx, gy := c.DatasetElems()
+	x0, y0, nx, ny := c.tileRegion(rank, ghost)
+	elem, err := datatype.Contiguous(c.ElemSize, datatype.Byte)
+	if err != nil {
+		return nil, 0, err
+	}
+	ft, err := datatype.Subarray(
+		[]int64{gy, gx}, []int64{ny, nx}, []int64{y0, x0},
+		datatype.OrderC, elem)
+	if err != nil {
+		return nil, 0, err
+	}
+	return ft, nx * ny * c.ElemSize, nil
+}
+
+func (c Config) validate() error {
+	if c.TilesX <= 0 || c.TilesY <= 0 || c.TileX <= 0 || c.TileY <= 0 || c.ElemSize <= 0 {
+		return fmt.Errorf("tileio: invalid geometry %+v", c)
+	}
+	if c.Overlap < 0 {
+		return fmt.Errorf("tileio: negative overlap %d", c.Overlap)
+	}
+	return nil
+}
+
+// elemValue is the deterministic dataset content at element (x, y).
+func elemValue(x, y, k, esize int64) byte {
+	return byte((x*31 + y*17 + k) % 251)
+}
+
+// Run writes the dataset through the disjoint interior views, then reads
+// it back through the (possibly overlapping) ghosted views, measuring
+// both phases.
+func Run(cfg Config) (Result, error) {
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	if cfg.Reps <= 0 {
+		cfg.Reps = 1
+	}
+	be := cfg.Backend
+	if be == nil {
+		be = storage.NewMem()
+	}
+	if be.Size() < cfg.DatasetBytes() {
+		if err := be.Truncate(cfg.DatasetBytes()); err != nil {
+			return Result{}, err
+		}
+	}
+	sh := core.NewShared(be)
+	opts := cfg.Options
+	opts.Engine = cfg.Engine
+
+	var writeNs, readNs int64
+	var rank0Stats core.Stats
+	verified := true
+
+	_, err := mpi.Run(cfg.P(), func(p *mpi.Proc) {
+		f, err := core.Open(p, sh, opts)
+		if err != nil {
+			panic(err)
+		}
+		defer f.Close()
+
+		// Interior write phase.
+		wview, wbytes, err := cfg.view(p.Rank(), false)
+		if err != nil {
+			panic(err)
+		}
+		x0, y0, nx, ny := cfg.tileRegion(p.Rank(), false)
+		wbuf := make([]byte, wbytes)
+		fill := func(buf []byte, x0, y0, nx, ny int64) {
+			i := 0
+			for y := y0; y < y0+ny; y++ {
+				for x := x0; x < x0+nx; x++ {
+					for k := int64(0); k < cfg.ElemSize; k++ {
+						buf[i] = elemValue(x, y, k, cfg.ElemSize)
+						i++
+					}
+				}
+			}
+		}
+		fill(wbuf, x0, y0, nx, ny)
+
+		// Ghosted read phase.
+		rview, rbytes, err := cfg.view(p.Rank(), true)
+		if err != nil {
+			panic(err)
+		}
+		gx0, gy0, gnx, gny := cfg.tileRegion(p.Rank(), true)
+		rbuf := make([]byte, rbytes)
+		want := make([]byte, rbytes)
+		fill(want, gx0, gy0, gnx, gny)
+
+		var wNs, rNs int64
+		for rep := 0; rep < cfg.Reps; rep++ {
+			if err := f.SetView(0, datatype.Byte, wview); err != nil {
+				panic(err)
+			}
+			p.Barrier()
+			t0 := time.Now()
+			var werr error
+			if cfg.Collective {
+				_, werr = f.WriteAtAll(0, wbytes, datatype.Byte, wbuf)
+			} else {
+				_, werr = f.WriteAt(0, wbytes, datatype.Byte, wbuf)
+			}
+			if werr != nil {
+				panic(werr)
+			}
+			p.Barrier()
+			wNs += time.Since(t0).Nanoseconds()
+
+			if err := f.SetView(0, datatype.Byte, rview); err != nil {
+				panic(err)
+			}
+			t1 := time.Now()
+			var rerr error
+			if cfg.Collective {
+				_, rerr = f.ReadAtAll(0, rbytes, datatype.Byte, rbuf)
+			} else {
+				_, rerr = f.ReadAt(0, rbytes, datatype.Byte, rbuf)
+			}
+			if rerr != nil {
+				panic(rerr)
+			}
+			p.Barrier()
+			rNs += time.Since(t1).Nanoseconds()
+
+			if rep == 0 && cfg.Verify && !bytes.Equal(rbuf, want) {
+				verified = false
+			}
+		}
+		wMax := p.AllreduceInt64(wNs, mpi.OpMax)
+		rMax := p.AllreduceInt64(rNs, mpi.OpMax)
+		if p.Rank() == 0 {
+			writeNs, readNs = wMax, rMax
+			rank0Stats = f.Stats
+		}
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	if cfg.Verify && !verified {
+		return Result{}, fmt.Errorf("tileio: ghosted read verification failed (%+v)", cfg)
+	}
+
+	res := Result{Config: cfg, Verified: verified, Stats: rank0Stats}
+	res.WriteTime = time.Duration(writeNs)
+	res.ReadTime = time.Duration(readNs)
+	interior := float64(cfg.TileX * cfg.TileY * cfg.ElemSize * int64(cfg.Reps))
+	if writeNs > 0 {
+		res.WriteBpp = interior / (float64(writeNs) / 1e9) / 1e6
+	}
+	// Read volume varies per rank; report rank 0's ghosted volume.
+	_, _, gnx, gny := cfg.tileRegion(0, true)
+	ghosted := float64(gnx * gny * cfg.ElemSize * int64(cfg.Reps))
+	if readNs > 0 {
+		res.ReadBpp = ghosted / (float64(readNs) / 1e9) / 1e6
+	}
+	return res, nil
+}

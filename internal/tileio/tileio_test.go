@@ -1,0 +1,127 @@
+package tileio
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/storage"
+)
+
+func base() Config {
+	return Config{
+		TilesX: 2, TilesY: 2,
+		TileX: 16, TileY: 12,
+		ElemSize: 8,
+		Verify:   true,
+	}
+}
+
+func TestGeometry(t *testing.T) {
+	c := base()
+	if c.P() != 4 {
+		t.Fatalf("P = %d", c.P())
+	}
+	gx, gy := c.DatasetElems()
+	if gx != 32 || gy != 24 {
+		t.Fatalf("dataset = %dx%d", gx, gy)
+	}
+	if c.DatasetBytes() != 32*24*8 {
+		t.Fatalf("bytes = %d", c.DatasetBytes())
+	}
+}
+
+func TestTileRegionGhostClipping(t *testing.T) {
+	c := base()
+	c.Overlap = 4
+	// Rank 0 (corner): ghost clips at the low edges.
+	x0, y0, nx, ny := c.tileRegion(0, true)
+	if x0 != 0 || y0 != 0 || nx != 16+4 || ny != 12+4 {
+		t.Fatalf("rank 0 ghost region = (%d,%d,%d,%d)", x0, y0, nx, ny)
+	}
+	// Rank 3 (opposite corner): ghost clips at the high edges.
+	x0, y0, nx, ny = c.tileRegion(3, true)
+	if x0 != 16-4 || y0 != 12-4 || nx != 16+4 || ny != 12+4 {
+		t.Fatalf("rank 3 ghost region = (%d,%d,%d,%d)", x0, y0, nx, ny)
+	}
+}
+
+func TestRunModes(t *testing.T) {
+	for _, coll := range []bool{false, true} {
+		for _, eng := range []core.Engine{core.Listless, core.ListBased} {
+			for _, overlap := range []int64{0, 3} {
+				c := base()
+				c.Collective = coll
+				c.Engine = eng
+				c.Overlap = overlap
+				res, err := Run(c)
+				if err != nil {
+					t.Fatalf("coll=%v %v overlap=%d: %v", coll, eng, overlap, err)
+				}
+				if !res.Verified {
+					t.Fatalf("coll=%v %v overlap=%d: verification failed", coll, eng, overlap)
+				}
+				if res.WriteBpp <= 0 || res.ReadBpp <= 0 {
+					t.Fatalf("coll=%v %v overlap=%d: zero bandwidth", coll, eng, overlap)
+				}
+			}
+		}
+	}
+}
+
+func TestEnginesProduceIdenticalDatasets(t *testing.T) {
+	var files [2][]byte
+	for i, eng := range []core.Engine{core.Listless, core.ListBased} {
+		be := storage.NewMem()
+		c := base()
+		c.Engine = eng
+		c.Collective = true
+		c.Overlap = 2
+		c.Backend = be
+		if _, err := Run(c); err != nil {
+			t.Fatal(err)
+		}
+		files[i] = be.Bytes()
+	}
+	if string(files[0]) != string(files[1]) {
+		t.Fatal("engines produced different datasets")
+	}
+}
+
+func TestOverlappingCollectiveReadDeliversSharedBytes(t *testing.T) {
+	// The distinguishing case: with overlap, neighbouring ranks read the
+	// same file bytes in one collective call.  Verification inside Run
+	// checks every rank got its full ghosted region.
+	c := base()
+	c.Collective = true
+	c.Overlap = 6
+	c.Engine = core.Listless
+	if _, err := Run(c); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	c := base()
+	c.TilesX = 0
+	if _, err := Run(c); err == nil {
+		t.Error("zero grid accepted")
+	}
+	c = base()
+	c.Overlap = -1
+	if _, err := Run(c); err == nil {
+		t.Error("negative overlap accepted")
+	}
+}
+
+func TestRepsAccumulate(t *testing.T) {
+	c := base()
+	c.Reps = 3
+	c.Engine = core.Listless
+	res, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WriteTime <= 0 || res.ReadTime <= 0 {
+		t.Fatal("reps not accumulated")
+	}
+}
