@@ -33,13 +33,14 @@ func main() {
 	flag.Var(&figs, "fig", "figure to regenerate (5, 6, 7, 8); repeatable")
 	flag.Var(&tables, "table", "table to regenerate (1, 2, 3); repeatable")
 	var (
-		all     = flag.Bool("all", false, "regenerate every table and figure")
-		scaleS  = flag.String("scale", "full", "experiment scale: full or quick")
-		csvDir  = flag.String("csv", "", "directory to write per-figure CSV files")
-		steps   = flag.Int("steps", 10, "BTIO steps for Table 3 (paper default is 40)")
-		classes = flag.String("classes", "B,C", "comma-separated BTIO classes for Table 3")
-		psFlag  = flag.String("procs", "4,9,16,25", "comma-separated process counts for Table 3")
-		iters   = flag.Int("iters", 1, "BTIO compute sweeps per step")
+		all      = flag.Bool("all", false, "regenerate every table and figure")
+		pipeline = flag.String("pipeline", "", "run the sequential-vs-pipelined collective ablation and write its JSON to this path (e.g. BENCH_pipeline.json)")
+		scaleS   = flag.String("scale", "full", "experiment scale: full or quick")
+		csvDir   = flag.String("csv", "", "directory to write per-figure CSV files")
+		steps    = flag.Int("steps", 10, "BTIO steps for Table 3 (paper default is 40)")
+		classes  = flag.String("classes", "B,C", "comma-separated BTIO classes for Table 3")
+		psFlag   = flag.String("procs", "4,9,16,25", "comma-separated process counts for Table 3")
+		iters    = flag.Int("iters", 1, "BTIO compute sweeps per step")
 	)
 	flag.Parse()
 
@@ -54,9 +55,27 @@ func main() {
 		figs = multiFlag{"5", "6", "7", "8"}
 		tables = multiFlag{"1", "2", "3"}
 	}
-	if len(figs) == 0 && len(tables) == 0 {
+	if len(figs) == 0 && len(tables) == 0 && *pipeline == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *pipeline != "" {
+		t0 := time.Now()
+		pc, err := bench.Pipeline(scale)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(bench.FormatPipeline(pc))
+		fmt.Printf("(measured at scale %s in %v)\n\n", scale, time.Since(t0).Round(time.Millisecond))
+		data, err := bench.PipelineJSON(pc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*pipeline, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n\n", *pipeline)
 	}
 
 	figRunners := map[string]func(bench.Scale) (bench.Figure, error){

@@ -36,6 +36,7 @@ func main() {
 		sieveBuf   = flag.Int("sievebuf", 0, "data-sieving buffer bytes (0 = default)")
 		collBuf    = flag.Int("collbuf", 0, "collective buffer bytes (0 = default)")
 		ioNodes    = flag.Int("ionodes", 0, "number of I/O processes (0 = all)")
+		noPipe     = flag.Bool("no-pipeline", false, "disable the pipelined collective window loop")
 		file       = flag.String("file", "", "back the run with this file instead of memory")
 		readBW     = flag.Int64("read-bw", 0, "throttle: backend read bandwidth in bytes/s")
 		writeBW    = flag.Int64("write-bw", 0, "throttle: backend write bandwidth in bytes/s")
@@ -78,9 +79,10 @@ func main() {
 		Tiles:      *tiles,
 		Backend:    backend,
 		Options: core.Options{
-			SieveBufSize: *sieveBuf,
-			CollBufSize:  *collBuf,
-			IONodes:      *ioNodes,
+			SieveBufSize:        *sieveBuf,
+			CollBufSize:         *collBuf,
+			IONodes:             *ioNodes,
+			DisableCollPipeline: *noPipe,
 		},
 	}
 	if cfg.Reps == 0 {
@@ -105,7 +107,15 @@ func main() {
 		res.Stats.ListTuples, res.Stats.ListBytesSent, res.Stats.ViewBytesSent)
 	fmt.Printf("  rank-0 stats: sieve reads=%d writes=%d  pre-reads skipped=%d\n",
 		res.Stats.SieveReads, res.Stats.SieveWrites, res.Stats.PreReadsSkipped)
-	fmt.Printf("  world comm: %d messages, %s payload\n", res.Comm.Messages, humanBytes(res.Comm.Bytes))
+	if *collective {
+		fmt.Printf("  rank-0 phases: exchange=%v  storage=%v  copy=%v  windows overlapped=%d\n",
+			time.Duration(res.Stats.ExchangeNs).Round(time.Microsecond),
+			time.Duration(res.Stats.StorageNs).Round(time.Microsecond),
+			time.Duration(res.Stats.CopyNs).Round(time.Microsecond),
+			res.Stats.WindowsOverlapped)
+	}
+	fmt.Printf("  world comm: %d messages, %s payload, %v recv wait\n",
+		res.Comm.Messages, humanBytes(res.Comm.Bytes), time.Duration(res.Comm.RecvWaitNs).Round(time.Microsecond))
 	if *verify {
 		fmt.Println("  verification: OK")
 	}

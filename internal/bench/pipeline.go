@@ -1,0 +1,152 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/noncontig"
+	"repro/internal/storage"
+)
+
+// Pipeline ablation: the same collective write, with the IOP window
+// loop run strictly sequentially (DisableCollPipeline) and as the
+// default double-buffered pipeline, on a bandwidth-throttled backend.
+// The workload is c-nc (contiguous memory, non-contiguous file), so the
+// AP side is a cheap contiguous pack while the IOP side pays both a
+// strided window copy and a throttled write-back — the two costs the
+// pipeline overlaps.
+
+// PipelinePoint is the measurement of one window-loop variant.
+type PipelinePoint struct {
+	Mode              string        `json:"mode"` // "sequential" or "pipelined"
+	WriteTime         time.Duration `json:"write_time_ns"`
+	WriteMBps         float64       `json:"write_mbps_per_proc"`
+	StorageNs         int64         `json:"rank0_storage_ns"`
+	ExchangeNs        int64         `json:"rank0_exchange_ns"`
+	CopyNs            int64         `json:"rank0_copy_ns"`
+	WindowsOverlapped int64         `json:"rank0_windows_overlapped"`
+}
+
+// PipelineComparison is the full sequential-vs-pipelined result.
+type PipelineComparison struct {
+	P           int           `json:"p"`
+	Blockcount  int64         `json:"n_block"`
+	Blocklen    int64         `json:"s_block"`
+	CollBufSize int           `json:"coll_buf_bytes"`
+	WriteBW     int64         `json:"write_bw_bytes_per_s"`
+	ReadBW      int64         `json:"read_bw_bytes_per_s"`
+	Latency     time.Duration `json:"latency_ns"`
+	Reps        int           `json:"reps"`
+
+	Sequential PipelinePoint `json:"sequential"`
+	Pipelined  PipelinePoint `json:"pipelined"`
+	// Speedup is sequential write time over pipelined write time.
+	Speedup float64 `json:"speedup"`
+}
+
+// pipelineConfig returns the benchmark parameters at the given scale.
+func pipelineConfig(s Scale) PipelineComparison {
+	pc := PipelineComparison{
+		P:           4,
+		Blockcount:  16384,
+		Blocklen:    16, // 16-byte runs keep the window copy strided and slow
+		CollBufSize: 64 << 10,
+		// A storage-bound regime: the sequential loop serializes every
+		// window write-back, while the pipeline keeps up to two in
+		// flight per IOP, overlapped with the exchange.
+		WriteBW: 300 << 20,
+		ReadBW:  300 << 20,
+		Latency: 20 * time.Microsecond,
+		Reps:    6,
+	}
+	if s == Quick {
+		pc.Reps = 3
+	}
+	return pc
+}
+
+// runPipelinePoint measures one variant, best-of-repeats on the write
+// time (each repeat creates a fresh throttled backend).
+func runPipelinePoint(pc PipelineComparison, disable bool, repeats int) (PipelinePoint, error) {
+	mode := "pipelined"
+	if disable {
+		mode = "sequential"
+	}
+	pt := PipelinePoint{Mode: mode}
+	for rep := 0; rep < repeats; rep++ {
+		be := storage.NewThrottled(storage.NewMem(), pc.ReadBW, pc.WriteBW, pc.Latency)
+		res, err := noncontig.Run(noncontig.Config{
+			P:          pc.P,
+			Blockcount: pc.Blockcount,
+			Blocklen:   pc.Blocklen,
+			Pattern:    noncontig.CNc,
+			Collective: true,
+			Engine:     core.Listless,
+			Reps:       pc.Reps,
+			Verify:     rep == 0,
+			Backend:    be,
+			Options: core.Options{
+				CollBufSize:         pc.CollBufSize,
+				DisableCollPipeline: disable,
+			},
+		})
+		if err != nil {
+			return PipelinePoint{}, fmt.Errorf("pipeline bench (%s): %w", mode, err)
+		}
+		if rep == 0 || res.WriteTime < pt.WriteTime {
+			pt.WriteTime = res.WriteTime
+			pt.WriteMBps = res.WriteBpp
+			pt.StorageNs = res.Stats.StorageNs
+			pt.ExchangeNs = res.Stats.ExchangeNs
+			pt.CopyNs = res.Stats.CopyNs
+			pt.WindowsOverlapped = res.Stats.WindowsOverlapped
+		}
+	}
+	return pt, nil
+}
+
+// Pipeline runs the sequential-vs-pipelined collective-write comparison.
+func Pipeline(s Scale) (PipelineComparison, error) {
+	pc := pipelineConfig(s)
+	repeats := 3
+	if s == Quick {
+		repeats = 2
+	}
+	seq, err := runPipelinePoint(pc, true, repeats)
+	if err != nil {
+		return PipelineComparison{}, err
+	}
+	pipe, err := runPipelinePoint(pc, false, repeats)
+	if err != nil {
+		return PipelineComparison{}, err
+	}
+	pc.Sequential, pc.Pipelined = seq, pipe
+	if pipe.WriteTime > 0 {
+		pc.Speedup = float64(seq.WriteTime) / float64(pipe.WriteTime)
+	}
+	return pc, nil
+}
+
+// PipelineJSON renders the comparison as indented JSON, the payload of
+// BENCH_pipeline.json.
+func PipelineJSON(pc PipelineComparison) ([]byte, error) {
+	return json.MarshalIndent(pc, "", "  ")
+}
+
+// FormatPipeline renders the comparison as text.
+func FormatPipeline(pc PipelineComparison) string {
+	line := func(pt PipelinePoint) string {
+		return fmt.Sprintf("  %-10s write %8.2f MB/s per process  (%v; rank-0 storage=%v exchange=%v copy=%v overlapped=%d)",
+			pt.Mode, pt.WriteMBps, pt.WriteTime.Round(time.Microsecond),
+			time.Duration(pt.StorageNs).Round(time.Microsecond),
+			time.Duration(pt.ExchangeNs).Round(time.Microsecond),
+			time.Duration(pt.CopyNs).Round(time.Microsecond),
+			pt.WindowsOverlapped)
+	}
+	return fmt.Sprintf(
+		"Pipelined collective window loop (P=%d, N_block=%d, S_block=%dB, collbuf=%dK, write-bw=%dMB/s, latency=%v):\n%s\n%s\n  speedup: %.2fx\n",
+		pc.P, pc.Blockcount, pc.Blocklen, pc.CollBufSize>>10, pc.WriteBW>>20, pc.Latency,
+		line(pc.Sequential), line(pc.Pipelined), pc.Speedup)
+}

@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestPipelineSpeedup checks that the double-buffered collective window
+// loop beats the sequential one by at least 1.3x on the throttled
+// backend.  Wall-clock benchmarks are noisy under CI schedulers, so a
+// run below the bar is retried before failing.
+func TestPipelineSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock benchmark")
+	}
+	const want = 1.3
+	var best float64
+	for attempt := 0; attempt < 3; attempt++ {
+		pc, err := Pipeline(Quick)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pc.Pipelined.WindowsOverlapped == 0 {
+			t.Fatalf("pipelined run overlapped no windows: %+v", pc.Pipelined)
+		}
+		if pc.Sequential.WindowsOverlapped != 0 {
+			t.Fatalf("sequential run reported overlapped windows: %+v", pc.Sequential)
+		}
+		if pc.Speedup > best {
+			best = pc.Speedup
+		}
+		if best >= want {
+			return
+		}
+		t.Logf("attempt %d: speedup %.2fx below %.1fx, retrying", attempt, pc.Speedup, want)
+	}
+	t.Errorf("pipelined collective write speedup %.2fx, want >= %.1fx", best, want)
+}
+
+// TestPipelineJSON checks the BENCH_pipeline.json payload round-trips.
+func TestPipelineJSON(t *testing.T) {
+	pc := pipelineConfig(Quick)
+	pc.Speedup = 1.5
+	pc.Sequential.Mode = "sequential"
+	pc.Pipelined.Mode = "pipelined"
+	data, err := PipelineJSON(pc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back PipelineComparison
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if back.Speedup != pc.Speedup || back.P != pc.P || back.Sequential.Mode != "sequential" {
+		t.Fatalf("round trip mismatch: %+v", back)
+	}
+}

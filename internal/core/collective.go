@@ -2,9 +2,6 @@ package core
 
 import (
 	"repro/internal/datatype"
-	"repro/internal/flatten"
-	"repro/internal/fotf"
-	"repro/internal/storage"
 )
 
 // Collective I/O: the two-phase method (paper §2.3, §3.2.3).  The
@@ -12,16 +9,13 @@ import (
 // domains; IOPs access the file in windows of CollBufSize and exchange
 // data with the APs.
 //
-// In the list-based engine every AP builds, per access and per IOP, the
-// ol-list of its file blocks inside that IOP's domain and transmits it
-// (16 bytes per tuple); the IOP walks the received lists per window,
-// slicing window sub-lists (ROMIO's transient indexed datatypes) and
-// copying per tuple.
-//
-// In the listless engine nothing but file data moves: IOPs navigate the
-// fileviews cached at SetView with O(depth) flattening-on-the-fly calls,
-// and collective writes skip the window pre-read when the merged
-// fileviews cover it (the mergeview optimization).
+// The schedule here is engine-neutral: how each rank describes its
+// accesses to the IOPs (ol-list exchange vs. cached-fileview
+// navigation), and how window data is located and copied, live behind
+// the accessEngine interface.  The schedule itself is split across
+// three files: collective_plan.go (the deterministic plan every rank
+// computes), collective_exchange.go (the AP side), and
+// collective_window.go (the IOP window loop, sequential and pipelined).
 
 // WriteAtAll collectively writes count instances of memtype from buf to
 // the view at offset off (in etypes).  All ranks must call it.
@@ -65,194 +59,9 @@ func (f *File) ReadAll(count int64, memtype *datatype.Type, buf []byte) (int64, 
 	return n, err
 }
 
-// collPlan is the deterministic schedule of one collective access, which
-// every rank computes identically from the allgathered access ranges.
-type collPlan struct {
-	nIOP     int
-	gLo, gHi int64
-	domSize  int64
-	d0s      []int64 // per-rank access start, in view-data bytes
-	ds       []int64 // per-rank data sizes
-	los      []int64 // per-rank absolute first byte
-	his      []int64 // per-rank absolute end
-}
-
-// domain returns IOP i's file domain, clamped to the global range.
-func (pl *collPlan) domain(i int) (lo, hi int64) {
-	lo = pl.gLo + int64(i)*pl.domSize
-	hi = lo + pl.domSize
-	if hi > pl.gHi {
-		hi = pl.gHi
-	}
-	if lo > hi {
-		lo = hi
-	}
-	return
-}
-
-func (f *File) makePlan(d0, d int64) (*collPlan, bool) {
-	var lo, hi int64
-	if d > 0 {
-		lo = f.dataToFileStart(d0)
-		hi = f.dataToFileEnd(d0 + d)
-	}
-	all := f.p.AllgatherInt64s([]int64{d0, d, lo, hi})
-	pl := &collPlan{
-		nIOP: f.opts.IONodes,
-		d0s:  make([]int64, f.p.Size()),
-		ds:   make([]int64, f.p.Size()),
-		los:  make([]int64, f.p.Size()),
-		his:  make([]int64, f.p.Size()),
-	}
-	if pl.nIOP == 0 {
-		pl.nIOP = f.p.Size()
-	}
-	gLo, gHi := int64(-1), int64(-1)
-	for r, v := range all {
-		pl.d0s[r], pl.ds[r], pl.los[r], pl.his[r] = v[0], v[1], v[2], v[3]
-		if v[1] == 0 {
-			continue
-		}
-		if gLo < 0 || v[2] < gLo {
-			gLo = v[2]
-		}
-		if v[3] > gHi {
-			gHi = v[3]
-		}
-	}
-	if gLo < 0 {
-		return nil, false // nothing to do anywhere
-	}
-	pl.gLo, pl.gHi = gLo, gHi
-	pl.domSize = (gHi - gLo + int64(pl.nIOP) - 1) / int64(pl.nIOP)
-	if pl.domSize == 0 {
-		pl.domSize = 1
-	}
-	return pl, true
-}
-
-// apTriple is one entry of an AP's access list for an IOP domain: an
-// absolute file segment plus the view-data offset of its first byte.
-// Only ⟨fileOff,len⟩ is transmitted (16 bytes per tuple).
-type apTriple struct {
-	fileOff, dataOff, len int64
-}
-
-// buildAPTriples builds the AP-side access list for one domain, clipped
-// to the access's data range — the O(S_domain/S_extent · N_block) cost of
-// §2.3.
-func (f *File) buildAPTriples(domLo, domHi, d0, d int64) []apTriple {
-	var out []apTriple
-	f.v.flat.EachInRange(domLo, domHi, func(fileOff, dataOff, n int64) {
-		a, b := dataOff, dataOff+n
-		if a < d0 {
-			fileOff += d0 - a
-			a = d0
-		}
-		if b > d0+d {
-			b = d0 + d
-		}
-		if a >= b {
-			return
-		}
-		out = append(out, apTriple{fileOff: fileOff, dataOff: a, len: b - a})
-	})
-	f.Stats.ListTuples += int64(len(out))
-	return out
-}
-
-func encodeTuples(ts []apTriple) []byte {
-	buf := make([]byte, 16*len(ts))
-	for i, t := range ts {
-		putInt64(buf[i*16:], t.fileOff)
-		putInt64(buf[i*16+8:], t.len)
-	}
-	return buf
-}
-
-func decodeTuples(buf []byte) flatten.List {
-	l := make(flatten.List, len(buf)/16)
-	for i := range l {
-		l[i] = flatten.Segment{Off: getInt64(buf[i*16:]), Len: getInt64(buf[i*16+8:])}
-	}
-	return l
-}
-
-// tripleCursor walks an AP's domain triples sequentially across window
-// boundaries, handling tuples that span a boundary.
-type tripleCursor struct {
-	ts     []apTriple
-	i      int
-	within int64
-}
-
-// window returns the data range [a, b) of the triples up to absolute
-// file offset winHi, advancing the cursor.  a == b means no data.
-func (c *tripleCursor) window(winHi int64) (a, b int64) {
-	a = -1
-	for c.i < len(c.ts) {
-		t := c.ts[c.i]
-		start := t.fileOff + c.within
-		if start >= winHi {
-			break
-		}
-		take := t.len - c.within
-		if rest := winHi - start; take > rest {
-			take = rest
-		}
-		if a < 0 {
-			a = t.dataOff + c.within
-		}
-		b = t.dataOff + c.within + take
-		c.within += take
-		if c.within == t.len {
-			c.i++
-			c.within = 0
-		} else {
-			break
-		}
-	}
-	if a < 0 {
-		return 0, 0
-	}
-	return a, b
-}
-
-// listCursor walks a received ol-list sequentially, slicing per-window
-// sub-lists (ROMIO's transient per-block indexed datatypes).
-type listCursor struct {
-	l      flatten.List
-	i      int
-	within int64
-}
-
-func (c *listCursor) sliceUpTo(winHi int64) flatten.List {
-	var out flatten.List
-	for c.i < len(c.l) {
-		seg := c.l[c.i]
-		start := seg.Off + c.within
-		if start >= winHi {
-			break
-		}
-		take := seg.Len - c.within
-		if rest := winHi - start; take > rest {
-			take = rest
-		}
-		out = append(out, flatten.Segment{Off: start, Len: take})
-		c.within += take
-		if c.within == seg.Len {
-			c.i++
-			c.within = 0
-		} else {
-			break
-		}
-	}
-	return out
-}
-
 // transferCollective runs one two-phase collective access.
 func (f *File) transferCollective(d0, d int64, memtype *datatype.Type, count int64, buf []byte, write bool) error {
-	mem := f.newMemState(memtype, count)
+	mem := f.eng.newMemState(memtype, count)
 
 	pl, any := f.makePlan(d0, d)
 	if !any {
@@ -260,30 +69,13 @@ func (f *File) transferCollective(d0, d int64, memtype *datatype.Type, count int
 		return nil
 	}
 
-	// Listless without fileview caching: exchange the encoded views on
-	// every access (ablation; still no ol-lists).
-	if f.opts.Engine == Listless && f.opts.DisableViewCache {
-		f.exchangeViews()
-	}
-
-	// ---- AP phase 1: build and send access lists (list-based only). ----
-	var myTriples [][]apTriple
-	if f.opts.Engine == ListBased {
-		myTriples = make([][]apTriple, pl.nIOP)
-		for i := 0; i < pl.nIOP; i++ {
-			domLo, domHi := pl.domain(i)
-			if d > 0 && domLo < domHi {
-				myTriples[i] = f.buildAPTriples(domLo, domHi, d0, d)
-			}
-			payload := encodeTuples(myTriples[i])
-			f.Stats.ListBytesSent += int64(len(payload))
-			f.p.SendNoCopy(i, tagCollList, payload)
-		}
-	}
+	// ---- AP phase 1: engine-specific access description (the
+	// list-based engine builds and sends per-IOP ol-lists). ----
+	ap := f.eng.apSetup(pl, d0, d)
 
 	// ---- AP phase 2 (write): pack and send data; buffered sends. ----
 	if write && d > 0 {
-		f.apExchange(pl, d0, d, mem, buf, myTriples, true)
+		f.apExchange(pl, d0, d, mem, buf, ap, true)
 	}
 
 	// ---- IOP phase: process the file domain window by window. ----
@@ -294,244 +86,9 @@ func (f *File) transferCollective(d0, d int64, memtype *datatype.Type, count int
 
 	// ---- AP phase 2 (read): receive and unpack data. ----
 	if !write && d > 0 && err == nil {
-		f.apExchange(pl, d0, d, mem, buf, myTriples, false)
+		f.apExchange(pl, d0, d, mem, buf, ap, false)
 	}
 
 	f.p.Barrier()
 	return err
-}
-
-// apExchange walks every (IOP, window) pair in the deterministic
-// schedule order and, for each one containing this rank's data, packs
-// and sends (write) or receives and unpacks (read) that data.
-func (f *File) apExchange(pl *collPlan, d0, d int64, mem *memState, buf []byte, myTriples [][]apTriple, write bool) {
-	myLo, myHi := pl.los[f.p.Rank()], pl.his[f.p.Rank()]
-	for i := 0; i < pl.nIOP; i++ {
-		domLo, domHi := pl.domain(i)
-		if domHi <= myLo || domLo >= myHi || domLo == domHi {
-			continue
-		}
-		var tc tripleCursor
-		if f.opts.Engine == ListBased {
-			tc.ts = myTriples[i]
-		}
-		for winLo := domLo; winLo < domHi; winLo += int64(f.opts.CollBufSize) {
-			winHi := minI64(winLo+int64(f.opts.CollBufSize), domHi)
-			var a, b int64
-			if f.opts.Engine == ListBased {
-				a, b = tc.window(winHi)
-			} else {
-				a = f.dataAtSelf(winLo, d0, d)
-				b = f.dataAtSelf(winHi, d0, d)
-			}
-			if b <= a {
-				continue
-			}
-			if write {
-				chunk := make([]byte, b-a)
-				f.packUser(chunk, buf, mem, a-d0, b-a)
-				f.p.SendNoCopy(i, tagCollData, chunk)
-			} else {
-				chunk, _, _ := f.p.Recv(i, tagCollData)
-				f.unpackUser(buf, chunk, mem, a-d0, b-a)
-			}
-		}
-	}
-}
-
-// dataAtSelf maps an absolute file offset to this rank's access data
-// offset, clipped to [d0, d0+d) — O(depth) listless navigation.
-func (f *File) dataAtSelf(x, d0, d int64) int64 {
-	da := fotf.BufToData(f.v.ftype, x-f.v.disp)
-	if da < d0 {
-		return d0
-	}
-	if da > d0+d {
-		return d0 + d
-	}
-	return da
-}
-
-// dataAtRemote is dataAtSelf for rank r's cached fileview.
-func (f *File) dataAtRemote(pl *collPlan, r int, x int64) int64 {
-	rv := f.remote[r]
-	da := fotf.BufToData(rv.ftype, x-rv.disp)
-	lo, hi := pl.d0s[r], pl.d0s[r]+pl.ds[r]
-	if da < lo {
-		return lo
-	}
-	if da > hi {
-		return hi
-	}
-	return da
-}
-
-// iopProcess runs this rank's IOP role: receive access lists
-// (list-based), then process the domain window by window.
-func (f *File) iopProcess(pl *collPlan, write bool) error {
-	P := f.p.Size()
-	me := f.p.Rank()
-	domLo, domHi := pl.domain(me)
-
-	// Receive one access list from every AP (list-based engine); this
-	// many-to-many exchange happens on every collective access.
-	var cursors []listCursor
-	if f.opts.Engine == ListBased {
-		cursors = make([]listCursor, P)
-		for n := 0; n < P; n++ {
-			payload, src, _ := f.p.Recv(-1, tagCollList)
-			cursors[src].l = decodeTuples(payload)
-		}
-	}
-	if domLo >= domHi {
-		return nil
-	}
-
-	win := make([]byte, minI64(int64(f.opts.CollBufSize), domHi-domLo))
-	apA := make([]int64, P) // per-AP data range start in this window
-	apB := make([]int64, P)
-	subs := make([]flatten.List, P) // per-AP window sub-lists (list-based)
-
-	for winLo := domLo; winLo < domHi; winLo += int64(len(win)) {
-		winHi := minI64(winLo+int64(len(win)), domHi)
-		w := win[:winHi-winLo]
-
-		var total int64
-		for r := 0; r < P; r++ {
-			apA[r], apB[r] = 0, 0
-			if f.opts.Engine == ListBased {
-				subs[r] = cursors[r].sliceUpTo(winHi)
-				f.Stats.ListTuples += int64(len(subs[r]))
-				var n int64
-				for _, seg := range subs[r] {
-					n += seg.Len
-				}
-				apB[r] = n // data count; apA stays 0
-				total += n
-			} else {
-				if pl.ds[r] == 0 {
-					continue
-				}
-				a := f.dataAtRemote(pl, r, winLo)
-				b := f.dataAtRemote(pl, r, winHi)
-				apA[r], apB[r] = a, b
-				total += b - a
-			}
-		}
-		if total == 0 {
-			continue
-		}
-
-		if write {
-			if err := f.iopWriteWindow(w, winLo, winHi, total, subs, apA, apB); err != nil {
-				return err
-			}
-		} else {
-			if err := f.iopReadWindow(w, winLo, winHi, subs, apA, apB); err != nil {
-				return err
-			}
-		}
-	}
-	return nil
-}
-
-// iopWriteWindow processes one window of a collective write: coverage
-// check, optional pre-read, per-AP unpack, write-back.
-func (f *File) iopWriteWindow(w []byte, winLo, winHi, total int64, subs []flatten.List, apA, apB []int64) error {
-	covered := false
-	if !f.opts.DisableMergeCheck {
-		if f.opts.Engine == ListBased {
-			// Merge the per-AP window sub-lists (the list-merging cost
-			// of the ROMIO write optimization, §2.3).
-			nonEmpty := make([]flatten.List, 0, len(subs))
-			for _, l := range subs {
-				if len(l) > 0 {
-					nonEmpty = append(nonEmpty, l)
-				}
-			}
-			covered = flatten.Merge(nonEmpty...).Covers(winLo, winHi)
-		} else {
-			// The per-AP sum is exact because each byte is written at
-			// most once through the combined fileviews.
-			covered = total == winHi-winLo
-			if covered && f.merged != nil {
-				// The paper's check: one navigation call on the
-				// mergeview (§3.2.3).  It confirms coverage in the
-				// full-participation case; the exact sum above guards
-				// accesses where some ranks write nothing.
-				disp := f.remote[0].disp
-				got := fotf.BufToData(f.merged, winHi-disp) - fotf.BufToData(f.merged, winLo-disp)
-				covered = got == winHi-winLo
-			}
-		}
-	}
-	if covered {
-		f.Stats.PreReadsSkipped++
-	} else {
-		if err := storage.ReadFull(f.sh.b, w, winLo); err != nil {
-			return err
-		}
-	}
-
-	for r := 0; r < len(apA); r++ {
-		if apB[r] <= apA[r] {
-			continue
-		}
-		chunk, _, _ := f.p.Recv(r, tagCollData)
-		if f.opts.Engine == ListBased {
-			var pos int64
-			for _, seg := range subs[r] {
-				copy(w[seg.Off-winLo:seg.Off-winLo+seg.Len], chunk[pos:pos+seg.Len])
-				pos += seg.Len
-			}
-		} else {
-			rv := f.remote[r]
-			fotf.CopyRange(chunk, w, rv.ftype, apA[r], apB[r], winLo-rv.disp, false)
-		}
-	}
-	if _, err := f.sh.b.WriteAt(w, winLo); err != nil {
-		return err
-	}
-	f.Stats.SieveWrites++
-	return nil
-}
-
-// iopReadWindow processes one window of a collective read: read the
-// window, pack and send each AP's portion.
-func (f *File) iopReadWindow(w []byte, winLo, winHi int64, subs []flatten.List, apA, apB []int64) error {
-	if err := storage.ReadFull(f.sh.b, w, winLo); err != nil {
-		return err
-	}
-	f.Stats.SieveReads++
-	for r := 0; r < len(apA); r++ {
-		if apB[r] <= apA[r] {
-			continue
-		}
-		if f.opts.Engine == ListBased {
-			var n int64
-			for _, seg := range subs[r] {
-				n += seg.Len
-			}
-			chunk := make([]byte, n)
-			var pos int64
-			for _, seg := range subs[r] {
-				copy(chunk[pos:pos+seg.Len], w[seg.Off-winLo:seg.Off-winLo+seg.Len])
-				pos += seg.Len
-			}
-			f.p.SendNoCopy(r, tagCollData, chunk)
-		} else {
-			rv := f.remote[r]
-			chunk := make([]byte, apB[r]-apA[r])
-			fotf.CopyRange(chunk, w, rv.ftype, apA[r], apB[r], winLo-rv.disp, true)
-			f.p.SendNoCopy(r, tagCollData, chunk)
-		}
-	}
-	return nil
-}
-
-func maxI64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
 }

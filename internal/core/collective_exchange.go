@@ -1,0 +1,44 @@
+package core
+
+import (
+	"time"
+)
+
+// apExchange walks every (IOP, window) pair in the deterministic
+// schedule order and, for each one containing this rank's data, packs
+// and sends (write) or receives and unpacks (read) that data.  The
+// engine's apCursor locates this rank's data range per window; the
+// neutral code moves it and accounts the per-phase time.
+func (f *File) apExchange(pl *collPlan, d0, d int64, mem *memState, buf []byte, ap apState, write bool) {
+	myLo, myHi := pl.los[f.p.Rank()], pl.his[f.p.Rank()]
+	for i := 0; i < pl.nIOP; i++ {
+		domLo, domHi := pl.domain(i)
+		if domHi <= myLo || domLo >= myHi || domLo == domHi {
+			continue
+		}
+		cur := ap.cursor(i)
+		for winLo := domLo; winLo < domHi; winLo += int64(f.opts.CollBufSize) {
+			winHi := min(winLo+int64(f.opts.CollBufSize), domHi)
+			a, b := cur.window(winLo, winHi)
+			if b <= a {
+				continue
+			}
+			if write {
+				chunk := make([]byte, b-a)
+				t0 := time.Now()
+				f.eng.packUser(chunk, buf, mem, a-d0, b-a)
+				t1 := time.Now()
+				f.p.SendNoCopy(i, tagCollData, chunk)
+				f.Stats.CopyNs += t1.Sub(t0).Nanoseconds()
+				f.Stats.ExchangeNs += time.Since(t1).Nanoseconds()
+			} else {
+				t0 := time.Now()
+				chunk, _, _ := f.p.Recv(i, tagCollData)
+				t1 := time.Now()
+				f.eng.unpackUser(buf, chunk, mem, a-d0, b-a)
+				f.Stats.ExchangeNs += t1.Sub(t0).Nanoseconds()
+				f.Stats.CopyNs += time.Since(t1).Nanoseconds()
+			}
+		}
+	}
+}

@@ -1,0 +1,252 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/storage"
+)
+
+// The IOP window loop.  Each IOP walks its file domain in CollBufSize
+// windows; for every window it (write) optionally pre-reads the window,
+// receives and merges each AP's chunk, and writes the window back, or
+// (read) reads the window and sends each AP its portion.
+//
+// Two variants share the engine-provided iopWindow state:
+//
+//   - iopSequential: one window at a time, every phase in order — the
+//     classic two-phase loop, kept as the DisableCollPipeline ablation
+//     baseline.
+//
+//   - iopPipelined (the default): a double-buffered pipeline over two
+//     window buffers.  Window k+1's pre-read and window k-1's
+//     write-back run in the background while window k's AP exchange and
+//     copying proceed on the main goroutine, overlapping storage time
+//     with communication time.  Safe because windows are disjoint file
+//     ranges, backends accept concurrent access, and all MPI traffic
+//     stays on the main goroutine (preserving per-pair message order).
+//
+// All Stats fields are updated on the main goroutine only; background
+// I/O durations travel back through the slot/ready tokens.
+
+// iopProcess runs this rank's IOP role: engine setup (the list-based
+// engine receives one access list from every AP — this must happen even
+// for an empty domain, to drain the AP phase-1 messages), then the
+// window loop over the domain.
+func (f *File) iopProcess(pl *collPlan, write bool) error {
+	iop, err := f.eng.iopSetup(pl)
+	if err != nil {
+		return err
+	}
+	domLo, domHi := pl.domain(f.p.Rank())
+	if domLo >= domHi {
+		return nil
+	}
+	winSize := min(int64(f.opts.CollBufSize), domHi-domLo)
+	if f.opts.DisableCollPipeline {
+		return f.iopSequential(iop, domLo, domHi, winSize, write)
+	}
+	return f.iopPipelined(iop, domLo, domHi, winSize, write)
+}
+
+// iopExchangeWrite receives every AP's chunk for one window and merges
+// it into the window buffer w, accounting exchange and copy time.
+func (f *File) iopExchangeWrite(iw iopWindow, w []byte) {
+	for r := 0; r < f.p.Size(); r++ {
+		if iw.chunkLen(r) == 0 {
+			continue
+		}
+		t0 := time.Now()
+		chunk, _, _ := f.p.Recv(r, tagCollData)
+		t1 := time.Now()
+		iw.copyIn(w, r, chunk)
+		f.Stats.ExchangeNs += t1.Sub(t0).Nanoseconds()
+		f.Stats.CopyNs += time.Since(t1).Nanoseconds()
+	}
+}
+
+// iopExchangeRead extracts every AP's portion of the window buffer w
+// and sends it, accounting copy and exchange time.
+func (f *File) iopExchangeRead(iw iopWindow, w []byte) {
+	for r := 0; r < f.p.Size(); r++ {
+		n := iw.chunkLen(r)
+		if n == 0 {
+			continue
+		}
+		t0 := time.Now()
+		chunk := make([]byte, n)
+		iw.copyOut(w, r, chunk)
+		t1 := time.Now()
+		f.p.SendNoCopy(r, tagCollData, chunk)
+		f.Stats.CopyNs += t1.Sub(t0).Nanoseconds()
+		f.Stats.ExchangeNs += time.Since(t1).Nanoseconds()
+	}
+}
+
+// iopSequential is the strictly ordered window loop.
+func (f *File) iopSequential(iop iopState, domLo, domHi, winSize int64, write bool) error {
+	win := make([]byte, winSize)
+	for winLo := domLo; winLo < domHi; winLo += winSize {
+		winHi := min(winLo+winSize, domHi)
+		w := win[:winHi-winLo]
+		iw := iop.window(winLo, winHi)
+		if iw.total() == 0 {
+			continue
+		}
+		if write {
+			covered := !f.opts.DisableMergeCheck && iw.covered()
+			if covered {
+				f.Stats.PreReadsSkipped++
+			} else {
+				t0 := time.Now()
+				err := storage.ReadFull(f.sh.b, w, winLo)
+				f.Stats.StorageNs += time.Since(t0).Nanoseconds()
+				if err != nil {
+					return err
+				}
+			}
+			f.iopExchangeWrite(iw, w)
+			t0 := time.Now()
+			_, err := f.sh.b.WriteAt(w, winLo)
+			f.Stats.StorageNs += time.Since(t0).Nanoseconds()
+			if err != nil {
+				return err
+			}
+			f.Stats.SieveWrites++
+		} else {
+			t0 := time.Now()
+			err := storage.ReadFull(f.sh.b, w, winLo)
+			f.Stats.StorageNs += time.Since(t0).Nanoseconds()
+			if err != nil {
+				return err
+			}
+			f.Stats.SieveReads++
+			f.iopExchangeRead(iw, w)
+		}
+	}
+	return nil
+}
+
+// ioToken carries the result of one background storage access through
+// the pipeline's channels: its error and its duration.
+type ioToken struct {
+	err error
+	ns  int64
+}
+
+// pipeSlot is one of the two window buffers.  avail holds exactly one
+// token; taking it grants use of buf, returning it (after the slot's
+// write-back completes) releases it to the window after next.
+type pipeSlot struct {
+	buf   []byte
+	avail chan ioToken
+}
+
+// pipeWindow is one in-flight window of the pipeline.
+type pipeWindow struct {
+	winLo, winHi int64
+	iw           iopWindow
+	slot         *pipeSlot
+	covered      bool         // write: pre-read skipped
+	ready        chan ioToken // pre-read (or slot hand-over) completion
+}
+
+// iopPipelined is the double-buffered window loop.  The prep goroutine
+// of window k+1 first waits for its slot's token — released by window
+// k-1's write-back — so at most two windows are ever in flight, then
+// pre-reads the window (unless this is a fully covered write) and
+// signals ready.  The main goroutine does all exchange and copying and
+// hands write-backs to the background.
+func (f *File) iopPipelined(iop iopState, domLo, domHi, winSize int64, write bool) error {
+	var slots [2]*pipeSlot
+	for i := range slots {
+		slots[i] = &pipeSlot{buf: make([]byte, winSize), avail: make(chan ioToken, 1)}
+		slots[i].avail <- ioToken{}
+	}
+	nextSlot := 0
+	nextLo := domLo
+
+	// mk prepares the next non-empty window, or returns nil when the
+	// domain is exhausted.  Empty windows are skipped without consuming
+	// a slot.  iop.window calls stay on the main goroutine, in order.
+	mk := func() *pipeWindow {
+		for nextLo < domHi {
+			winLo := nextLo
+			winHi := min(winLo+winSize, domHi)
+			nextLo = winHi
+			iw := iop.window(winLo, winHi)
+			if iw.total() == 0 {
+				continue
+			}
+			pw := &pipeWindow{
+				winLo: winLo, winHi: winHi, iw: iw,
+				slot:  slots[nextSlot],
+				ready: make(chan ioToken, 1),
+			}
+			nextSlot = 1 - nextSlot
+			if write && !f.opts.DisableMergeCheck {
+				pw.covered = iw.covered()
+			}
+			go func() {
+				t := <-pw.slot.avail // wait out the slot's prior write-back
+				if t.err == nil && (!write || !pw.covered) {
+					t0 := time.Now()
+					err := storage.ReadFull(f.sh.b, pw.slot.buf[:pw.winHi-pw.winLo], pw.winLo)
+					t = ioToken{err: err, ns: t.ns + time.Since(t0).Nanoseconds()}
+				}
+				pw.ready <- t
+			}()
+			return pw
+		}
+		return nil
+	}
+
+	cur := mk()
+	for cur != nil {
+		// Start window k+1's pre-read before touching window k: this is
+		// the overlap.
+		nxt := mk()
+		if nxt != nil {
+			f.Stats.WindowsOverlapped++
+		}
+
+		t := <-cur.ready
+		f.Stats.StorageNs += t.ns
+		if t.err != nil {
+			if nxt != nil {
+				<-nxt.ready // let the prep goroutine finish before unwinding
+			}
+			return t.err
+		}
+
+		w := cur.slot.buf[:cur.winHi-cur.winLo]
+		if write {
+			if cur.covered {
+				f.Stats.PreReadsSkipped++
+			}
+			f.iopExchangeWrite(cur.iw, w)
+			f.Stats.SieveWrites++
+			slot, lo := cur.slot, cur.winLo
+			go func() {
+				t0 := time.Now()
+				_, err := f.sh.b.WriteAt(w, lo)
+				slot.avail <- ioToken{err: err, ns: time.Since(t0).Nanoseconds()}
+			}()
+		} else {
+			f.Stats.SieveReads++
+			f.iopExchangeRead(cur.iw, w)
+			cur.slot.avail <- ioToken{}
+		}
+		cur = nxt
+	}
+
+	// Drain both slots: collect the outstanding write-back results.
+	var firstErr error
+	for _, s := range slots {
+		t := <-s.avail
+		f.Stats.StorageNs += t.ns
+		if t.err != nil && firstErr == nil {
+			firstErr = t.err
+		}
+	}
+	return firstErr
+}

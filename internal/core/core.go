@@ -1,14 +1,15 @@
 // Package core implements the MPI-IO layer of the reproduction: files
 // with fileviews (displacement + etype + filetype), independent and
 // collective read/write of possibly non-contiguous data, data sieving and
-// two-phase collective I/O — with two interchangeable datatype engines:
+// two-phase collective I/O — with two interchangeable datatype engines
+// behind the accessEngine interface (engine.go):
 //
 //   - ListBased: the ROMIO-style baseline.  Filetypes and memtypes are
 //     explicitly flattened into ol-lists of ⟨offset,length⟩ tuples;
 //     positioning traverses the lists linearly; copies are performed per
 //     tuple; every collective access makes each access process (AP) build
 //     and transmit an ol-list of its accesses for each I/O process (IOP)
-//     whose file domain it touches (paper §2).
+//     whose file domain it touches (paper §2).  See engine_list.go.
 //
 //   - Listless: the paper's contribution (§3).  No ol-lists exist:
 //     pack/unpack and positioning use flattening-on-the-fly
@@ -16,22 +17,19 @@
 //     compact encoded tree, when the view is set (fileview caching); and
 //     collective writes skip the read-modify-write pre-read when the
 //     combined fileviews cover the written range (the mergeview
-//     optimization).
+//     optimization).  See engine_listless.go.
 //
 // Both engines produce byte-identical files; only their cost profiles
 // differ.  Per-file Stats expose the differences (tuples built, list
-// bytes exchanged, pre-reads skipped, ...).
+// bytes exchanged, pre-reads skipped, per-phase times, ...).
 package core
 
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"sync"
 
 	"repro/internal/datatype"
-	"repro/internal/flatten"
-	"repro/internal/fotf"
 	"repro/internal/mpi"
 	"repro/internal/storage"
 )
@@ -51,6 +49,10 @@ func (e Engine) String() string {
 	}
 	return "listless"
 }
+
+// ErrCorruptAccessList is wrapped by errors returned when a received
+// collective access-list payload is truncated or malformed.
+var ErrCorruptAccessList = errors.New("core: corrupt access list")
 
 // Options configure an open file.
 type Options struct {
@@ -74,6 +76,13 @@ type Options struct {
 	// windows, even when fully covered (ablation of the mergeview
 	// write optimization).
 	DisableMergeCheck bool
+	// DisableCollPipeline makes the IOP window loop run strictly
+	// sequentially — window k's storage I/O, AP exchange, and
+	// pack/unpack finish before window k+1 starts — instead of the
+	// default double-buffered pipeline that overlaps window k+1's
+	// pre-read and window k-1's write-back with window k's exchange
+	// (ablation of window pipelining).
+	DisableCollPipeline bool
 	// SieveDensity is the paper's §5 outlook item, "the decision on the
 	// trade-off between data sieving and multiple file accesses":
 	// independent non-contiguous accesses whose useful-data fraction in
@@ -119,6 +128,18 @@ type Stats struct {
 	DirectReads, DirectWrites int64
 	// BytesRead / BytesWritten are user-data volumes moved.
 	BytesRead, BytesWritten int64
+
+	// Per-phase collective timing, in nanoseconds, separating where
+	// two-phase time goes on this rank: ExchangeNs is AP↔IOP data
+	// send/receive, StorageNs is backend window I/O (pre-reads and
+	// write-backs, whether sequential or overlapped), CopyNs is
+	// pack/unpack and window copying.
+	ExchangeNs, StorageNs, CopyNs int64
+	// WindowsOverlapped counts collective windows whose storage I/O
+	// (pre-read or write-back) proceeded concurrently with the exchange
+	// or copy work of a neighboring window in the pipelined window
+	// loop.
+	WindowsOverlapped int64
 }
 
 // Shared is the per-world state of one file: the storage backend plus
@@ -140,7 +161,8 @@ func NewShared(b storage.Backend) *Shared {
 // Backend returns the underlying storage backend.
 func (s *Shared) Backend() storage.Backend { return s.b }
 
-// view is one process's fileview in engine-neutral form.
+// view is one process's fileview in engine-neutral form; the engines
+// keep their own representations (ol-list view, cached remote views).
 type view struct {
 	disp  int64
 	etype *datatype.Type
@@ -149,16 +171,6 @@ type view struct {
 	esize int64
 	fsize int64 // data bytes per filetype instance
 	fext  int64 // filetype extent
-
-	flat *flatten.View // list-based representation (nil for listless)
-}
-
-// remoteView is the cached fileview of another rank (listless collective).
-type remoteView struct {
-	disp  int64
-	ftype *datatype.Type
-	fsize int64
-	fext  int64
 }
 
 // File is one rank's handle on a shared file.  All collective methods
@@ -169,11 +181,8 @@ type File struct {
 	sh   *Shared
 	opts Options
 
-	v     view
-	cache map[*datatype.Type]flatten.List // explicit-flatten cache (list-based)
-
-	remote []remoteView   // per-rank cached views (listless)
-	merged *datatype.Type // mergeview struct type (listless write optimization)
+	v   view
+	eng accessEngine
 
 	ptr    int64 // individual file pointer, in etypes
 	atomic bool  // MPI-IO atomic mode: whole-access locking
@@ -190,11 +199,11 @@ func Open(p *mpi.Proc, sh *Shared, opts Options) (*File, error) {
 		return nil, fmt.Errorf("core: IONodes %d out of range [0,%d]", opts.IONodes, p.Size())
 	}
 	f := &File{
-		p:     p,
-		sh:    sh,
-		opts:  opts,
-		cache: make(map[*datatype.Type]flatten.List),
+		p:    p,
+		sh:   sh,
+		opts: opts,
 	}
+	f.eng = newEngine(f)
 	if err := f.SetView(0, datatype.Byte, datatype.Byte); err != nil {
 		return nil, err
 	}
@@ -241,132 +250,7 @@ func (f *File) SetView(disp int64, etype, filetype *datatype.Type) error {
 		fext:  filetype.Extent(),
 	}
 	f.ptr = 0
-	f.remote = nil
-	f.merged = nil
-
-	switch f.opts.Engine {
-	case ListBased:
-		// Explicit flattening, cached for reuse with the same datatype
-		// (ROMIO stores the ol-list on the datatype).
-		l, ok := f.cache[filetype]
-		if !ok {
-			l = flatten.Flatten(filetype)
-			f.cache[filetype] = l
-			f.Stats.ListTuples += int64(len(l))
-		}
-		f.v.flat = &flatten.View{
-			Disp:   disp,
-			Extent: filetype.Extent(),
-			Bytes:  l.Bytes(),
-			Segs:   l,
-		}
-		// List-based SetView is still collective per MPI; synchronize.
-		f.p.Barrier()
-
-	case Listless:
-		if !f.opts.DisableViewCache {
-			f.exchangeViews()
-			f.buildMergeview()
-		} else {
-			f.p.Barrier()
-		}
-	}
-	return nil
-}
-
-// exchangeViews performs fileview caching: every rank broadcasts its
-// encoded (compact, tree-proportional) fileview once.
-func (f *File) exchangeViews() {
-	payload := f.encodedView()
-	f.Stats.ViewBytesSent += int64(len(payload)) // accounted once per SetView
-	parts := f.p.Allgather(payload)
-	f.remote = make([]remoteView, f.p.Size())
-	for r, part := range parts {
-		f.remote[r] = decodeView(r, part)
-	}
-}
-
-func (f *File) encodedView() []byte {
-	enc := datatype.Encode(f.v.ftype)
-	payload := make([]byte, 8+len(enc))
-	putInt64(payload, f.v.disp)
-	copy(payload[8:], enc)
-	return payload
-}
-
-func decodeView(rank int, part []byte) remoteView {
-	disp := getInt64(part)
-	ft, err := datatype.Decode(part[8:])
-	if err != nil {
-		panic(fmt.Sprintf("core: rank %d sent undecodable fileview: %v", rank, err))
-	}
-	return remoteView{disp: disp, ftype: ft, fsize: ft.Size(), fext: ft.Extent()}
-}
-
-// buildMergeview constructs the merged fileview of all processes as a
-// struct type (the paper's mergetype), valid when all displacements and
-// extents agree — the common file-partitioning case.  When they do not,
-// merged stays nil and the collective write-coverage check falls back to
-// per-rank navigation sums.
-func (f *File) buildMergeview() {
-	disp := f.remote[0].disp
-	ext := f.remote[0].fext
-	for _, rv := range f.remote[1:] {
-		if rv.disp != disp || rv.fext != ext {
-			f.merged = nil
-			return
-		}
-	}
-	n := len(f.remote)
-	blocklens := make([]int64, n)
-	displs := make([]int64, n)
-	children := make([]*datatype.Type, n)
-	for i, rv := range f.remote {
-		blocklens[i] = 1
-		displs[i] = 0
-		children[i] = rv.ftype
-	}
-	m, err := datatype.Struct(blocklens, displs, children)
-	if err != nil {
-		f.merged = nil
-		return
-	}
-	// Pin the extent so the mergetype tiles like the filetypes.
-	if m.Extent() != ext {
-		if m, err = datatype.Resized(m, 0, ext); err != nil {
-			f.merged = nil
-			return
-		}
-	}
-	// The mergeview coverage check is only sound when the fileviews do
-	// not overlap (each file byte visible through at most one view).
-	// Validate once at SetView; overlapping views (e.g. every rank using
-	// the same default byte view) fall back to the per-AP sums.
-	if m.Blocks() > 1<<22 || !nonOverlapping(m) {
-		f.merged = nil
-		return
-	}
-	f.merged = m
-}
-
-// nonOverlapping reports whether one instance of t covers each byte at
-// most once, including across the tiling boundary.
-func nonOverlapping(t *datatype.Type) bool {
-	type seg struct{ off, end int64 }
-	segs := make([]seg, 0, t.Blocks())
-	t.Walk(func(off, length int64) {
-		segs = append(segs, seg{off, off + length})
-	})
-	sort.Slice(segs, func(i, j int) bool { return segs[i].off < segs[j].off })
-	var prevEnd int64 = -1 << 62
-	for _, s := range segs {
-		if s.off < prevEnd {
-			return false
-		}
-		prevEnd = s.end
-	}
-	// Tiling: data must stay within one extent window.
-	return prevEnd <= t.Extent() && (len(segs) == 0 || segs[0].off >= 0)
+	return f.eng.setView()
 }
 
 // SetAtomicity enables or disables MPI-IO atomic mode collectively
@@ -416,92 +300,6 @@ func (f *File) checkAccess(off int64, count int64, memtype *datatype.Type, buf [
 		return 0, fmt.Errorf("core: access of %d bytes is not a whole number of etypes (etype size %d)", d, f.v.esize)
 	}
 	return d, nil
-}
-
-// Engine-neutral navigation within the local fileview.  The listless
-// engine uses O(depth) flattening-on-the-fly navigation; the list-based
-// engine traverses its ol-list linearly.
-
-// dataToFileStart maps a view data offset to the absolute file offset of
-// its first byte.
-func (f *File) dataToFileStart(d int64) int64 {
-	if f.opts.Engine == ListBased {
-		return f.v.flat.DataToFile(d)
-	}
-	return f.v.disp + fotf.StartPos(f.v.ftype, d)
-}
-
-// dataToFileEnd maps a view data offset to the absolute file offset just
-// past byte d-1.
-func (f *File) dataToFileEnd(d int64) int64 {
-	if f.opts.Engine == ListBased {
-		return f.v.flat.DataToFile(d-1) + 1
-	}
-	return f.v.disp + fotf.EndPos(f.v.ftype, d)
-}
-
-// dataInRange counts the local view's data bytes within the absolute
-// file range [lo, hi).
-func (f *File) dataInRange(lo, hi int64) int64 {
-	if hi <= lo {
-		return 0
-	}
-	if f.opts.Engine == ListBased {
-		var n int64
-		f.v.flat.EachInRange(lo, hi, func(_, _, ln int64) { n += ln })
-		return n
-	}
-	a := fotf.BufToData(f.v.ftype, lo-f.v.disp)
-	b := fotf.BufToData(f.v.ftype, hi-f.v.disp)
-	return b - a
-}
-
-// memState carries the per-access memtype representation: the list-based
-// engine creates (and discards) an ol-list per access, exactly as ROMIO
-// does for non-contiguous memtypes.  Contiguous memory (including a
-// basic type with a large count) collapses to one segment spanning the
-// whole access, as in ROMIO's contiguous shortcut.
-type memState struct {
-	t     *datatype.Type
-	count int64
-	list  flatten.List // list-based only
-	ext   int64        // tiling extent matching list/count (list-based)
-}
-
-func (f *File) newMemState(memtype *datatype.Type, count int64) *memState {
-	ms := &memState{t: memtype, count: count}
-	if f.opts.Engine == ListBased {
-		if memtype.ContiguousTiled() {
-			total := count * memtype.Size()
-			ms.list = flatten.List{{Off: memtype.TrueLB(), Len: total}}
-			ms.ext = count * memtype.Extent()
-			ms.count = 1
-		} else {
-			ms.list = flatten.Flatten(memtype)
-			ms.ext = memtype.Extent()
-			f.Stats.ListTuples += int64(len(ms.list))
-		}
-	}
-	return ms
-}
-
-// packUser packs n bytes of user data starting at data offset skip into
-// dst (from the memtype-described buffer buf).
-func (f *File) packUser(dst []byte, buf []byte, mem *memState, skip, n int64) {
-	if f.opts.Engine == ListBased {
-		flatten.PackList(dst[:n], buf, mem.list, mem.ext, mem.count, skip, n)
-		return
-	}
-	fotf.PackCount(dst[:n], buf, mem.count, mem.t, skip)
-}
-
-// unpackUser is the inverse of packUser.
-func (f *File) unpackUser(buf []byte, src []byte, mem *memState, skip, n int64) {
-	if f.opts.Engine == ListBased {
-		flatten.UnpackList(buf, src[:n], mem.list, mem.ext, mem.count, skip, n)
-		return
-	}
-	fotf.UnpackCount(buf, src[:n], mem.count, mem.t, skip)
 }
 
 func putInt64(b []byte, v int64) {

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"repro/internal/datatype"
+	"repro/internal/flatten"
+)
+
+// accessEngine is the seam between the engine-neutral MPI-IO machinery
+// (file handles, data sieving, the two-phase collective schedule and its
+// window loop) and the two datatype-handling implementations.  The
+// paper's observation is that list-based and listless I/O share one
+// structure and differ only in how they represent and navigate
+// datatypes; everything behind this interface is that difference, and
+// nothing outside newEngine branches on the engine choice.
+type accessEngine interface {
+	// setView installs engine-specific state for the fileview just
+	// assigned to f.v and performs the collective synchronization that
+	// SetView requires (the listless engine exchanges encoded fileviews
+	// and builds the mergeview; the list-based engine flattens and
+	// synchronizes).
+	setView() error
+
+	// dataToFileStart maps a view data offset to the absolute file
+	// offset of its first byte.
+	dataToFileStart(d int64) int64
+	// dataToFileEnd maps a view data offset to the absolute file offset
+	// just past byte d-1.
+	dataToFileEnd(d int64) int64
+	// dataInRange counts the local view's data bytes within the
+	// absolute file range [lo, hi).
+	dataInRange(lo, hi int64) int64
+
+	// newMemState builds the per-access memtype representation (the
+	// list-based engine creates, and discards, an ol-list per access).
+	newMemState(memtype *datatype.Type, count int64) *memState
+	// packUser packs n bytes of user data starting at data offset skip
+	// into dst, from the memtype-described buffer buf.
+	packUser(dst, buf []byte, mem *memState, skip, n int64)
+	// unpackUser is the inverse of packUser.
+	unpackUser(buf, src []byte, mem *memState, skip, n int64)
+
+	// seekData returns a sequential cursor over the local fileview
+	// positioned at data offset d0, for the independent sieving and
+	// direct-access paths.
+	seekData(d0 int64) viewCursor
+
+	// apSetup runs access-process phase 1 of one collective access:
+	// the list-based engine builds and transmits per-IOP access lists,
+	// the listless engine re-exchanges encoded views when fileview
+	// caching is disabled.  Every rank must call it once per access.
+	apSetup(pl *collPlan, d0, d int64) apState
+	// iopSetup runs the I/O-process setup (the list-based engine
+	// receives one access list from every AP) and returns the
+	// window-by-window processor state.  Every IOP rank must call it,
+	// even when its domain is empty, to drain the AP phase-1 messages.
+	iopSetup(pl *collPlan) (iopState, error)
+}
+
+// viewCursor walks the local fileview sequentially over one access.
+// The list-based implementation advances an ol-list cursor per tuple;
+// the listless implementation navigates with O(depth)
+// flattening-on-the-fly calls.
+type viewCursor interface {
+	// countUpTo reports the data bytes between the cursor's position
+	// and the absolute file offset fileHi, without advancing.
+	countUpTo(fileHi int64) int64
+	// copyWindow moves the next c data bytes between the contiguous
+	// buffer cb and the window w holding file bytes from absolute
+	// offset winLo, advancing the cursor.  write=true copies cb→w.
+	copyWindow(cb, w []byte, c, winLo int64, write bool)
+	// eachRun advances the cursor by c data bytes, emitting one
+	// (fileOff, dataOff, ln) triple per contiguous file run, with
+	// fileOff absolute and dataOff in view-data bytes.
+	eachRun(c int64, emit func(fileOff, dataOff, ln int64))
+}
+
+// apState is the engine's AP-side state for one collective access.
+type apState interface {
+	// cursor returns a sequential window cursor over this rank's data
+	// within IOP i's domain.  Windows must be visited in ascending
+	// order.
+	cursor(i int) apCursor
+}
+
+// apCursor yields, window by window, the data range [a, b) this rank's
+// access holds within [winLo, winHi) of one IOP domain.  a == b means
+// no data.
+type apCursor interface {
+	window(winLo, winHi int64) (a, b int64)
+}
+
+// iopState walks an IOP's file domain window by window.  window calls
+// must be made in ascending order (the list-based engine advances
+// per-AP list cursors), but each returned iopWindow is self-contained,
+// which is what lets the pipelined loop overlap the storage I/O of
+// neighboring windows.
+type iopState interface {
+	window(winLo, winHi int64) iopWindow
+}
+
+// iopWindow is the exchange state of one collective-buffer window:
+// which APs hold data in it, whether their data covers it, and how to
+// copy each AP's contiguous chunk to and from the window buffer.
+type iopWindow interface {
+	// total is the number of data bytes all APs hold in the window.
+	total() int64
+	// chunkLen is the number of data bytes AP r holds in the window.
+	chunkLen(r int) int64
+	// covered reports whether the APs' data fully covers the window,
+	// making the read-modify-write pre-read of a collective write
+	// unnecessary.
+	covered() bool
+	// copyIn copies AP r's received chunk into the window buffer w.
+	copyIn(w []byte, r int, chunk []byte)
+	// copyOut extracts AP r's portion of the window buffer w into
+	// chunk, which has chunkLen(r) bytes.
+	copyOut(w []byte, r int, chunk []byte)
+}
+
+// memState carries the per-access memtype representation.  The
+// list-based engine fills list/ext with the flattened memtype exactly
+// as ROMIO does for non-contiguous memtypes; contiguous memory
+// (including a basic type with a large count) collapses to one segment
+// spanning the whole access, as in ROMIO's contiguous shortcut.  The
+// listless engine needs only the type and count.
+type memState struct {
+	t     *datatype.Type
+	count int64
+	list  flatten.List // list-based only
+	ext   int64        // tiling extent matching list/count (list-based)
+}
+
+// newEngine constructs the engine the handle's options select.  This is
+// the single place the engine choice is branched on; every other
+// behavioral difference flows through the accessEngine interface.
+func newEngine(f *File) accessEngine {
+	if f.opts.Engine == ListBased {
+		return newListEngine(f)
+	}
+	return &listlessEngine{f: f}
+}

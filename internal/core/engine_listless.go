@@ -1,0 +1,322 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/datatype"
+	"repro/internal/fotf"
+)
+
+// listlessEngine is the paper's contribution (§3).  No ol-lists exist:
+// pack/unpack and positioning use flattening-on-the-fly (internal/fotf);
+// each process's fileview is exchanged once, as a compact encoded tree,
+// when the view is set (fileview caching); and collective writes skip
+// the read-modify-write pre-read when the combined fileviews cover the
+// written range (the mergeview optimization).
+type listlessEngine struct {
+	f      *File
+	remote []remoteView   // per-rank cached views
+	merged *datatype.Type // mergeview struct type (write optimization)
+}
+
+// remoteView is the cached fileview of another rank.
+type remoteView struct {
+	disp  int64
+	ftype *datatype.Type
+	fsize int64
+	fext  int64
+}
+
+func (e *listlessEngine) setView() error {
+	e.remote = nil
+	e.merged = nil
+	if !e.f.opts.DisableViewCache {
+		e.exchangeViews()
+		e.buildMergeview()
+	} else {
+		e.f.p.Barrier()
+	}
+	return nil
+}
+
+// exchangeViews performs fileview caching: every rank broadcasts its
+// encoded (compact, tree-proportional) fileview once.
+func (e *listlessEngine) exchangeViews() {
+	f := e.f
+	payload := e.encodedView()
+	f.Stats.ViewBytesSent += int64(len(payload)) // accounted once per SetView
+	parts := f.p.Allgather(payload)
+	e.remote = make([]remoteView, f.p.Size())
+	for r, part := range parts {
+		e.remote[r] = decodeView(r, part)
+	}
+}
+
+func (e *listlessEngine) encodedView() []byte {
+	enc := datatype.Encode(e.f.v.ftype)
+	payload := make([]byte, 8+len(enc))
+	putInt64(payload, e.f.v.disp)
+	copy(payload[8:], enc)
+	return payload
+}
+
+func decodeView(rank int, part []byte) remoteView {
+	disp := getInt64(part)
+	ft, err := datatype.Decode(part[8:])
+	if err != nil {
+		panic(fmt.Sprintf("core: rank %d sent undecodable fileview: %v", rank, err))
+	}
+	return remoteView{disp: disp, ftype: ft, fsize: ft.Size(), fext: ft.Extent()}
+}
+
+// buildMergeview constructs the merged fileview of all processes as a
+// struct type (the paper's mergetype), valid when all displacements and
+// extents agree — the common file-partitioning case.  When they do not,
+// merged stays nil and the collective write-coverage check falls back to
+// per-rank navigation sums.
+func (e *listlessEngine) buildMergeview() {
+	disp := e.remote[0].disp
+	ext := e.remote[0].fext
+	for _, rv := range e.remote[1:] {
+		if rv.disp != disp || rv.fext != ext {
+			e.merged = nil
+			return
+		}
+	}
+	n := len(e.remote)
+	blocklens := make([]int64, n)
+	displs := make([]int64, n)
+	children := make([]*datatype.Type, n)
+	for i, rv := range e.remote {
+		blocklens[i] = 1
+		displs[i] = 0
+		children[i] = rv.ftype
+	}
+	m, err := datatype.Struct(blocklens, displs, children)
+	if err != nil {
+		e.merged = nil
+		return
+	}
+	// Pin the extent so the mergetype tiles like the filetypes.
+	if m.Extent() != ext {
+		if m, err = datatype.Resized(m, 0, ext); err != nil {
+			e.merged = nil
+			return
+		}
+	}
+	// The mergeview coverage check is only sound when the fileviews do
+	// not overlap (each file byte visible through at most one view).
+	// Validate once at SetView; overlapping views (e.g. every rank using
+	// the same default byte view) fall back to the per-AP sums.
+	if m.Blocks() > 1<<22 || !nonOverlapping(m) {
+		e.merged = nil
+		return
+	}
+	e.merged = m
+}
+
+// nonOverlapping reports whether one instance of t covers each byte at
+// most once, including across the tiling boundary.
+func nonOverlapping(t *datatype.Type) bool {
+	type seg struct{ off, end int64 }
+	segs := make([]seg, 0, t.Blocks())
+	t.Walk(func(off, length int64) {
+		segs = append(segs, seg{off, off + length})
+	})
+	sort.Slice(segs, func(i, j int) bool { return segs[i].off < segs[j].off })
+	var prevEnd int64 = -1 << 62
+	for _, s := range segs {
+		if s.off < prevEnd {
+			return false
+		}
+		prevEnd = s.end
+	}
+	// Tiling: data must stay within one extent window.
+	return prevEnd <= t.Extent() && (len(segs) == 0 || segs[0].off >= 0)
+}
+
+// Engine-neutral navigation uses O(depth) flattening-on-the-fly calls.
+
+func (e *listlessEngine) dataToFileStart(d int64) int64 {
+	return e.f.v.disp + fotf.StartPos(e.f.v.ftype, d)
+}
+
+func (e *listlessEngine) dataToFileEnd(d int64) int64 {
+	return e.f.v.disp + fotf.EndPos(e.f.v.ftype, d)
+}
+
+func (e *listlessEngine) dataInRange(lo, hi int64) int64 {
+	if hi <= lo {
+		return 0
+	}
+	v := &e.f.v
+	a := fotf.BufToData(v.ftype, lo-v.disp)
+	b := fotf.BufToData(v.ftype, hi-v.disp)
+	return b - a
+}
+
+func (e *listlessEngine) newMemState(memtype *datatype.Type, count int64) *memState {
+	return &memState{t: memtype, count: count}
+}
+
+func (e *listlessEngine) packUser(dst, buf []byte, mem *memState, skip, n int64) {
+	fotf.PackCount(dst[:n], buf, mem.count, mem.t, skip)
+}
+
+func (e *listlessEngine) unpackUser(buf, src []byte, mem *memState, skip, n int64) {
+	fotf.UnpackCount(buf, src[:n], mem.count, mem.t, skip)
+}
+
+// listlessViewCursor tracks only a data offset: positioning and
+// counting are O(depth) navigation calls, independent of block count.
+type listlessViewCursor struct {
+	e   *listlessEngine
+	pos int64 // view-data offset
+}
+
+func (e *listlessEngine) seekData(d0 int64) viewCursor {
+	return &listlessViewCursor{e: e, pos: d0}
+}
+
+func (vc *listlessViewCursor) countUpTo(fileHi int64) int64 {
+	v := &vc.e.f.v
+	return fotf.BufToData(v.ftype, fileHi-v.disp) - vc.pos
+}
+
+// copyWindow copies via the virtual file buffer of §3.2.2: the window is
+// addressed as a typed buffer whose origin lies winLo-disp bytes before
+// the window start.
+func (vc *listlessViewCursor) copyWindow(cb, w []byte, c, winLo int64, write bool) {
+	v := &vc.e.f.v
+	fotf.CopyRange(cb, w, v.ftype, vc.pos, vc.pos+c, winLo-v.disp, !write)
+	vc.pos += c
+}
+
+func (vc *listlessViewCursor) eachRun(c int64, emit func(fileOff, dataOff, ln int64)) {
+	v := &vc.e.f.v
+	fotf.Runs(v.ftype, vc.pos, vc.pos+c, func(bufOff, dataOff, runLen, stride, n int64) {
+		for i := int64(0); i < n; i++ {
+			emit(v.disp+bufOff+i*stride, dataOff+i*runLen, runLen)
+		}
+	})
+	vc.pos += c
+}
+
+// ---- Collective access: nothing but file data moves (§3.2.3). ----
+
+// listlessAPState navigates this rank's own fileview per window.
+type listlessAPState struct {
+	e     *listlessEngine
+	d0, d int64
+}
+
+// apSetup exchanges the encoded views on every access when fileview
+// caching is disabled (ablation; still no ol-lists).
+func (e *listlessEngine) apSetup(pl *collPlan, d0, d int64) apState {
+	if e.f.opts.DisableViewCache {
+		e.exchangeViews()
+	}
+	return &listlessAPState{e: e, d0: d0, d: d}
+}
+
+func (s *listlessAPState) cursor(int) apCursor { return s }
+
+func (s *listlessAPState) window(winLo, winHi int64) (a, b int64) {
+	return s.dataAtSelf(winLo), s.dataAtSelf(winHi)
+}
+
+// dataAtSelf maps an absolute file offset to this rank's access data
+// offset, clipped to [d0, d0+d) — O(depth) listless navigation.
+func (s *listlessAPState) dataAtSelf(x int64) int64 {
+	v := &s.e.f.v
+	da := fotf.BufToData(v.ftype, x-v.disp)
+	if da < s.d0 {
+		return s.d0
+	}
+	if da > s.d0+s.d {
+		return s.d0 + s.d
+	}
+	return da
+}
+
+// listlessIOPState navigates the fileviews cached at SetView.
+type listlessIOPState struct {
+	e  *listlessEngine
+	pl *collPlan
+}
+
+func (e *listlessEngine) iopSetup(pl *collPlan) (iopState, error) {
+	return &listlessIOPState{e: e, pl: pl}, nil
+}
+
+// dataAtRemote maps an absolute file offset to rank r's access data
+// offset via its cached fileview, clipped to r's access range.
+func (s *listlessIOPState) dataAtRemote(r int, x int64) int64 {
+	rv := s.e.remote[r]
+	da := fotf.BufToData(rv.ftype, x-rv.disp)
+	lo, hi := s.pl.d0s[r], s.pl.d0s[r]+s.pl.ds[r]
+	if da < lo {
+		return lo
+	}
+	if da > hi {
+		return hi
+	}
+	return da
+}
+
+// listlessIOPWindow holds the per-AP data ranges of one window.
+type listlessIOPWindow struct {
+	s            *listlessIOPState
+	winLo, winHi int64
+	apA, apB     []int64
+	tot          int64
+}
+
+func (s *listlessIOPState) window(winLo, winHi int64) iopWindow {
+	P := len(s.pl.ds)
+	w := &listlessIOPWindow{
+		s: s, winLo: winLo, winHi: winHi,
+		apA: make([]int64, P), apB: make([]int64, P),
+	}
+	for r := 0; r < P; r++ {
+		if s.pl.ds[r] == 0 {
+			continue
+		}
+		a := s.dataAtRemote(r, winLo)
+		b := s.dataAtRemote(r, winHi)
+		w.apA[r], w.apB[r] = a, b
+		w.tot += b - a
+	}
+	return w
+}
+
+func (w *listlessIOPWindow) total() int64         { return w.tot }
+func (w *listlessIOPWindow) chunkLen(r int) int64 { return w.apB[r] - w.apA[r] }
+
+// covered uses the exact per-AP sum — sound because each byte is written
+// at most once through the combined fileviews — confirmed, when the
+// mergeview exists, by one navigation call on it (the paper's §3.2.3
+// check).  The exact sum guards accesses where some ranks write nothing.
+func (w *listlessIOPWindow) covered() bool {
+	if w.tot != w.winHi-w.winLo {
+		return false
+	}
+	e := w.s.e
+	if e.merged == nil {
+		return true
+	}
+	disp := e.remote[0].disp
+	got := fotf.BufToData(e.merged, w.winHi-disp) - fotf.BufToData(e.merged, w.winLo-disp)
+	return got == w.winHi-w.winLo
+}
+
+func (w *listlessIOPWindow) copyIn(buf []byte, r int, chunk []byte) {
+	rv := w.s.e.remote[r]
+	fotf.CopyRange(chunk, buf, rv.ftype, w.apA[r], w.apB[r], w.winLo-rv.disp, false)
+}
+
+func (w *listlessIOPWindow) copyOut(buf []byte, r int, chunk []byte) {
+	rv := w.s.e.remote[r]
+	fotf.CopyRange(chunk, buf, rv.ftype, w.apA[r], w.apB[r], w.winLo-rv.disp, true)
+}

@@ -2,8 +2,6 @@ package core
 
 import (
 	"repro/internal/datatype"
-	"repro/internal/flatten"
-	"repro/internal/fotf"
 	"repro/internal/storage"
 )
 
@@ -68,20 +66,20 @@ func memIsContig(memtype *datatype.Type, count int64) bool {
 // transferIndependent moves d data bytes between buf (count instances of
 // memtype) and the view starting at view data offset d0.
 func (f *File) transferIndependent(d0, d int64, memtype *datatype.Type, count int64, buf []byte, write bool) error {
-	mem := f.newMemState(memtype, count)
+	mem := f.eng.newMemState(memtype, count)
 	memContig := memIsContig(memtype, count)
 
 	if f.atomic {
 		// Atomic mode: hold the whole access range for the duration so
 		// overlapping concurrent accesses serialize as units.
-		lo := f.dataToFileStart(d0)
-		hi := f.dataToFileEnd(d0 + d)
+		lo := f.eng.dataToFileStart(d0)
+		hi := f.eng.dataToFileEnd(d0 + d)
 		unlock := f.sh.locks.Lock(lo, hi)
 		defer unlock()
 	}
 
 	if f.v.ftype.ContiguousTiled() {
-		start := f.dataToFileStart(d0)
+		start := f.eng.dataToFileStart(d0)
 		if memContig {
 			// c-c: direct contiguous access.
 			m0 := memtype.TrueLB()
@@ -92,11 +90,11 @@ func (f *File) transferIndependent(d0, d int64, memtype *datatype.Type, count in
 			return storage.ReadFull(f.sh.b, buf[m0:m0+d], start)
 		}
 		// nc-c: stage through the pack buffer.
-		pb := make([]byte, minI64(int64(f.opts.PackBufSize), d))
+		pb := make([]byte, min(int64(f.opts.PackBufSize), d))
 		for done := int64(0); done < d; {
-			n := minI64(int64(len(pb)), d-done)
+			n := min(int64(len(pb)), d-done)
 			if write {
-				f.packUser(pb, buf, mem, done, n)
+				f.eng.packUser(pb, buf, mem, done, n)
 				if _, err := f.sh.b.WriteAt(pb[:n], start+done); err != nil {
 					return err
 				}
@@ -104,7 +102,7 @@ func (f *File) transferIndependent(d0, d int64, memtype *datatype.Type, count in
 				if err := storage.ReadFull(f.sh.b, pb[:n], start+done); err != nil {
 					return err
 				}
-				f.unpackUser(buf, pb, mem, done, n)
+				f.eng.unpackUser(buf, pb, mem, done, n)
 			}
 			done += n
 		}
@@ -113,8 +111,8 @@ func (f *File) transferIndependent(d0, d int64, memtype *datatype.Type, count in
 
 	// Non-contiguous fileview: data sieving over the file range that
 	// backs data [d0, d0+d).
-	lo := f.dataToFileStart(d0)
-	hi := f.dataToFileEnd(d0 + d)
+	lo := f.eng.dataToFileStart(d0)
+	hi := f.eng.dataToFileEnd(d0 + d)
 
 	// Sieving-vs-direct decision (the paper's §5 outlook): when the
 	// access is sparse, reading/writing whole sieve windows moves mostly
@@ -124,31 +122,24 @@ func (f *File) transferIndependent(d0, d int64, memtype *datatype.Type, count in
 		return f.transferDirect(d0, d, buf, mem, memContig, write)
 	}
 
-	win := make([]byte, minI64(int64(f.opts.SieveBufSize), hi-lo))
+	win := make([]byte, min(int64(f.opts.SieveBufSize), hi-lo))
 	var pb []byte
 	if !memContig {
 		pb = make([]byte, f.opts.PackBufSize)
 	}
 
-	// The list-based engine walks its ol-list with a sequential cursor;
-	// initial positioning is the linear O(N_block) traversal of §2.2.
-	var fc *flatten.Cursor
-	if f.opts.Engine == ListBased {
-		fc = f.v.flat.SeekData(d0)
-	}
+	// The sequential fileview cursor: the list-based engine pays the
+	// linear O(N_block) initial positioning of §2.2 and advances
+	// per-tuple, the listless engine navigates in O(depth).
+	vc := f.eng.seekData(d0)
 
 	dw := d0 // view-data cursor
 	for winLo := lo; winLo < hi; winLo += int64(len(win)) {
-		winHi := minI64(winLo+int64(len(win)), hi)
+		winHi := min(winLo+int64(len(win)), hi)
 		w := win[:winHi-winLo]
 
 		// Data bytes inside this window.
-		var n int64
-		if fc != nil {
-			n = fc.CountUpTo(winHi)
-		} else {
-			n = fotf.BufToData(f.v.ftype, winHi-f.v.disp) - (dw - d0) - fotf.BufToData(f.v.ftype, lo-f.v.disp)
-		}
+		n := vc.countUpTo(winHi)
 		if n == 0 {
 			continue
 		}
@@ -171,7 +162,7 @@ func (f *File) transferIndependent(d0, d int64, memtype *datatype.Type, count in
 					return err
 				}
 			}
-			if err := f.moveWindow(w, winLo, dw, n, buf, mem, memContig, d0, pb, true, fc); err != nil {
+			if err := f.moveWindow(w, winLo, dw, n, buf, mem, memContig, d0, pb, true, vc); err != nil {
 				unlock()
 				return err
 			}
@@ -186,7 +177,7 @@ func (f *File) transferIndependent(d0, d int64, memtype *datatype.Type, count in
 				return err
 			}
 			f.Stats.SieveReads++
-			if err := f.moveWindow(w, winLo, dw, n, buf, mem, memContig, d0, pb, false, fc); err != nil {
+			if err := f.moveWindow(w, winLo, dw, n, buf, mem, memContig, d0, pb, false, vc); err != nil {
 				return err
 			}
 		}
@@ -199,13 +190,13 @@ func (f *File) transferIndependent(d0, d int64, memtype *datatype.Type, count in
 // (holding absolute file range starting at winLo) and the user buffer,
 // staging through pb when the memory layout is non-contiguous.
 // write=true copies user→window.
-func (f *File) moveWindow(w []byte, winLo, dv, n int64, buf []byte, mem *memState, memContig bool, d0 int64, pb []byte, write bool, fc *flatten.Cursor) error {
+func (f *File) moveWindow(w []byte, winLo, dv, n int64, buf []byte, mem *memState, memContig bool, d0 int64, pb []byte, write bool, vc viewCursor) error {
 	chunk := n
 	if !memContig && chunk > int64(len(pb)) {
 		chunk = int64(len(pb))
 	}
 	for m := int64(0); m < n; m += chunk {
-		c := minI64(chunk, n-m)
+		c := min(chunk, n-m)
 		var cb []byte
 		if memContig {
 			u := mem.t.TrueLB() + (dv - d0) + m
@@ -213,36 +204,16 @@ func (f *File) moveWindow(w []byte, winLo, dv, n int64, buf []byte, mem *memStat
 		} else {
 			cb = pb[:c]
 			if write {
-				f.packUser(cb, buf, mem, (dv-d0)+m, c)
+				f.eng.packUser(cb, buf, mem, (dv-d0)+m, c)
 			}
 		}
 		// Copy between contiguous cb and the window per the fileview.
-		if f.opts.Engine == ListBased {
-			fc.Each(c, func(fileOff, dataOff, ln int64) {
-				if write {
-					copy(w[fileOff-winLo:fileOff-winLo+ln], cb[dataOff-(dv+m):])
-				} else {
-					copy(cb[dataOff-(dv+m):dataOff-(dv+m)+ln], w[fileOff-winLo:])
-				}
-			})
-		} else {
-			// write: unpack cb into the window (typed by the filetype,
-			// biased to the window start — the virtual file buffer of
-			// §3.2.2); read: pack from the window.
-			fotf.CopyRange(cb, w, f.v.ftype, dv+m, dv+m+c, winLo-f.v.disp, !write)
-		}
+		vc.copyWindow(cb, w, c, winLo, write)
 		if !memContig && !write {
-			f.unpackUser(buf, cb, mem, (dv-d0)+m, c)
+			f.eng.unpackUser(buf, cb, mem, (dv-d0)+m, c)
 		}
 	}
 	return nil
-}
-
-func minI64(a, b int64) int64 {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 // transferDirect performs a non-contiguous independent access as a
@@ -253,7 +224,7 @@ func minI64(a, b int64) int64 {
 func (f *File) transferDirect(d0, d int64, buf []byte, mem *memState, memContig bool, write bool) error {
 	var pb []byte
 	if !memContig {
-		pb = make([]byte, minI64(int64(f.opts.PackBufSize), d))
+		pb = make([]byte, min(int64(f.opts.PackBufSize), d))
 	}
 	// Process the access in data-contiguous chunks bounded by the pack
 	// buffer, issuing one backend call per fileview run within a chunk.
@@ -262,14 +233,11 @@ func (f *File) transferDirect(d0, d int64, buf []byte, mem *memState, memContig 
 		chunk = int64(len(pb))
 	}
 
-	var fc *flatten.Cursor
-	if f.opts.Engine == ListBased {
-		fc = f.v.flat.SeekData(d0)
-	}
+	vc := f.eng.seekData(d0)
 
 	var ioErr error
 	for m := int64(0); m < d && ioErr == nil; m += chunk {
-		c := minI64(chunk, d-m)
+		c := min(chunk, d-m)
 		var cb []byte
 		if memContig {
 			u := mem.t.TrueLB() + m
@@ -277,10 +245,10 @@ func (f *File) transferDirect(d0, d int64, buf []byte, mem *memState, memContig 
 		} else {
 			cb = pb[:c]
 			if write {
-				f.packUser(cb, buf, mem, m, c)
+				f.eng.packUser(cb, buf, mem, m, c)
 			}
 		}
-		access := func(fileOff, dataOff, ln int64) {
+		vc.eachRun(c, func(fileOff, dataOff, ln int64) {
 			if ioErr != nil {
 				return
 			}
@@ -292,18 +260,9 @@ func (f *File) transferDirect(d0, d int64, buf []byte, mem *memState, memContig 
 				ioErr = storage.ReadFull(f.sh.b, piece, fileOff)
 				f.Stats.DirectReads++
 			}
-		}
-		if f.opts.Engine == ListBased {
-			fc.Each(c, access)
-		} else {
-			fotf.Runs(f.v.ftype, d0+m, d0+m+c, func(bufOff, dataOff, runLen, stride, n int64) {
-				for i := int64(0); i < n; i++ {
-					access(f.v.disp+bufOff+i*stride, dataOff+i*runLen, runLen)
-				}
-			})
-		}
+		})
 		if ioErr == nil && !memContig && !write {
-			f.unpackUser(buf, cb, mem, m, c)
+			f.eng.unpackUser(buf, cb, mem, m, c)
 		}
 	}
 	return ioErr

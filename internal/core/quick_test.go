@@ -22,7 +22,7 @@ func TestQuickCrossEngineEquivalence(t *testing.T) {
 		blockcount := int64(1 + r.Intn(40))
 		blocklen := int64(1 + r.Intn(48))
 		collective := r.Intn(2) == 1
-		offEtypes := r.Int63n(blockcount * blocklen / 2)
+		offEtypes := r.Int63n(max(blockcount*blocklen/2, 1))
 		dAll := blockcount*blocklen - offEtypes // bytes each rank moves
 		opts := Options{
 			SieveBufSize: 32 + r.Intn(512),

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Wildcards for Recv matching.
@@ -28,8 +29,9 @@ const collTagBase = 1 << 24
 
 // Stats aggregates the communication volume of a world or a process.
 type Stats struct {
-	Messages int64 // point-to-point messages sent
-	Bytes    int64 // payload bytes sent
+	Messages   int64 // point-to-point messages sent
+	Bytes      int64 // payload bytes sent
+	RecvWaitNs int64 // total time spent blocked in Recv
 }
 
 type message struct {
@@ -97,8 +99,9 @@ type world struct {
 	barrierCnt int
 	barrierC   *sync.Cond
 
-	msgs  atomic.Int64
-	bytes atomic.Int64
+	msgs     atomic.Int64
+	bytes    atomic.Int64
+	recvWait atomic.Int64
 
 	splitMu  sync.Mutex
 	splitGen []int // per-rank Split-call counter
@@ -125,8 +128,9 @@ type Proc struct {
 	rank int
 	w    *world
 
-	sentMsgs  int64
-	sentBytes int64
+	sentMsgs   int64
+	sentBytes  int64
+	recvWaitNs int64
 }
 
 // Rank reports this process's rank in [0, Size()).
@@ -137,7 +141,7 @@ func (p *Proc) Size() int { return p.w.size }
 
 // SentStats reports this process's cumulative send volume.
 func (p *Proc) SentStats() Stats {
-	return Stats{Messages: p.sentMsgs, Bytes: p.sentBytes}
+	return Stats{Messages: p.sentMsgs, Bytes: p.sentBytes, RecvWaitNs: p.recvWaitNs}
 }
 
 // Run executes fn on n ranks and waits for all of them.  It returns the
@@ -179,7 +183,7 @@ func Run(n int, fn func(p *Proc)) (Stats, error) {
 		}(r)
 	}
 	wg.Wait()
-	return Stats{Messages: w.msgs.Load(), Bytes: w.bytes.Load()}, runErr
+	return Stats{Messages: w.msgs.Load(), Bytes: w.bytes.Load(), RecvWaitNs: w.recvWait.Load()}, runErr
 }
 
 // Send delivers a copy of data to dst with the given tag.  Send is
@@ -215,7 +219,11 @@ func (p *Proc) SendNoCopy(dst, tag int, data []byte) {
 // Matching messages from the same source with the same tag are received
 // in the order they were sent.
 func (p *Proc) Recv(src, tag int) (data []byte, fromSrc, fromTag int) {
+	t0 := time.Now()
 	m := p.w.mailboxes[p.rank].take(src, tag)
+	ns := time.Since(t0).Nanoseconds()
+	p.recvWaitNs += ns
+	p.w.recvWait.Add(ns)
 	return m.data, m.src, m.tag
 }
 

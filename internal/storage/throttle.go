@@ -55,17 +55,21 @@ func (t *Throttled) WriteAt(p []byte, off int64) (int, error) {
 	return t.Backend.WriteAt(p, off)
 }
 
-// AccessStats counts backend operations and bytes.
+// AccessStats counts backend operations, bytes, and busy time.  The
+// nanosecond totals sum over operations, so with concurrent accesses
+// (the pipelined collective window loop) they can exceed wall time.
 type AccessStats struct {
 	Reads, Writes           int64
 	BytesRead, BytesWritten int64
+	ReadNs, WriteNs         int64
 }
 
-// Instrumented wraps a Backend with operation counting.
+// Instrumented wraps a Backend with operation counting and timing.
 type Instrumented struct {
 	Backend
 	reads, writes           atomic.Int64
 	bytesRead, bytesWritten atomic.Int64
+	readNs, writeNs         atomic.Int64
 }
 
 // NewInstrumented wraps b with access counters.
@@ -75,7 +79,9 @@ func NewInstrumented(b Backend) *Instrumented {
 
 // ReadAt implements io.ReaderAt.
 func (in *Instrumented) ReadAt(p []byte, off int64) (int, error) {
+	t0 := time.Now()
 	n, err := in.Backend.ReadAt(p, off)
+	in.readNs.Add(time.Since(t0).Nanoseconds())
 	in.reads.Add(1)
 	in.bytesRead.Add(int64(n))
 	return n, err
@@ -83,7 +89,9 @@ func (in *Instrumented) ReadAt(p []byte, off int64) (int, error) {
 
 // WriteAt implements io.WriterAt.
 func (in *Instrumented) WriteAt(p []byte, off int64) (int, error) {
+	t0 := time.Now()
 	n, err := in.Backend.WriteAt(p, off)
+	in.writeNs.Add(time.Since(t0).Nanoseconds())
 	in.writes.Add(1)
 	in.bytesWritten.Add(int64(n))
 	return n, err
@@ -96,6 +104,8 @@ func (in *Instrumented) Stats() AccessStats {
 		Writes:       in.writes.Load(),
 		BytesRead:    in.bytesRead.Load(),
 		BytesWritten: in.bytesWritten.Load(),
+		ReadNs:       in.readNs.Load(),
+		WriteNs:      in.writeNs.Load(),
 	}
 }
 
@@ -105,4 +115,6 @@ func (in *Instrumented) Reset() {
 	in.writes.Store(0)
 	in.bytesRead.Store(0)
 	in.bytesWritten.Store(0)
+	in.readNs.Store(0)
+	in.writeNs.Store(0)
 }
