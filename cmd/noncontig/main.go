@@ -41,6 +41,7 @@ func main() {
 		readBW     = flag.Int64("read-bw", 0, "throttle: backend read bandwidth in bytes/s")
 		writeBW    = flag.Int64("write-bw", 0, "throttle: backend write bandwidth in bytes/s")
 		latency    = flag.Duration("latency", 0, "throttle: per-operation backend latency")
+		chaosSeed  = flag.Int64("chaos-seed", 0, "inject seeded transient storage faults, ridden out by retries (0 = off)")
 	)
 	flag.Parse()
 
@@ -66,6 +67,16 @@ func main() {
 	if *readBW > 0 || *writeBW > 0 || *latency > 0 {
 		backend = storage.NewThrottled(backend, *readBW, *writeBW, *latency)
 	}
+	// Chaos goes outermost on the storage side so every injected fault
+	// passes through the Resilient retry policy before the I/O layer
+	// sees it; recoverable-only injection keeps the run correct.
+	var chaos *storage.Chaos
+	var resilient *storage.Resilient
+	if *chaosSeed != 0 {
+		chaos = storage.NewChaos(*chaosSeed, backend, storage.TransientOnly())
+		resilient = storage.NewResilient(chaos, storage.ResilientConfig{Seed: *chaosSeed + 1})
+		backend = resilient
+	}
 
 	cfg := noncontig.Config{
 		P:          *p,
@@ -87,6 +98,10 @@ func main() {
 	}
 	if cfg.Reps == 0 {
 		cfg.Reps = autoReps(cfg.DataPerProc())
+	}
+	if *chaosSeed != 0 {
+		// Fault injection can expose hangs; bound them with a diagnostic.
+		cfg.StallTimeout = 30 * time.Second
 	}
 
 	res, err := noncontig.Run(cfg)
@@ -116,6 +131,12 @@ func main() {
 	}
 	fmt.Printf("  world comm: %d messages, %s payload, %v recv wait\n",
 		res.Comm.Messages, humanBytes(res.Comm.Bytes), time.Duration(res.Comm.RecvWaitNs).Round(time.Microsecond))
+	if chaos != nil {
+		st := chaos.Stats()
+		retries, exhausted := resilient.RetryStats()
+		fmt.Printf("  chaos(seed=%d): %d transients, %d short reads, %d torn writes, %d spikes; %d retries, %d exhausted\n",
+			*chaosSeed, st.Transients, st.ShortReads, st.TornWrites, st.LatencySpikes, retries, exhausted)
+	}
 	if *verify {
 		fmt.Println("  verification: OK")
 	}

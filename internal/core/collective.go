@@ -79,16 +79,25 @@ func (f *File) transferCollective(d0, d int64, memtype *datatype.Type, count int
 	}
 
 	// ---- IOP phase: process the file domain window by window. ----
-	var err error
+	var fault *CollectiveError
 	if f.p.Rank() < pl.nIOP {
-		err = f.iopProcess(pl, write)
+		fault = f.iopProcess(pl, write)
+	}
+
+	// ---- Error agreement: every rank votes its IOP-phase outcome and,
+	// on any failure, drains in-flight traffic and returns the same
+	// rank-attributed error.  This must precede the read-side exchange:
+	// an AP must not block receiving from an IOP that failed. ----
+	if err := f.agreeCollective(fault); err != nil {
+		f.p.Barrier() // keep the next collective's sends behind the drain
+		return err
 	}
 
 	// ---- AP phase 2 (read): receive and unpack data. ----
-	if !write && d > 0 && err == nil {
+	if !write && d > 0 {
 		f.apExchange(pl, d0, d, mem, buf, ap, false)
 	}
 
 	f.p.Barrier()
-	return err
+	return nil
 }

@@ -31,11 +31,12 @@ import (
 // iopProcess runs this rank's IOP role: engine setup (the list-based
 // engine receives one access list from every AP — this must happen even
 // for an empty domain, to drain the AP phase-1 messages), then the
-// window loop over the domain.
-func (f *File) iopProcess(pl *collPlan, write bool) error {
+// window loop over the domain.  Failures come back phase-attributed for
+// the error-agreement vote.
+func (f *File) iopProcess(pl *collPlan, write bool) *CollectiveError {
 	iop, err := f.eng.iopSetup(pl)
 	if err != nil {
-		return err
+		return &CollectiveError{Rank: f.p.Rank(), Phase: PhaseIOPSetup, Err: err}
 	}
 	domLo, domHi := pl.domain(f.p.Rank())
 	if domLo >= domHi {
@@ -43,9 +44,14 @@ func (f *File) iopProcess(pl *collPlan, write bool) error {
 	}
 	winSize := min(int64(f.opts.CollBufSize), domHi-domLo)
 	if f.opts.DisableCollPipeline {
-		return f.iopSequential(iop, domLo, domHi, winSize, write)
+		err = f.iopSequential(iop, domLo, domHi, winSize, write)
+	} else {
+		err = f.iopPipelined(iop, domLo, domHi, winSize, write)
 	}
-	return f.iopPipelined(iop, domLo, domHi, winSize, write)
+	if err != nil {
+		return &CollectiveError{Rank: f.p.Rank(), Phase: PhaseIOPWindow, Err: err}
+	}
+	return nil
 }
 
 // iopExchangeWrite receives every AP's chunk for one window and merges
@@ -212,8 +218,21 @@ func (f *File) iopPipelined(iop iopState, domLo, domHi, winSize int64, write boo
 		t := <-cur.ready
 		f.Stats.StorageNs += t.ns
 		if t.err != nil {
+			// Unwind quiescently: no background I/O may outlive this
+			// return, or it would race the next collective on the file.
+			// nxt's prep consumed its slot token, so waiting for ready
+			// also waits out that slot's prior write-back; with no nxt,
+			// the other slot's token must be reclaimed directly.
 			if nxt != nil {
-				<-nxt.ready // let the prep goroutine finish before unwinding
+				t2 := <-nxt.ready
+				f.Stats.StorageNs += t2.ns
+			} else {
+				for _, s := range slots {
+					if s != cur.slot {
+						t2 := <-s.avail
+						f.Stats.StorageNs += t2.ns
+					}
+				}
 			}
 			return t.err
 		}

@@ -3,7 +3,7 @@ package core
 import (
 	"bytes"
 	"errors"
-	"sync/atomic"
+	"fmt"
 	"testing"
 	"time"
 
@@ -128,16 +128,17 @@ func TestCollectiveBackendMatrix(t *testing.T) {
 }
 
 // TestPipelinedFaultPropagates injects a write fault and checks the
-// pipelined window loop surfaces it as an error instead of hanging or
-// panicking (the background write-back must hand the error to the
-// drain).
+// pipelined window loop surfaces it as an agreed error on every rank
+// instead of hanging or panicking (the background write-back must hand
+// the error to the drain, and error agreement must broadcast it).
 func TestPipelinedFaultPropagates(t *testing.T) {
 	for _, eng := range []Engine{Listless, ListBased} {
+		checkLeaks := leakCheck(t)
 		fb := storage.NewFaulty(storage.NewMem())
 		sh := NewShared(fb)
 		const P = 4
-		var sawErr atomic.Int64
-		_, err := mpi.Run(P, func(p *mpi.Proc) {
+		errs := make([]error, P)
+		_, err := mpi.RunWithOptions(P, mpi.RunOptions{StallTimeout: watchdogTimeout}, func(p *mpi.Proc) {
 			f, err := Open(p, sh, Options{Engine: eng, CollBufSize: 128})
 			if err != nil {
 				panic(err)
@@ -150,19 +151,20 @@ func TestPipelinedFaultPropagates(t *testing.T) {
 			}
 			p.Barrier()
 			d := int64(32 * 16)
-			if _, err := f.WriteAtAll(0, d, datatype.Byte, pattern(p.Rank(), d)); err != nil {
-				if !errors.Is(err, storage.ErrInjected) {
-					panic(err)
-				}
-				sawErr.Add(1)
-			}
+			_, errs[p.Rank()] = f.WriteAtAll(0, d, datatype.Byte, pattern(p.Rank(), d))
 		})
 		if err != nil {
 			t.Fatalf("engine %v: %v", eng, err)
 		}
-		if sawErr.Load() == 0 {
-			t.Errorf("engine %v: injected write fault not surfaced by any rank", eng)
+		// The count trigger fires on whichever IOP issues the second
+		// write, so the agreed rank is scheduling-dependent — but all
+		// ranks must agree on it.
+		first, ok := AsCollectiveError(errs[0])
+		if !ok {
+			t.Fatalf("engine %v: rank 0 returned %v, want a CollectiveError", eng, errs[0])
 		}
+		requireAgreement(t, fmt.Sprintf("engine %v", eng), errs, first.Rank, PhaseIOPWindow)
+		checkLeaks()
 	}
 }
 

@@ -12,7 +12,9 @@
 package mpi
 
 import (
+	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -107,6 +109,13 @@ type world struct {
 	splitGen []int // per-rank Split-call counter
 	splits   map[string]*splitEntry
 
+	// Stall-watchdog state (RunOptions.StallTimeout): per-rank wait
+	// states and a progress counter bumped on every delivery, receive,
+	// and barrier passage.  Only maintained when watch is set.
+	watch    bool
+	blocked  []atomic.Uint64
+	progress atomic.Int64
+
 	abortOnce sync.Once
 }
 
@@ -144,10 +153,31 @@ func (p *Proc) SentStats() Stats {
 	return Stats{Messages: p.sentMsgs, Bytes: p.sentBytes, RecvWaitNs: p.recvWaitNs}
 }
 
+// RunOptions configure a world beyond its size.
+type RunOptions struct {
+	// StallTimeout, when positive, arms a watchdog that aborts the world
+	// once every rank has been blocked (in Recv or Barrier, or exited)
+	// with no message or barrier progress for the whole duration, and
+	// makes Run return ErrStalled with a per-rank diagnostic — which
+	// ranks are blocked, and on which Recv source/tag — instead of
+	// hanging forever.  The watchdog observes only this world: a rank
+	// blocked inside a Split sub-world appears as running.
+	StallTimeout time.Duration
+}
+
+// ErrStalled is wrapped by the error Run returns when the stall watchdog
+// aborts a deadlocked world.
+var ErrStalled = errors.New("mpi: world stalled")
+
 // Run executes fn on n ranks and waits for all of them.  It returns the
 // aggregate communication statistics and the first panic (as an error),
 // if any; a panic in one rank aborts the whole world.
 func Run(n int, fn func(p *Proc)) (Stats, error) {
+	return RunWithOptions(n, RunOptions{}, fn)
+}
+
+// RunWithOptions is Run with a stall watchdog and future knobs.
+func RunWithOptions(n int, opts RunOptions, fn func(p *Proc)) (Stats, error) {
 	if n <= 0 {
 		return Stats{}, fmt.Errorf("mpi: world size %d", n)
 	}
@@ -163,6 +193,23 @@ func Run(n int, fn func(p *Proc)) (Stats, error) {
 		errMu  sync.Mutex
 		runErr error
 	)
+	setErr := func(err error) {
+		errMu.Lock()
+		if runErr == nil {
+			runErr = err
+		}
+		errMu.Unlock()
+	}
+	var watchStop, watchDone chan struct{}
+	if opts.StallTimeout > 0 {
+		w.watch = true
+		w.blocked = make([]atomic.Uint64, n)
+		watchStop, watchDone = make(chan struct{}), make(chan struct{})
+		go func() {
+			defer close(watchDone)
+			w.watchdog(opts.StallTimeout, watchStop, setErr)
+		}()
+	}
 	for r := 0; r < n; r++ {
 		wg.Add(1)
 		go func(rank int) {
@@ -170,20 +217,112 @@ func Run(n int, fn func(p *Proc)) (Stats, error) {
 			defer func() {
 				if e := recover(); e != nil {
 					if _, ok := e.(errAborted); !ok {
-						errMu.Lock()
-						if runErr == nil {
-							runErr = fmt.Errorf("mpi: rank %d panicked: %v", rank, e)
-						}
-						errMu.Unlock()
+						setErr(fmt.Errorf("mpi: rank %d panicked: %v", rank, e))
 					}
 					w.abort()
 				}
 			}()
+			if w.watch {
+				// A rank that returned can never unblock a peer; the
+				// watchdog counts it as permanently waiting.
+				defer w.blocked[rank].Store(blockExited)
+			}
 			fn(&Proc{rank: rank, w: w})
 		}(r)
 	}
 	wg.Wait()
+	if w.watch {
+		close(watchStop)
+		<-watchDone // runErr must not be written after we return it
+	}
 	return Stats{Messages: w.msgs.Load(), Bytes: w.bytes.Load(), RecvWaitNs: w.recvWait.Load()}, runErr
+}
+
+// Per-rank wait states for the watchdog, packed into one uint64:
+// kind<<62 | (src+2)<<32 | (tag+2).  Wildcards (-1) encode as 1.
+const (
+	blockNone    uint64 = 0
+	blockRecv    uint64 = 1 << 62
+	blockBarrier uint64 = 2 << 62
+	blockExited  uint64 = 3 << 62
+)
+
+func blockState(kind uint64, src, tag int) uint64 {
+	return kind | uint64(src+2)<<32 | uint64(uint32(tag+2))
+}
+
+// watchdog polls the world's wait states and aborts it when every rank
+// stays blocked with zero progress for a full timeout window.
+func (w *world) watchdog(timeout time.Duration, stop <-chan struct{}, fail func(error)) {
+	poll := timeout / 4
+	if poll < time.Millisecond {
+		poll = time.Millisecond
+	}
+	tick := time.NewTicker(poll)
+	defer tick.Stop()
+	last := int64(-1)
+	var stalledFor time.Duration
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+		}
+		prog := w.progress.Load()
+		all := true
+		for i := range w.blocked {
+			if w.blocked[i].Load() == blockNone {
+				all = false
+				break
+			}
+		}
+		if !all || prog != last {
+			last = prog
+			stalledFor = 0
+			continue
+		}
+		if stalledFor += poll; stalledFor < timeout {
+			continue
+		}
+		fail(w.stallDiagnostic())
+		w.abort()
+		return
+	}
+}
+
+// stallDiagnostic formats where every rank is stuck.
+func (w *world) stallDiagnostic() error {
+	var b strings.Builder
+	for r := range w.blocked {
+		if r > 0 {
+			b.WriteString("; ")
+		}
+		v := w.blocked[r].Load()
+		src := int(v>>32&0x3fffffff) - 2
+		tag := int(uint32(v)) - 2
+		fmt.Fprintf(&b, "rank %d ", r)
+		switch v & (3 << 62) {
+		case blockRecv:
+			b.WriteString("blocked in Recv(src=")
+			if src == AnySource {
+				b.WriteString("any")
+			} else {
+				fmt.Fprintf(&b, "%d", src)
+			}
+			if tag == AnyTag {
+				b.WriteString(", tag=any)")
+			} else {
+				fmt.Fprintf(&b, ", tag=%d)", tag)
+			}
+		case blockBarrier:
+			b.WriteString("blocked in Barrier")
+		case blockExited:
+			b.WriteString("exited")
+		default:
+			b.WriteString("running")
+		}
+	}
+	return fmt.Errorf("%w: no progress for the stall timeout: %s", ErrStalled, b.String())
 }
 
 // Send delivers a copy of data to dst with the given tag.  Send is
@@ -198,6 +337,9 @@ func (p *Proc) Send(dst, tag int, data []byte) {
 	p.sentBytes += int64(len(data))
 	p.w.msgs.Add(1)
 	p.w.bytes.Add(int64(len(data)))
+	if p.w.watch {
+		p.w.progress.Add(1)
+	}
 	p.w.mailboxes[dst].put(message{src: p.rank, tag: tag, data: buf})
 }
 
@@ -211,6 +353,9 @@ func (p *Proc) SendNoCopy(dst, tag int, data []byte) {
 	p.sentBytes += int64(len(data))
 	p.w.msgs.Add(1)
 	p.w.bytes.Add(int64(len(data)))
+	if p.w.watch {
+		p.w.progress.Add(1)
+	}
 	p.w.mailboxes[dst].put(message{src: p.rank, tag: tag, data: data})
 }
 
@@ -220,16 +365,53 @@ func (p *Proc) SendNoCopy(dst, tag int, data []byte) {
 // in the order they were sent.
 func (p *Proc) Recv(src, tag int) (data []byte, fromSrc, fromTag int) {
 	t0 := time.Now()
+	if p.w.watch {
+		p.w.blocked[p.rank].Store(blockState(blockRecv, src, tag))
+	}
 	m := p.w.mailboxes[p.rank].take(src, tag)
+	if p.w.watch {
+		p.w.blocked[p.rank].Store(blockNone)
+		p.w.progress.Add(1)
+	}
 	ns := time.Since(t0).Nanoseconds()
 	p.recvWaitNs += ns
 	p.w.recvWait.Add(ns)
 	return m.data, m.src, m.tag
 }
 
+// DrainTag removes every queued message with the given tag (from any
+// source) from this rank's mailbox without blocking, returning the
+// number of messages discarded.  Collective error recovery uses it to
+// clear the in-flight traffic of an abandoned collective so the next
+// one starts with clean mailboxes.
+func (p *Proc) DrainTag(tag int) int {
+	mb := p.w.mailboxes[p.rank]
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	kept := mb.queue[:0]
+	for _, m := range mb.queue {
+		if m.tag != tag {
+			kept = append(kept, m)
+		}
+	}
+	dropped := len(mb.queue) - len(kept)
+	for i := len(kept); i < len(mb.queue); i++ {
+		mb.queue[i] = message{} // release dropped payloads
+	}
+	mb.queue = kept
+	return dropped
+}
+
 // Barrier blocks until all ranks have entered it.
 func (p *Proc) Barrier() {
 	w := p.w
+	if w.watch {
+		w.blocked[p.rank].Store(blockState(blockBarrier, -2, -2))
+		defer func() {
+			w.blocked[p.rank].Store(blockNone)
+			w.progress.Add(1)
+		}()
+	}
 	w.barrierMu.Lock()
 	gen := w.barrierGen
 	if gen < 0 {

@@ -76,6 +76,11 @@ type Config struct {
 	Options core.Options
 	// Backend supplies the storage backend (default: fresh Mem).
 	Backend storage.Backend
+	// StallTimeout, when positive, arms the MPI stall watchdog: a run
+	// whose ranks all block without progress for this long aborts with
+	// a per-rank diagnostic instead of hanging (useful under fault
+	// injection).
+	StallTimeout time.Duration
 }
 
 func (c Config) tiles() int64 {
@@ -152,7 +157,7 @@ func Run(cfg Config) (Result, error) {
 	var rank0Stats core.Stats
 	verifyFailed := false
 
-	comm, err := mpi.Run(cfg.P, func(p *mpi.Proc) {
+	comm, err := mpi.RunWithOptions(cfg.P, mpi.RunOptions{StallTimeout: cfg.StallTimeout}, func(p *mpi.Proc) {
 		f, err := core.Open(p, sh, opts)
 		if err != nil {
 			panic(err)

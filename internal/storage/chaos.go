@@ -1,0 +1,179 @@
+package storage
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ChaosConfig sets the per-operation injection probabilities of a Chaos
+// backend.  All probabilities are independent and evaluated in the order
+// latency spike → permanent → transient → short read / torn write; a
+// probability ≤ 0 disables that fault class.
+type ChaosConfig struct {
+	// TransientRead / TransientWrite inject a recoverable failure: the
+	// operation does nothing and returns an error wrapping ErrTransient.
+	TransientRead, TransientWrite float64
+	// PermanentRead / PermanentWrite inject a non-recoverable failure
+	// wrapping ErrPermanent.
+	PermanentRead, PermanentWrite float64
+	// ShortRead delivers only a prefix of the requested bytes, with a
+	// transient error reporting the truncation.
+	ShortRead float64
+	// TornWrite persists only a prefix of the buffer, with a transient
+	// error — the classic partially-applied write of a crashed server.
+	TornWrite float64
+	// LatencySpike stalls the operation for a random duration up to
+	// MaxLatency (default 1ms) before it proceeds.
+	LatencySpike float64
+	MaxLatency   time.Duration
+}
+
+// TransientOnly returns a configuration injecting only recoverable
+// faults — transient errors, short reads, torn writes, latency spikes —
+// so that a Resilient wrapper rides out every injection.
+func TransientOnly() ChaosConfig {
+	return ChaosConfig{
+		TransientRead:  0.08,
+		TransientWrite: 0.08,
+		ShortRead:      0.04,
+		TornWrite:      0.04,
+		LatencySpike:   0.02,
+		MaxLatency:     200 * time.Microsecond,
+	}
+}
+
+// ChaosStats counts the faults a Chaos backend injected.
+type ChaosStats struct {
+	Transients, Permanents int64
+	ShortReads, TornWrites int64
+	LatencySpikes          int64
+}
+
+// Total is the number of error-producing injections (spikes excluded).
+func (s ChaosStats) Total() int64 {
+	return s.Transients + s.Permanents + s.ShortReads + s.TornWrites
+}
+
+// Chaos wraps a Backend with seeded probabilistic fault injection,
+// generalizing the count-based Faulty: every failure sequence is fully
+// reproducible from the seed, which is what lets the chaos harness and
+// CI replay an exact fault schedule.  Safe for concurrent use; the
+// draw order (and therefore the schedule) depends on operation
+// interleaving, so reproducibility is per-(seed, interleaving).
+type Chaos struct {
+	Backend
+	cfg ChaosConfig
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	sleep func(time.Duration) // test seam
+
+	transients, permanents atomic.Int64
+	shortReads, tornWrites atomic.Int64
+	latencySpikes          atomic.Int64
+}
+
+// NewChaos wraps b with fault injection drawn from a PRNG seeded with
+// seed.
+func NewChaos(seed int64, b Backend, cfg ChaosConfig) *Chaos {
+	if cfg.MaxLatency <= 0 {
+		cfg.MaxLatency = time.Millisecond
+	}
+	return &Chaos{
+		Backend: b,
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(seed)),
+		sleep:   time.Sleep,
+	}
+}
+
+// Stats returns a snapshot of the injection counters.
+func (c *Chaos) Stats() ChaosStats {
+	return ChaosStats{
+		Transients:    c.transients.Load(),
+		Permanents:    c.permanents.Load(),
+		ShortReads:    c.shortReads.Load(),
+		TornWrites:    c.tornWrites.Load(),
+		LatencySpikes: c.latencySpikes.Load(),
+	}
+}
+
+// hit draws one Bernoulli trial with probability p.
+func (c *Chaos) hit(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	c.mu.Lock()
+	v := c.rng.Float64()
+	c.mu.Unlock()
+	return v < p
+}
+
+// cut draws a strict prefix length in [1, n).
+func (c *Chaos) cut(n int) int {
+	c.mu.Lock()
+	v := 1 + c.rng.Intn(n-1)
+	c.mu.Unlock()
+	return v
+}
+
+func (c *Chaos) maybeSpike() {
+	if !c.hit(c.cfg.LatencySpike) {
+		return
+	}
+	c.latencySpikes.Add(1)
+	c.mu.Lock()
+	d := time.Duration(c.rng.Int63n(int64(c.cfg.MaxLatency)))
+	c.mu.Unlock()
+	c.sleep(d)
+}
+
+// ReadAt implements io.ReaderAt with fault injection.
+func (c *Chaos) ReadAt(p []byte, off int64) (int, error) {
+	c.maybeSpike()
+	if c.hit(c.cfg.PermanentRead) {
+		c.permanents.Add(1)
+		return 0, fmt.Errorf("storage: chaos read fault at offset %d: %w", off, ErrPermanent)
+	}
+	if c.hit(c.cfg.TransientRead) {
+		c.transients.Add(1)
+		return 0, fmt.Errorf("storage: chaos read fault at offset %d: %w", off, ErrTransient)
+	}
+	if len(p) > 1 && c.hit(c.cfg.ShortRead) {
+		c.shortReads.Add(1)
+		n, err := c.Backend.ReadAt(p[:c.cut(len(p))], off)
+		if err != nil {
+			return n, err
+		}
+		return n, fmt.Errorf("storage: chaos short read (%d of %d bytes) at offset %d: %w",
+			n, len(p), off, ErrTransient)
+	}
+	return c.Backend.ReadAt(p, off)
+}
+
+// WriteAt implements io.WriterAt with fault injection.
+func (c *Chaos) WriteAt(p []byte, off int64) (int, error) {
+	c.maybeSpike()
+	if c.hit(c.cfg.PermanentWrite) {
+		c.permanents.Add(1)
+		return 0, fmt.Errorf("storage: chaos write fault at offset %d: %w", off, ErrPermanent)
+	}
+	if c.hit(c.cfg.TransientWrite) {
+		c.transients.Add(1)
+		return 0, fmt.Errorf("storage: chaos write fault at offset %d: %w", off, ErrTransient)
+	}
+	if len(p) > 1 && c.hit(c.cfg.TornWrite) {
+		c.tornWrites.Add(1)
+		n, err := c.Backend.WriteAt(p[:c.cut(len(p))], off)
+		if err != nil {
+			return n, err
+		}
+		return n, fmt.Errorf("storage: chaos torn write (%d of %d bytes) at offset %d: %w",
+			n, len(p), off, ErrTransient)
+	}
+	return c.Backend.WriteAt(p, off)
+}

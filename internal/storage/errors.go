@@ -1,0 +1,27 @@
+package storage
+
+import "errors"
+
+// Error taxonomy for fault-tolerant storage.  Real parallel file systems
+// fail in two distinguishable ways: transiently (a dropped server
+// connection, a timeout, a torn write — retrying the operation may
+// succeed) and permanently (corrupt media, an invalid argument — retrying
+// cannot help).  Fault-injecting and real backends signal the class by
+// wrapping one of the two sentinels below; the Resilient wrapper retries
+// only transient failures.
+
+// ErrTransient classifies an error as retryable: the same operation may
+// succeed if reissued.
+var ErrTransient = errors.New("storage: transient error")
+
+// ErrPermanent classifies an error as non-retryable.
+var ErrPermanent = errors.New("storage: permanent error")
+
+// IsTransient reports whether err is classified transient.
+func IsTransient(err error) bool { return errors.Is(err, ErrTransient) }
+
+// IsPermanent reports whether err is a failure that retrying cannot fix.
+// Unclassified errors count as permanent: retrying an unknown failure
+// risks amplifying damage.  (io.EOF is "permanent" under this rule, but
+// callers treat EOF as a short read, not a failure, before classifying.)
+func IsPermanent(err error) bool { return err != nil && !IsTransient(err) }

@@ -1,0 +1,156 @@
+package storage
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ResilientConfig tunes the retry policy of a Resilient backend.  The
+// zero value selects defaults suitable for the in-process backends.
+type ResilientConfig struct {
+	// MaxRetries is the number of reissues after the first attempt
+	// (default 8).
+	MaxRetries int
+	// BaseBackoff is the delay before the first retry (default 50µs);
+	// each subsequent retry doubles it up to MaxBackoff (default 5ms).
+	// Half of every delay is uniformly jittered to decorrelate the
+	// retries of concurrent window I/O.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// OpDeadline bounds the total time budget of one operation including
+	// its retries; 0 means unbounded.  An operation gives up early when
+	// the next backoff would overrun the deadline.
+	OpDeadline time.Duration
+	// Seed seeds the jitter source, making retry schedules reproducible
+	// (default 1).
+	Seed int64
+}
+
+func (c *ResilientConfig) fill() {
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 8
+	}
+	if c.BaseBackoff <= 0 {
+		c.BaseBackoff = 50 * time.Microsecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 5 * time.Millisecond
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// Resilient wraps a Backend with bounded retry of transient failures:
+// exponential backoff with jitter between attempts, an optional per-op
+// deadline, and immediate pass-through of permanent errors.  Reads and
+// writes are reissued whole, which is sound because Backend operations
+// are idempotent (positioned reads, positioned full-buffer writes), so a
+// short read or torn write that was reported as a transient error is
+// simply repaired by the successful reissue.  Safe for concurrent use
+// when the wrapped backend is.
+type Resilient struct {
+	Backend
+	cfg ResilientConfig
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	sleep func(time.Duration) // test seam
+
+	retries   atomic.Int64
+	exhausted atomic.Int64
+}
+
+// NewResilient wraps b with the given retry policy.
+func NewResilient(b Backend, cfg ResilientConfig) *Resilient {
+	cfg.fill()
+	return &Resilient{
+		Backend: b,
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		sleep:   time.Sleep,
+	}
+}
+
+// RetryStats reports the retries performed and the operations abandoned
+// (retry budget or deadline exhausted) since creation.
+func (r *Resilient) RetryStats() (retries, exhausted int64) {
+	return r.retries.Load(), r.exhausted.Load()
+}
+
+func (r *Resilient) jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	r.mu.Lock()
+	j := time.Duration(r.rng.Int63n(int64(d)))
+	r.mu.Unlock()
+	return j
+}
+
+// do runs op, retrying transient failures per the policy.
+func (r *Resilient) do(op func() error) error {
+	var deadline time.Time
+	if r.cfg.OpDeadline > 0 {
+		deadline = time.Now().Add(r.cfg.OpDeadline)
+	}
+	backoff := r.cfg.BaseBackoff
+	for attempt := 0; ; attempt++ {
+		err := op()
+		if err == nil || !IsTransient(err) {
+			return err
+		}
+		if attempt >= r.cfg.MaxRetries {
+			r.exhausted.Add(1)
+			return fmt.Errorf("storage: giving up after %d attempts: %w", attempt+1, err)
+		}
+		delay := backoff/2 + r.jitter(backoff/2)
+		if backoff < r.cfg.MaxBackoff {
+			backoff *= 2
+			if backoff > r.cfg.MaxBackoff {
+				backoff = r.cfg.MaxBackoff
+			}
+		}
+		if !deadline.IsZero() && time.Now().Add(delay).After(deadline) {
+			r.exhausted.Add(1)
+			return fmt.Errorf("storage: deadline %v exceeded after %d attempts: %w",
+				r.cfg.OpDeadline, attempt+1, err)
+		}
+		r.retries.Add(1)
+		r.sleep(delay)
+	}
+}
+
+// ReadAt implements io.ReaderAt with transient-failure retry.
+func (r *Resilient) ReadAt(p []byte, off int64) (n int, err error) {
+	err = r.do(func() error {
+		var e error
+		n, e = r.Backend.ReadAt(p, off)
+		return e
+	})
+	return n, err
+}
+
+// WriteAt implements io.WriterAt with transient-failure retry.
+func (r *Resilient) WriteAt(p []byte, off int64) (n int, err error) {
+	err = r.do(func() error {
+		var e error
+		n, e = r.Backend.WriteAt(p, off)
+		return e
+	})
+	return n, err
+}
+
+// Truncate implements Backend with transient-failure retry.
+func (r *Resilient) Truncate(size int64) error {
+	return r.do(func() error { return r.Backend.Truncate(size) })
+}
+
+// Sync implements Backend with transient-failure retry.
+func (r *Resilient) Sync() error {
+	return r.do(func() error { return r.Backend.Sync() })
+}

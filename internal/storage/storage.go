@@ -104,6 +104,14 @@ func (m *Mem) Truncate(n int64) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if n <= int64(len(m.data)) {
+		// Zero the reclaimed region: the backing array keeps its
+		// capacity, and a later regrow within that capacity (WriteAt's
+		// m.data[:end] path) must expose zeros, not the pre-truncate
+		// bytes.  This maintains the invariant data[len:cap] == 0.
+		tail := m.data[n:]
+		for i := range tail {
+			tail[i] = 0
+		}
 		m.data = m.data[:n]
 		return nil
 	}
@@ -136,6 +144,9 @@ func (m *Mem) Bytes() []byte {
 // File is a Backend backed by an *os.File.
 type File struct {
 	f *os.File
+
+	mu      sync.Mutex
+	sizeErr error // deferred Stat failure from Size (which cannot return one)
 }
 
 // OpenFile creates or opens path for read/write access.
@@ -148,25 +159,52 @@ func OpenFile(path string) (*File, error) {
 }
 
 // ReadAt implements io.ReaderAt.
-func (fb *File) ReadAt(p []byte, off int64) (int, error) { return fb.f.ReadAt(p, off) }
+func (fb *File) ReadAt(p []byte, off int64) (int, error) {
+	if err := fb.takeSizeErr(); err != nil {
+		return 0, err
+	}
+	return fb.f.ReadAt(p, off)
+}
 
 // WriteAt implements io.WriterAt.
 func (fb *File) WriteAt(p []byte, off int64) (int, error) { return fb.f.WriteAt(p, off) }
 
-// Size implements Backend.
+// Size implements Backend.  The Backend interface gives Size no error
+// return; a Stat failure must not masquerade as an empty file (data
+// sieving would treat 0 as EOF and skip its pre-read), so the error is
+// cached and surfaced from the next ReadAt or Sync.
 func (fb *File) Size() int64 {
 	fi, err := fb.f.Stat()
 	if err != nil {
+		fb.mu.Lock()
+		if fb.sizeErr == nil {
+			fb.sizeErr = fmt.Errorf("storage: deferred Size failure: %w", err)
+		}
+		fb.mu.Unlock()
 		return 0
 	}
 	return fi.Size()
+}
+
+// takeSizeErr returns and clears the deferred Size failure, if any.
+func (fb *File) takeSizeErr() error {
+	fb.mu.Lock()
+	defer fb.mu.Unlock()
+	err := fb.sizeErr
+	fb.sizeErr = nil
+	return err
 }
 
 // Truncate implements Backend.
 func (fb *File) Truncate(n int64) error { return fb.f.Truncate(n) }
 
 // Sync implements Backend.
-func (fb *File) Sync() error { return fb.f.Sync() }
+func (fb *File) Sync() error {
+	if err := fb.takeSizeErr(); err != nil {
+		return err
+	}
+	return fb.f.Sync()
+}
 
 // Close closes the underlying file.
 func (fb *File) Close() error { return fb.f.Close() }
