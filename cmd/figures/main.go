@@ -35,6 +35,7 @@ func main() {
 	var (
 		all      = flag.Bool("all", false, "regenerate every table and figure")
 		pipeline = flag.String("pipeline", "", "run the sequential-vs-pipelined collective ablation and write its JSON to this path (e.g. BENCH_pipeline.json)")
+		phases   = flag.Bool("phases", false, "run one traced collective per engine and print the per-phase imbalance breakdown")
 		scaleS   = flag.String("scale", "full", "experiment scale: full or quick")
 		csvDir   = flag.String("csv", "", "directory to write per-figure CSV files")
 		steps    = flag.Int("steps", 10, "BTIO steps for Table 3 (paper default is 40)")
@@ -55,9 +56,19 @@ func main() {
 		figs = multiFlag{"5", "6", "7", "8"}
 		tables = multiFlag{"1", "2", "3"}
 	}
-	if len(figs) == 0 && len(tables) == 0 && *pipeline == "" {
+	if len(figs) == 0 && len(tables) == 0 && *pipeline == "" && !*phases {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *phases {
+		t0 := time.Now()
+		rs, err := bench.PhaseBreakdown(scale)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(bench.FormatPhaseBreakdown(scale, rs))
+		fmt.Printf("(measured at scale %s in %v)\n\n", scale, time.Since(t0).Round(time.Millisecond))
 	}
 
 	if *pipeline != "" {

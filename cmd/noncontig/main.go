@@ -12,11 +12,13 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/noncontig"
 	"repro/internal/storage"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -42,6 +44,8 @@ func main() {
 		writeBW    = flag.Int64("write-bw", 0, "throttle: backend write bandwidth in bytes/s")
 		latency    = flag.Duration("latency", 0, "throttle: per-operation backend latency")
 		chaosSeed  = flag.Int64("chaos-seed", 0, "inject seeded transient storage faults, ridden out by retries (0 = off)")
+		tracePath  = flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file (load in chrome://tracing or Perfetto)")
+		traceSumm  = flag.Bool("trace-summary", false, "print the per-phase imbalance summary of the traced run")
 	)
 	flag.Parse()
 
@@ -67,6 +71,11 @@ func main() {
 	if *readBW > 0 || *writeBW > 0 || *latency > 0 {
 		backend = storage.NewThrottled(backend, *readBW, *writeBW, *latency)
 	}
+	var collector *trace.Collector
+	if *tracePath != "" || *traceSumm {
+		collector = trace.NewCollector(trace.DefaultBufSize)
+	}
+
 	// Chaos goes outermost on the storage side so every injected fault
 	// passes through the Resilient retry policy before the I/O layer
 	// sees it; recoverable-only injection keeps the run correct.
@@ -74,8 +83,15 @@ func main() {
 	var resilient *storage.Resilient
 	if *chaosSeed != 0 {
 		chaos = storage.NewChaos(*chaosSeed, backend, storage.TransientOnly())
+		chaos.SetTracer(collector.Storage())
 		resilient = storage.NewResilient(chaos, storage.ResilientConfig{Seed: *chaosSeed + 1})
+		resilient.SetTracer(collector.Storage())
 		backend = resilient
+	}
+	if collector != nil {
+		// Outermost wrapper: spans cover the whole retry loop of each
+		// operation, on the shared storage-backend track.
+		backend = storage.NewTraced(backend, collector.Storage())
 	}
 
 	cfg := noncontig.Config{
@@ -95,6 +111,7 @@ func main() {
 			IONodes:             *ioNodes,
 			DisableCollPipeline: *noPipe,
 		},
+		Trace: collector,
 	}
 	if cfg.Reps == 0 {
 		cfg.Reps = autoReps(cfg.DataPerProc())
@@ -106,6 +123,9 @@ func main() {
 
 	res, err := noncontig.Run(cfg)
 	if err != nil {
+		if collector != nil {
+			fmt.Fprintf(os.Stderr, "trace forensics (last events per rank):\n%s", collector.Forensics(8))
+		}
 		log.Fatal(err)
 	}
 
@@ -118,16 +138,9 @@ func main() {
 		humanBytes(cfg.DataPerProc()), cfg.Reps)
 	fmt.Printf("  write: %10.2f MB/s per process   (%v total)\n", res.WriteBpp, res.WriteTime.Round(time.Microsecond))
 	fmt.Printf("  read:  %10.2f MB/s per process   (%v total)\n", res.ReadBpp, res.ReadTime.Round(time.Microsecond))
-	fmt.Printf("  rank-0 stats: list tuples=%d  list bytes sent=%d  view bytes sent=%d\n",
-		res.Stats.ListTuples, res.Stats.ListBytesSent, res.Stats.ViewBytesSent)
-	fmt.Printf("  rank-0 stats: sieve reads=%d writes=%d  pre-reads skipped=%d\n",
-		res.Stats.SieveReads, res.Stats.SieveWrites, res.Stats.PreReadsSkipped)
-	if *collective {
-		fmt.Printf("  rank-0 phases: exchange=%v  storage=%v  copy=%v  windows overlapped=%d\n",
-			time.Duration(res.Stats.ExchangeNs).Round(time.Microsecond),
-			time.Duration(res.Stats.StorageNs).Round(time.Microsecond),
-			time.Duration(res.Stats.CopyNs).Round(time.Microsecond),
-			res.Stats.WindowsOverlapped)
+	fmt.Println("  rank-0 stats:")
+	for _, line := range strings.Split(strings.TrimRight(res.Stats.String(), "\n"), "\n") {
+		fmt.Printf("    %s\n", line)
 	}
 	fmt.Printf("  world comm: %d messages, %s payload, %v recv wait\n",
 		res.Comm.Messages, humanBytes(res.Comm.Bytes), time.Duration(res.Comm.RecvWaitNs).Round(time.Microsecond))
@@ -139,6 +152,23 @@ func main() {
 	}
 	if *verify {
 		fmt.Println("  verification: OK")
+	}
+	if *traceSumm {
+		fmt.Print(collector.Summary())
+	}
+	if *tracePath != "" {
+		out, err := os.Create(*tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := collector.WriteChrome(out); err != nil {
+			log.Fatal(err)
+		}
+		if err := out.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  trace: %s (%d events, %d dropped; load in chrome://tracing or Perfetto)\n",
+			*tracePath, len(collector.Events()), collector.Dropped())
 	}
 }
 

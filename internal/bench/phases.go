@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/noncontig"
+	"repro/internal/trace"
+)
+
+// Phase breakdown: one traced nc-nc collective write+read per engine,
+// reported as the trace collector's per-phase summary — where each
+// engine's time goes (plan, exchange, window storage I/O, copies) and
+// which rank is slowest per phase.  This is the observability
+// counterpart of the Figure 5/6 bandwidth numbers: the same workload,
+// but explaining the difference instead of just measuring it.
+
+// PhaseBreakdownResult is the traced run of one engine.
+type PhaseBreakdownResult struct {
+	Engine   core.Engine
+	WriteBpp float64 // MB/s per process
+	ReadBpp  float64
+	Summary  string // the collector's per-phase imbalance summary
+}
+
+// phaseConfig returns the traced-run parameters at the given scale.
+func phaseConfig(s Scale) noncontig.Config {
+	cfg := noncontig.Config{
+		P:          4,
+		Blockcount: 8192,
+		Blocklen:   16,
+		Pattern:    noncontig.NcNc,
+		Collective: true,
+		Reps:       4,
+		Verify:     true,
+	}
+	if s == Quick {
+		cfg.Blockcount = 1024
+		cfg.Reps = 2
+	}
+	return cfg
+}
+
+// PhaseBreakdown runs the traced collective for both engines.
+func PhaseBreakdown(s Scale) ([]PhaseBreakdownResult, error) {
+	var out []PhaseBreakdownResult
+	for _, eng := range []core.Engine{core.ListBased, core.Listless} {
+		cfg := phaseConfig(s)
+		cfg.Engine = eng
+		cfg.Trace = trace.NewCollector(trace.DefaultBufSize)
+		res, err := noncontig.Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("phase breakdown (%v): %w", eng, err)
+		}
+		out = append(out, PhaseBreakdownResult{
+			Engine:   eng,
+			WriteBpp: res.WriteBpp,
+			ReadBpp:  res.ReadBpp,
+			Summary:  cfg.Trace.Summary(),
+		})
+	}
+	return out, nil
+}
+
+// FormatPhaseBreakdown renders the per-engine summaries as text.
+func FormatPhaseBreakdown(s Scale, rs []PhaseBreakdownResult) string {
+	cfg := phaseConfig(s)
+	out := fmt.Sprintf("Collective phase breakdown (nc-nc, P=%d, N_block=%d, S_block=%dB, reps=%d):\n",
+		cfg.P, cfg.Blockcount, cfg.Blocklen, cfg.Reps)
+	for _, r := range rs {
+		out += fmt.Sprintf("\n%v engine: write %.2f MB/s, read %.2f MB/s per process\n%s",
+			r.Engine, r.WriteBpp, r.ReadBpp, r.Summary)
+	}
+	return out
+}

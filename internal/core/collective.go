@@ -2,6 +2,7 @@ package core
 
 import (
 	"repro/internal/datatype"
+	"repro/internal/trace"
 )
 
 // Collective I/O: the two-phase method (paper §2.3, §3.2.3).  The
@@ -61,9 +62,18 @@ func (f *File) ReadAll(count int64, memtype *datatype.Type, buf []byte) (int64, 
 
 // transferCollective runs one two-phase collective access.
 func (f *File) transferCollective(d0, d int64, memtype *datatype.Type, count int64, buf []byte, write bool) error {
+	top := trace.PhaseCollRead
+	if write {
+		top = trace.PhaseCollWrite
+	}
+	sp := f.tr.Begin(top, d0, d)
+	defer sp.End()
+
 	mem := f.eng.newMemState(memtype, count)
 
+	psp := f.tr.Begin(trace.PhaseCollPlan, d0, 0)
 	pl, any := f.makePlan(d0, d)
+	psp.End()
 	if !any {
 		f.p.Barrier()
 		return nil
@@ -71,7 +81,9 @@ func (f *File) transferCollective(d0, d int64, memtype *datatype.Type, count int
 
 	// ---- AP phase 1: engine-specific access description (the
 	// list-based engine builds and sends per-IOP ol-lists). ----
+	asp := f.tr.Begin(trace.PhaseAPSetup, d0, 0)
 	ap := f.eng.apSetup(pl, d0, d)
+	asp.End()
 
 	// ---- AP phase 2 (write): pack and send data; buffered sends. ----
 	if write && d > 0 {
@@ -89,6 +101,9 @@ func (f *File) transferCollective(d0, d int64, memtype *datatype.Type, count int
 	// rank-attributed error.  This must precede the read-side exchange:
 	// an AP must not block receiving from an IOP that failed. ----
 	if err := f.agreeCollective(fault); err != nil {
+		if f.tr.Enabled() {
+			f.tr.Instant(trace.PhaseFault, d0, 0, err.Error())
+		}
 		f.p.Barrier() // keep the next collective's sends behind the drain
 		return err
 	}

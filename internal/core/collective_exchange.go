@@ -2,6 +2,8 @@ package core
 
 import (
 	"time"
+
+	"repro/internal/trace"
 )
 
 // apExchange walks every (IOP, window) pair in the deterministic
@@ -25,17 +27,25 @@ func (f *File) apExchange(pl *collPlan, d0, d int64, mem *memState, buf []byte, 
 			}
 			if write {
 				chunk := make([]byte, b-a)
+				csp := f.tr.Begin(trace.PhaseCopy, winLo, b-a)
 				t0 := time.Now()
 				f.eng.packUser(chunk, buf, mem, a-d0, b-a)
 				t1 := time.Now()
+				csp.End()
+				esp := f.tr.Begin(trace.PhaseExchange, winLo, b-a)
 				f.p.SendNoCopy(i, tagCollData, chunk)
+				esp.End()
 				f.Stats.CopyNs += t1.Sub(t0).Nanoseconds()
 				f.Stats.ExchangeNs += time.Since(t1).Nanoseconds()
 			} else {
+				esp := f.tr.Begin(trace.PhaseExchange, winLo, 0)
 				t0 := time.Now()
 				chunk, _, _ := f.p.Recv(i, tagCollData)
 				t1 := time.Now()
+				esp.EndBytes(int64(len(chunk)))
+				csp := f.tr.Begin(trace.PhaseCopy, winLo, b-a)
 				f.eng.unpackUser(buf, chunk, mem, a-d0, b-a)
+				csp.End()
 				f.Stats.ExchangeNs += t1.Sub(t0).Nanoseconds()
 				f.Stats.CopyNs += time.Since(t1).Nanoseconds()
 			}

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/storage"
+	"repro/internal/trace"
 )
 
 // The IOP window loop.  Each IOP walks its file domain in CollBufSize
@@ -34,7 +35,9 @@ import (
 // window loop over the domain.  Failures come back phase-attributed for
 // the error-agreement vote.
 func (f *File) iopProcess(pl *collPlan, write bool) *CollectiveError {
+	ssp := f.tr.Begin(trace.PhaseIOPSetup, trace.NoWindow, 0)
 	iop, err := f.eng.iopSetup(pl)
+	ssp.End()
 	if err != nil {
 		return &CollectiveError{Rank: f.p.Rank(), Phase: PhaseIOPSetup, Err: err}
 	}
@@ -56,15 +59,20 @@ func (f *File) iopProcess(pl *collPlan, write bool) *CollectiveError {
 
 // iopExchangeWrite receives every AP's chunk for one window and merges
 // it into the window buffer w, accounting exchange and copy time.
-func (f *File) iopExchangeWrite(iw iopWindow, w []byte) {
+// winLo annotates the trace spans with the window's file offset.
+func (f *File) iopExchangeWrite(iw iopWindow, w []byte, winLo int64) {
 	for r := 0; r < f.p.Size(); r++ {
 		if iw.chunkLen(r) == 0 {
 			continue
 		}
+		esp := f.tr.Begin(trace.PhaseExchange, winLo, 0)
 		t0 := time.Now()
 		chunk, _, _ := f.p.Recv(r, tagCollData)
 		t1 := time.Now()
+		esp.EndBytes(int64(len(chunk)))
+		csp := f.tr.Begin(trace.PhaseCopy, winLo, int64(len(chunk)))
 		iw.copyIn(w, r, chunk)
+		csp.End()
 		f.Stats.ExchangeNs += t1.Sub(t0).Nanoseconds()
 		f.Stats.CopyNs += time.Since(t1).Nanoseconds()
 	}
@@ -72,17 +80,21 @@ func (f *File) iopExchangeWrite(iw iopWindow, w []byte) {
 
 // iopExchangeRead extracts every AP's portion of the window buffer w
 // and sends it, accounting copy and exchange time.
-func (f *File) iopExchangeRead(iw iopWindow, w []byte) {
+func (f *File) iopExchangeRead(iw iopWindow, w []byte, winLo int64) {
 	for r := 0; r < f.p.Size(); r++ {
 		n := iw.chunkLen(r)
 		if n == 0 {
 			continue
 		}
+		csp := f.tr.Begin(trace.PhaseCopy, winLo, n)
 		t0 := time.Now()
 		chunk := make([]byte, n)
 		iw.copyOut(w, r, chunk)
 		t1 := time.Now()
+		csp.End()
+		esp := f.tr.Begin(trace.PhaseExchange, winLo, n)
 		f.p.SendNoCopy(r, tagCollData, chunk)
+		esp.End()
 		f.Stats.CopyNs += t1.Sub(t0).Nanoseconds()
 		f.Stats.ExchangeNs += time.Since(t1).Nanoseconds()
 	}
@@ -98,36 +110,47 @@ func (f *File) iopSequential(iop iopState, domLo, domHi, winSize int64, write bo
 		if iw.total() == 0 {
 			continue
 		}
+		wsp := f.tr.Begin(trace.PhaseWindow, winLo, iw.total())
 		if write {
 			covered := !f.opts.DisableMergeCheck && iw.covered()
 			if covered {
 				f.Stats.PreReadsSkipped++
 			} else {
+				rsp := f.tr.Begin(trace.PhasePreRead, winLo, int64(len(w)))
 				t0 := time.Now()
 				err := storage.ReadFull(f.sh.b, w, winLo)
+				rsp.End()
 				f.Stats.StorageNs += time.Since(t0).Nanoseconds()
 				if err != nil {
+					wsp.End()
 					return err
 				}
 			}
-			f.iopExchangeWrite(iw, w)
+			f.iopExchangeWrite(iw, w, winLo)
+			bsp := f.tr.Begin(trace.PhaseWriteBack, winLo, int64(len(w)))
 			t0 := time.Now()
 			_, err := f.sh.b.WriteAt(w, winLo)
+			bsp.End()
 			f.Stats.StorageNs += time.Since(t0).Nanoseconds()
 			if err != nil {
+				wsp.End()
 				return err
 			}
 			f.Stats.SieveWrites++
 		} else {
+			rsp := f.tr.Begin(trace.PhasePreRead, winLo, int64(len(w)))
 			t0 := time.Now()
 			err := storage.ReadFull(f.sh.b, w, winLo)
+			rsp.End()
 			f.Stats.StorageNs += time.Since(t0).Nanoseconds()
 			if err != nil {
+				wsp.End()
 				return err
 			}
 			f.Stats.SieveReads++
-			f.iopExchangeRead(iw, w)
+			f.iopExchangeRead(iw, w, winLo)
 		}
+		wsp.End()
 	}
 	return nil
 }
@@ -195,8 +218,10 @@ func (f *File) iopPipelined(iop iopState, domLo, domHi, winSize int64, write boo
 			go func() {
 				t := <-pw.slot.avail // wait out the slot's prior write-back
 				if t.err == nil && (!write || !pw.covered) {
+					rsp := f.tr.BeginIO(trace.PhasePreRead, pw.winLo, pw.winHi-pw.winLo)
 					t0 := time.Now()
 					err := storage.ReadFull(f.sh.b, pw.slot.buf[:pw.winHi-pw.winLo], pw.winLo)
+					rsp.End()
 					t = ioToken{err: err, ns: t.ns + time.Since(t0).Nanoseconds()}
 				}
 				pw.ready <- t
@@ -215,7 +240,9 @@ func (f *File) iopPipelined(iop iopState, domLo, domHi, winSize int64, write boo
 			f.Stats.WindowsOverlapped++
 		}
 
+		psp := f.tr.Begin(trace.PhasePipelineWait, cur.winLo, 0)
 		t := <-cur.ready
+		psp.End()
 		f.Stats.StorageNs += t.ns
 		if t.err != nil {
 			// Unwind quiescently: no background I/O may outlive this
@@ -238,23 +265,27 @@ func (f *File) iopPipelined(iop iopState, domLo, domHi, winSize int64, write boo
 		}
 
 		w := cur.slot.buf[:cur.winHi-cur.winLo]
+		wsp := f.tr.Begin(trace.PhaseWindow, cur.winLo, cur.iw.total())
 		if write {
 			if cur.covered {
 				f.Stats.PreReadsSkipped++
 			}
-			f.iopExchangeWrite(cur.iw, w)
+			f.iopExchangeWrite(cur.iw, w, cur.winLo)
 			f.Stats.SieveWrites++
 			slot, lo := cur.slot, cur.winLo
 			go func() {
+				bsp := f.tr.BeginIO(trace.PhaseWriteBack, lo, int64(len(w)))
 				t0 := time.Now()
 				_, err := f.sh.b.WriteAt(w, lo)
+				bsp.End()
 				slot.avail <- ioToken{err: err, ns: time.Since(t0).Nanoseconds()}
 			}()
 		} else {
 			f.Stats.SieveReads++
-			f.iopExchangeRead(cur.iw, w)
+			f.iopExchangeRead(cur.iw, w, cur.winLo)
 			cur.slot.avail <- ioToken{}
 		}
+		wsp.End()
 		cur = nxt
 	}
 

@@ -32,6 +32,7 @@ import (
 	"repro/internal/datatype"
 	"repro/internal/mpi"
 	"repro/internal/storage"
+	"repro/internal/trace"
 )
 
 // Engine selects the datatype-handling implementation.
@@ -91,6 +92,10 @@ type Options struct {
 	// sieve-buffer read-modify-write.  0 disables the heuristic (always
 	// sieve, ROMIO's default behaviour).
 	SieveDensity float64
+	// Trace, when non-nil, records per-rank spans of every access phase
+	// (plan, exchange, window storage I/O, copies) into the collector;
+	// nil disables tracing at the cost of one pointer check per site.
+	Trace *trace.Collector
 }
 
 func (o *Options) fill() {
@@ -180,6 +185,7 @@ type File struct {
 	p    *mpi.Proc
 	sh   *Shared
 	opts Options
+	tr   *trace.Tracer // this rank's span recorder; nil when tracing is off
 
 	v   view
 	eng accessEngine
@@ -202,6 +208,7 @@ func Open(p *mpi.Proc, sh *Shared, opts Options) (*File, error) {
 		p:    p,
 		sh:   sh,
 		opts: opts,
+		tr:   opts.Trace.Tracer(p.Rank()),
 	}
 	f.eng = newEngine(f)
 	if err := f.SetView(0, datatype.Byte, datatype.Byte); err != nil {

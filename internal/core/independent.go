@@ -3,6 +3,7 @@ package core
 import (
 	"repro/internal/datatype"
 	"repro/internal/storage"
+	"repro/internal/trace"
 )
 
 // Independent I/O.  The four memory/file contiguity combinations of
@@ -66,6 +67,13 @@ func memIsContig(memtype *datatype.Type, count int64) bool {
 // transferIndependent moves d data bytes between buf (count instances of
 // memtype) and the view starting at view data offset d0.
 func (f *File) transferIndependent(d0, d int64, memtype *datatype.Type, count int64, buf []byte, write bool) error {
+	top := trace.PhaseIndRead
+	if write {
+		top = trace.PhaseIndWrite
+	}
+	sp := f.tr.Begin(top, d0, d)
+	defer sp.End()
+
 	mem := f.eng.newMemState(memtype, count)
 	memContig := memIsContig(memtype, count)
 
@@ -148,6 +156,7 @@ func (f *File) transferIndependent(d0, d int64, memtype *datatype.Type, count in
 		}
 
 		if write {
+			ssp := f.tr.Begin(trace.PhaseSieveWrite, winLo, n)
 			// In atomic mode the whole access range is already held
 			// (and the lock table is not reentrant); otherwise lock the
 			// window for the read-modify-write cycle.
@@ -159,27 +168,35 @@ func (f *File) transferIndependent(d0, d int64, memtype *datatype.Type, count in
 				// Read-modify-write: fill the gaps from the file.
 				if err := storage.ReadFull(f.sh.b, w, winLo); err != nil {
 					unlock()
+					ssp.End()
 					return err
 				}
 			}
 			if err := f.moveWindow(w, winLo, dw, n, buf, mem, memContig, d0, pb, true, vc); err != nil {
 				unlock()
+				ssp.End()
 				return err
 			}
 			if _, err := f.sh.b.WriteAt(w, winLo); err != nil {
 				unlock()
+				ssp.End()
 				return err
 			}
 			unlock()
+			ssp.End()
 			f.Stats.SieveWrites++
 		} else {
+			ssp := f.tr.Begin(trace.PhaseSieveRead, winLo, n)
 			if err := storage.ReadFull(f.sh.b, w, winLo); err != nil {
+				ssp.End()
 				return err
 			}
 			f.Stats.SieveReads++
 			if err := f.moveWindow(w, winLo, dw, n, buf, mem, memContig, d0, pb, false, vc); err != nil {
+				ssp.End()
 				return err
 			}
+			ssp.End()
 		}
 		dw += n
 	}

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Snapshot returns a copy of the counters, for differencing around a
+// phase of interest: take one before, one after, and Sub them.
+func (s *Stats) Snapshot() Stats { return *s }
+
+// Sub returns the counter deltas since an earlier snapshot.
+func (s Stats) Sub(prev Stats) Stats {
+	return Stats{
+		ListTuples:        s.ListTuples - prev.ListTuples,
+		ListBytesSent:     s.ListBytesSent - prev.ListBytesSent,
+		ViewBytesSent:     s.ViewBytesSent - prev.ViewBytesSent,
+		SieveReads:        s.SieveReads - prev.SieveReads,
+		SieveWrites:       s.SieveWrites - prev.SieveWrites,
+		PreReadsSkipped:   s.PreReadsSkipped - prev.PreReadsSkipped,
+		DirectReads:       s.DirectReads - prev.DirectReads,
+		DirectWrites:      s.DirectWrites - prev.DirectWrites,
+		BytesRead:         s.BytesRead - prev.BytesRead,
+		BytesWritten:      s.BytesWritten - prev.BytesWritten,
+		ExchangeNs:        s.ExchangeNs - prev.ExchangeNs,
+		StorageNs:         s.StorageNs - prev.StorageNs,
+		CopyNs:            s.CopyNs - prev.CopyNs,
+		WindowsOverlapped: s.WindowsOverlapped - prev.WindowsOverlapped,
+	}
+}
+
+// String renders the counters as a stable multi-line phase breakdown,
+// one indented line per counter group; zero-valued groups are elided so
+// independent runs don't print collective noise and vice versa.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "list tuples=%d  list bytes sent=%d  view bytes sent=%d\n",
+		s.ListTuples, s.ListBytesSent, s.ViewBytesSent)
+	fmt.Fprintf(&b, "sieve reads=%d writes=%d  pre-reads skipped=%d",
+		s.SieveReads, s.SieveWrites, s.PreReadsSkipped)
+	if s.DirectReads != 0 || s.DirectWrites != 0 {
+		fmt.Fprintf(&b, "  direct reads=%d writes=%d", s.DirectReads, s.DirectWrites)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "bytes read=%d written=%d\n", s.BytesRead, s.BytesWritten)
+	if s.ExchangeNs != 0 || s.StorageNs != 0 || s.CopyNs != 0 {
+		fmt.Fprintf(&b, "phases: exchange=%v  storage=%v  copy=%v  windows overlapped=%d\n",
+			time.Duration(s.ExchangeNs).Round(time.Microsecond),
+			time.Duration(s.StorageNs).Round(time.Microsecond),
+			time.Duration(s.CopyNs).Round(time.Microsecond),
+			s.WindowsOverlapped)
+	}
+	return b.String()
+}

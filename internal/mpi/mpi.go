@@ -18,6 +18,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/trace"
 )
 
 // Wildcards for Recv matching.
@@ -30,10 +32,15 @@ const (
 const collTagBase = 1 << 24
 
 // Stats aggregates the communication volume of a world or a process.
+// In a quiescent world (every sent message consumed by a Recv or a
+// DrainTag) the send and receive sides balance: Messages == Received
+// and Bytes == BytesReceived.
 type Stats struct {
-	Messages   int64 // point-to-point messages sent
-	Bytes      int64 // payload bytes sent
-	RecvWaitNs int64 // total time spent blocked in Recv
+	Messages      int64 // point-to-point messages sent
+	Bytes         int64 // payload bytes sent
+	Received      int64 // messages consumed (Recv and DrainTag)
+	BytesReceived int64 // payload bytes consumed
+	RecvWaitNs    int64 // total time spent blocked in Recv
 }
 
 type message struct {
@@ -101,9 +108,16 @@ type world struct {
 	barrierCnt int
 	barrierC   *sync.Cond
 
-	msgs     atomic.Int64
-	bytes    atomic.Int64
-	recvWait atomic.Int64
+	msgs      atomic.Int64
+	bytes     atomic.Int64
+	recvMsgs  atomic.Int64
+	recvBytes atomic.Int64
+	recvWait  atomic.Int64
+
+	// traceC, when set, supplies per-rank tracers: Recv and Barrier
+	// record wait spans, sends record instants, and the stall watchdog
+	// includes each rank's last span begun in its diagnostic.
+	traceC *trace.Collector
 
 	splitMu  sync.Mutex
 	splitGen []int // per-rank Split-call counter
@@ -136,9 +150,12 @@ func (w *world) abort() {
 type Proc struct {
 	rank int
 	w    *world
+	tr   *trace.Tracer
 
 	sentMsgs   int64
 	sentBytes  int64
+	recvMsgs   int64
+	recvBytes  int64
 	recvWaitNs int64
 }
 
@@ -148,9 +165,14 @@ func (p *Proc) Rank() int { return p.rank }
 // Size reports the number of processes in the world.
 func (p *Proc) Size() int { return p.w.size }
 
-// SentStats reports this process's cumulative send volume.
+// SentStats reports this process's cumulative communication volume
+// (both sides; the name predates the receive-side counters).
 func (p *Proc) SentStats() Stats {
-	return Stats{Messages: p.sentMsgs, Bytes: p.sentBytes, RecvWaitNs: p.recvWaitNs}
+	return Stats{
+		Messages: p.sentMsgs, Bytes: p.sentBytes,
+		Received: p.recvMsgs, BytesReceived: p.recvBytes,
+		RecvWaitNs: p.recvWaitNs,
+	}
 }
 
 // RunOptions configure a world beyond its size.
@@ -163,6 +185,10 @@ type RunOptions struct {
 	// hanging forever.  The watchdog observes only this world: a rank
 	// blocked inside a Split sub-world appears as running.
 	StallTimeout time.Duration
+	// Trace, when non-nil, attaches each rank's tracer: Recv and
+	// Barrier record wait spans, Send records message instants, and
+	// ErrStalled diagnostics include each rank's last span begun.
+	Trace *trace.Collector
 }
 
 // ErrStalled is wrapped by the error Run returns when the stall watchdog
@@ -181,7 +207,7 @@ func RunWithOptions(n int, opts RunOptions, fn func(p *Proc)) (Stats, error) {
 	if n <= 0 {
 		return Stats{}, fmt.Errorf("mpi: world size %d", n)
 	}
-	w := &world{size: n, mailboxes: make([]*mailbox, n)}
+	w := &world{size: n, mailboxes: make([]*mailbox, n), traceC: opts.Trace}
 	w.barrierC = sync.NewCond(&w.barrierMu)
 	w.splitGen = make([]int, n)
 	w.splits = make(map[string]*splitEntry)
@@ -227,7 +253,7 @@ func RunWithOptions(n int, opts RunOptions, fn func(p *Proc)) (Stats, error) {
 				// watchdog counts it as permanently waiting.
 				defer w.blocked[rank].Store(blockExited)
 			}
-			fn(&Proc{rank: rank, w: w})
+			fn(&Proc{rank: rank, w: w, tr: opts.Trace.Tracer(rank)})
 		}(r)
 	}
 	wg.Wait()
@@ -235,7 +261,11 @@ func RunWithOptions(n int, opts RunOptions, fn func(p *Proc)) (Stats, error) {
 		close(watchStop)
 		<-watchDone // runErr must not be written after we return it
 	}
-	return Stats{Messages: w.msgs.Load(), Bytes: w.bytes.Load(), RecvWaitNs: w.recvWait.Load()}, runErr
+	return Stats{
+		Messages: w.msgs.Load(), Bytes: w.bytes.Load(),
+		Received: w.recvMsgs.Load(), BytesReceived: w.recvBytes.Load(),
+		RecvWaitNs: w.recvWait.Load(),
+	}, runErr
 }
 
 // Per-rank wait states for the watchdog, packed into one uint64:
@@ -290,7 +320,10 @@ func (w *world) watchdog(timeout time.Duration, stop <-chan struct{}, fail func(
 	}
 }
 
-// stallDiagnostic formats where every rank is stuck.
+// stallDiagnostic formats where every rank is stuck: the packed wait
+// state, plus (when tracing) the last span each rank began — which
+// collective phase and file window the rank was inside when it stopped
+// making progress.
 func (w *world) stallDiagnostic() error {
 	var b strings.Builder
 	for r := range w.blocked {
@@ -321,6 +354,16 @@ func (w *world) stallDiagnostic() error {
 		default:
 			b.WriteString("running")
 		}
+		if ev, ok := w.traceC.Tracer(r).Current(); ok {
+			fmt.Fprintf(&b, " [last span: %s", ev.Phase)
+			if ev.Window != trace.NoWindow {
+				fmt.Fprintf(&b, " @%d", ev.Window)
+			}
+			if ev.Dur < 0 {
+				b.WriteString(", unfinished")
+			}
+			b.WriteString("]")
+		}
 	}
 	return fmt.Errorf("%w: no progress for the stall timeout: %s", ErrStalled, b.String())
 }
@@ -340,6 +383,7 @@ func (p *Proc) Send(dst, tag int, data []byte) {
 	if p.w.watch {
 		p.w.progress.Add(1)
 	}
+	p.tr.Instant(trace.PhaseMPISend, trace.NoWindow, int64(len(data)), "")
 	p.w.mailboxes[dst].put(message{src: p.rank, tag: tag, data: buf})
 }
 
@@ -356,6 +400,7 @@ func (p *Proc) SendNoCopy(dst, tag int, data []byte) {
 	if p.w.watch {
 		p.w.progress.Add(1)
 	}
+	p.tr.Instant(trace.PhaseMPISend, trace.NoWindow, int64(len(data)), "")
 	p.w.mailboxes[dst].put(message{src: p.rank, tag: tag, data: data})
 }
 
@@ -365,6 +410,7 @@ func (p *Proc) SendNoCopy(dst, tag int, data []byte) {
 // in the order they were sent.
 func (p *Proc) Recv(src, tag int) (data []byte, fromSrc, fromTag int) {
 	t0 := time.Now()
+	sp := p.tr.Begin(trace.PhaseMPIRecv, trace.NoWindow, 0)
 	if p.w.watch {
 		p.w.blocked[p.rank].Store(blockState(blockRecv, src, tag))
 	}
@@ -373,9 +419,14 @@ func (p *Proc) Recv(src, tag int) (data []byte, fromSrc, fromTag int) {
 		p.w.blocked[p.rank].Store(blockNone)
 		p.w.progress.Add(1)
 	}
+	sp.EndBytes(int64(len(m.data)))
 	ns := time.Since(t0).Nanoseconds()
 	p.recvWaitNs += ns
 	p.w.recvWait.Add(ns)
+	p.recvMsgs++
+	p.recvBytes += int64(len(m.data))
+	p.w.recvMsgs.Add(1)
+	p.w.recvBytes.Add(int64(len(m.data)))
 	return m.data, m.src, m.tag
 }
 
@@ -383,15 +434,20 @@ func (p *Proc) Recv(src, tag int) (data []byte, fromSrc, fromTag int) {
 // source) from this rank's mailbox without blocking, returning the
 // number of messages discarded.  Collective error recovery uses it to
 // clear the in-flight traffic of an abandoned collective so the next
-// one starts with clean mailboxes.
+// one starts with clean mailboxes.  Drained messages count as received
+// so the world's send/receive accounting still balances after error
+// recovery.
 func (p *Proc) DrainTag(tag int) int {
 	mb := p.w.mailboxes[p.rank]
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
 	kept := mb.queue[:0]
+	var droppedBytes int64
 	for _, m := range mb.queue {
 		if m.tag != tag {
 			kept = append(kept, m)
+		} else {
+			droppedBytes += int64(len(m.data))
 		}
 	}
 	dropped := len(mb.queue) - len(kept)
@@ -399,12 +455,18 @@ func (p *Proc) DrainTag(tag int) int {
 		mb.queue[i] = message{} // release dropped payloads
 	}
 	mb.queue = kept
+	p.recvMsgs += int64(dropped)
+	p.recvBytes += droppedBytes
+	p.w.recvMsgs.Add(int64(dropped))
+	p.w.recvBytes.Add(droppedBytes)
 	return dropped
 }
 
 // Barrier blocks until all ranks have entered it.
 func (p *Proc) Barrier() {
 	w := p.w
+	sp := p.tr.Begin(trace.PhaseMPIBarrier, trace.NoWindow, 0)
+	defer sp.End()
 	if w.watch {
 		w.blocked[p.rank].Store(blockState(blockBarrier, -2, -2))
 		defer func() {

@@ -195,7 +195,7 @@ func TestAllgatherEmptyParts(t *testing.T) {
 
 func TestAlltoall(t *testing.T) {
 	const P = 4
-	_, err := Run(P, func(p *Proc) {
+	stats, err := Run(P, func(p *Proc) {
 		parts := make([][]byte, P)
 		for r := 0; r < P; r++ {
 			parts[r] = []byte{byte(p.Rank()), byte(r)}
@@ -210,6 +210,15 @@ func TestAlltoall(t *testing.T) {
 	})
 	if err != nil {
 		t.Fatal(err)
+	}
+	// Every message sent inside the world is received inside it, so the
+	// world totals must balance exactly.
+	if stats.Messages != stats.Received || stats.Bytes != stats.BytesReceived {
+		t.Fatalf("world accounting unbalanced: sent %d msgs/%d B, received %d msgs/%d B",
+			stats.Messages, stats.Bytes, stats.Received, stats.BytesReceived)
+	}
+	if stats.Received == 0 {
+		t.Fatal("alltoall received no messages")
 	}
 }
 
@@ -295,6 +304,10 @@ func TestStatsCounting(t *testing.T) {
 		} else {
 			p.Recv(0, 0)
 			p.Recv(0, 0)
+			s := p.SentStats()
+			if s.Received != 2 || s.BytesReceived != 150 {
+				t.Errorf("receive-side proc stats = %+v", s)
+			}
 		}
 	})
 	if err != nil {
@@ -302,6 +315,9 @@ func TestStatsCounting(t *testing.T) {
 	}
 	if stats.Messages != 2 || stats.Bytes != 150 {
 		t.Fatalf("world stats = %+v", stats)
+	}
+	if stats.Received != 2 || stats.BytesReceived != 150 {
+		t.Fatalf("world receive stats = %+v", stats)
 	}
 }
 

@@ -5,6 +5,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/trace"
 )
 
 // TestWatchdogDetectsDeadlock arms the stall watchdog over a world
@@ -23,6 +25,30 @@ func TestWatchdogDetectsDeadlock(t *testing.T) {
 	}
 	msg := err.Error()
 	for _, want := range []string{"rank 0", "rank 1", "Recv(src=1, tag=5)", "Recv(src=0, tag=6)"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("diagnostic %q missing %q", msg, want)
+		}
+	}
+}
+
+// TestWatchdogForensicsIncludesTrace: when a trace collector is wired
+// into the world, the stall diagnostic must name the last span each
+// rank began, not just the packed wait state — that is what tells the
+// operator which collective phase the world died in.
+func TestWatchdogForensicsIncludesTrace(t *testing.T) {
+	c := trace.NewCollector(64)
+	_, err := RunWithOptions(2, RunOptions{StallTimeout: 50 * time.Millisecond, Trace: c}, func(p *Proc) {
+		if p.Rank() == 0 {
+			p.Recv(1, 5)
+		} else {
+			p.Recv(0, 6)
+		}
+	})
+	if !errors.Is(err, ErrStalled) {
+		t.Fatalf("err = %v, want ErrStalled", err)
+	}
+	msg := err.Error()
+	for _, want := range []string{"last span: mpi.recv", "unfinished"} {
 		if !strings.Contains(msg, want) {
 			t.Errorf("diagnostic %q missing %q", msg, want)
 		}

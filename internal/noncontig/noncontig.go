@@ -21,6 +21,7 @@ import (
 	"repro/internal/datatype"
 	"repro/internal/mpi"
 	"repro/internal/storage"
+	"repro/internal/trace"
 )
 
 // Pattern selects the memory/file contiguity combination of Figure 1.
@@ -81,6 +82,10 @@ type Config struct {
 	// a per-rank diagnostic instead of hanging (useful under fault
 	// injection).
 	StallTimeout time.Duration
+	// Trace, when non-nil, records per-rank spans of every collective
+	// phase and MPI wait into the collector for Chrome-trace export and
+	// the imbalance summary.
+	Trace *trace.Collector
 }
 
 func (c Config) tiles() int64 {
@@ -151,13 +156,14 @@ func Run(cfg Config) (Result, error) {
 	sh := core.NewShared(be)
 	opts := cfg.Options
 	opts.Engine = cfg.Engine
+	opts.Trace = cfg.Trace
 
 	res := Result{Config: cfg, Verified: true}
 	var writeNs, readNs int64
 	var rank0Stats core.Stats
 	verifyFailed := false
 
-	comm, err := mpi.RunWithOptions(cfg.P, mpi.RunOptions{StallTimeout: cfg.StallTimeout}, func(p *mpi.Proc) {
+	comm, err := mpi.RunWithOptions(cfg.P, mpi.RunOptions{StallTimeout: cfg.StallTimeout, Trace: cfg.Trace}, func(p *mpi.Proc) {
 		f, err := core.Open(p, sh, opts)
 		if err != nil {
 			panic(err)
@@ -249,7 +255,7 @@ func Run(cfg Config) (Result, error) {
 		rMax := p.AllreduceInt64(rNs, mpi.OpMax)
 		if p.Rank() == 0 {
 			writeNs, readNs = wMax, rMax
-			rank0Stats = f.Stats
+			rank0Stats = f.Stats.Snapshot()
 		}
 	})
 	if err != nil {

@@ -6,6 +6,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/trace"
 )
 
 // ChaosConfig sets the per-operation injection probabilities of a Chaos
@@ -66,6 +68,7 @@ func (s ChaosStats) Total() int64 {
 type Chaos struct {
 	Backend
 	cfg ChaosConfig
+	tr  *trace.Tracer // optional fault-instant recording (see SetTracer)
 
 	mu  sync.Mutex
 	rng *rand.Rand
@@ -121,7 +124,7 @@ func (c *Chaos) cut(n int) int {
 	return v
 }
 
-func (c *Chaos) maybeSpike() {
+func (c *Chaos) maybeSpike(off int64) {
 	if !c.hit(c.cfg.LatencySpike) {
 		return
 	}
@@ -129,18 +132,21 @@ func (c *Chaos) maybeSpike() {
 	c.mu.Lock()
 	d := time.Duration(c.rng.Int63n(int64(c.cfg.MaxLatency)))
 	c.mu.Unlock()
+	c.instant(trace.PhaseChaosSpike, off, 0, "stalled %v", d)
 	c.sleep(d)
 }
 
 // ReadAt implements io.ReaderAt with fault injection.
 func (c *Chaos) ReadAt(p []byte, off int64) (int, error) {
-	c.maybeSpike()
+	c.maybeSpike(off)
 	if c.hit(c.cfg.PermanentRead) {
 		c.permanents.Add(1)
+		c.instant(trace.PhaseChaosPermanent, off, len(p), "read fault")
 		return 0, fmt.Errorf("storage: chaos read fault at offset %d: %w", off, ErrPermanent)
 	}
 	if c.hit(c.cfg.TransientRead) {
 		c.transients.Add(1)
+		c.instant(trace.PhaseChaosTransient, off, len(p), "read fault")
 		return 0, fmt.Errorf("storage: chaos read fault at offset %d: %w", off, ErrTransient)
 	}
 	if len(p) > 1 && c.hit(c.cfg.ShortRead) {
@@ -149,6 +155,7 @@ func (c *Chaos) ReadAt(p []byte, off int64) (int, error) {
 		if err != nil {
 			return n, err
 		}
+		c.instant(trace.PhaseChaosShortRead, off, n, "%d of %d bytes", n, len(p))
 		return n, fmt.Errorf("storage: chaos short read (%d of %d bytes) at offset %d: %w",
 			n, len(p), off, ErrTransient)
 	}
@@ -157,13 +164,15 @@ func (c *Chaos) ReadAt(p []byte, off int64) (int, error) {
 
 // WriteAt implements io.WriterAt with fault injection.
 func (c *Chaos) WriteAt(p []byte, off int64) (int, error) {
-	c.maybeSpike()
+	c.maybeSpike(off)
 	if c.hit(c.cfg.PermanentWrite) {
 		c.permanents.Add(1)
+		c.instant(trace.PhaseChaosPermanent, off, len(p), "write fault")
 		return 0, fmt.Errorf("storage: chaos write fault at offset %d: %w", off, ErrPermanent)
 	}
 	if c.hit(c.cfg.TransientWrite) {
 		c.transients.Add(1)
+		c.instant(trace.PhaseChaosTransient, off, len(p), "write fault")
 		return 0, fmt.Errorf("storage: chaos write fault at offset %d: %w", off, ErrTransient)
 	}
 	if len(p) > 1 && c.hit(c.cfg.TornWrite) {
@@ -172,6 +181,7 @@ func (c *Chaos) WriteAt(p []byte, off int64) (int, error) {
 		if err != nil {
 			return n, err
 		}
+		c.instant(trace.PhaseChaosTornWrite, off, n, "%d of %d bytes", n, len(p))
 		return n, fmt.Errorf("storage: chaos torn write (%d of %d bytes) at offset %d: %w",
 			n, len(p), off, ErrTransient)
 	}

@@ -6,6 +6,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/trace"
 )
 
 // ResilientConfig tunes the retry policy of a Resilient backend.  The
@@ -55,6 +57,7 @@ func (c *ResilientConfig) fill() {
 type Resilient struct {
 	Backend
 	cfg ResilientConfig
+	tr  *trace.Tracer // optional retry-instant recording (see SetTracer)
 
 	mu  sync.Mutex
 	rng *rand.Rand
@@ -92,8 +95,19 @@ func (r *Resilient) jitter(d time.Duration) time.Duration {
 	return j
 }
 
-// do runs op, retrying transient failures per the policy.
-func (r *Resilient) do(op func() error) error {
+// instant records a retry event on the trace, skipping the detail
+// formatting entirely when tracing is off.
+func (r *Resilient) instant(ph trace.Phase, off int64, format string, args ...any) {
+	if !r.tr.Enabled() {
+		return
+	}
+	r.tr.Instant(ph, off, 0, fmt.Sprintf(format, args...))
+}
+
+// do runs op, retrying transient failures per the policy.  off is the
+// file offset of the operation (trace.NoWindow for whole-file ops),
+// used only to annotate retry instants.
+func (r *Resilient) do(off int64, op func() error) error {
 	var deadline time.Time
 	if r.cfg.OpDeadline > 0 {
 		deadline = time.Now().Add(r.cfg.OpDeadline)
@@ -106,6 +120,7 @@ func (r *Resilient) do(op func() error) error {
 		}
 		if attempt >= r.cfg.MaxRetries {
 			r.exhausted.Add(1)
+			r.instant(trace.PhaseRetryExhausted, off, "giving up after %d attempts: %v", attempt+1, err)
 			return fmt.Errorf("storage: giving up after %d attempts: %w", attempt+1, err)
 		}
 		delay := backoff/2 + r.jitter(backoff/2)
@@ -117,17 +132,20 @@ func (r *Resilient) do(op func() error) error {
 		}
 		if !deadline.IsZero() && time.Now().Add(delay).After(deadline) {
 			r.exhausted.Add(1)
+			r.instant(trace.PhaseRetryExhausted, off, "deadline %v exceeded after %d attempts: %v",
+				r.cfg.OpDeadline, attempt+1, err)
 			return fmt.Errorf("storage: deadline %v exceeded after %d attempts: %w",
 				r.cfg.OpDeadline, attempt+1, err)
 		}
 		r.retries.Add(1)
+		r.instant(trace.PhaseRetry, off, "attempt %d after %v: %v", attempt+1, delay, err)
 		r.sleep(delay)
 	}
 }
 
 // ReadAt implements io.ReaderAt with transient-failure retry.
 func (r *Resilient) ReadAt(p []byte, off int64) (n int, err error) {
-	err = r.do(func() error {
+	err = r.do(off, func() error {
 		var e error
 		n, e = r.Backend.ReadAt(p, off)
 		return e
@@ -137,7 +155,7 @@ func (r *Resilient) ReadAt(p []byte, off int64) (n int, err error) {
 
 // WriteAt implements io.WriterAt with transient-failure retry.
 func (r *Resilient) WriteAt(p []byte, off int64) (n int, err error) {
-	err = r.do(func() error {
+	err = r.do(off, func() error {
 		var e error
 		n, e = r.Backend.WriteAt(p, off)
 		return e
@@ -147,10 +165,10 @@ func (r *Resilient) WriteAt(p []byte, off int64) (n int, err error) {
 
 // Truncate implements Backend with transient-failure retry.
 func (r *Resilient) Truncate(size int64) error {
-	return r.do(func() error { return r.Backend.Truncate(size) })
+	return r.do(size, func() error { return r.Backend.Truncate(size) })
 }
 
 // Sync implements Backend with transient-failure retry.
 func (r *Resilient) Sync() error {
-	return r.do(func() error { return r.Backend.Sync() })
+	return r.do(trace.NoWindow, func() error { return r.Backend.Sync() })
 }

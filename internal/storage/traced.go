@@ -1,0 +1,72 @@
+package storage
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// Traced wraps a Backend so every operation records a span on a
+// tracer — normally the collector's shared storage-backend track, which
+// is where cross-rank contention on the common file becomes visible.
+// The Window field of each span carries the file offset of the
+// operation.  A nil tracer makes the wrapper transparent.
+type Traced struct {
+	Backend
+	tr *trace.Tracer
+}
+
+// NewTraced wraps b; spans are recorded on tr.
+func NewTraced(b Backend, tr *trace.Tracer) *Traced {
+	return &Traced{Backend: b, tr: tr}
+}
+
+// ReadAt implements io.ReaderAt with span recording.
+func (t *Traced) ReadAt(p []byte, off int64) (int, error) {
+	sp := t.tr.Begin(trace.PhaseStorageRead, off, int64(len(p)))
+	n, err := t.Backend.ReadAt(p, off)
+	sp.EndBytes(int64(n))
+	return n, err
+}
+
+// WriteAt implements io.WriterAt with span recording.
+func (t *Traced) WriteAt(p []byte, off int64) (int, error) {
+	sp := t.tr.Begin(trace.PhaseStorageWrite, off, int64(len(p)))
+	n, err := t.Backend.WriteAt(p, off)
+	sp.EndBytes(int64(n))
+	return n, err
+}
+
+// Truncate implements Backend with span recording.
+func (t *Traced) Truncate(n int64) error {
+	sp := t.tr.Begin(trace.PhaseStorageTruncate, n, 0)
+	defer sp.End()
+	return t.Backend.Truncate(n)
+}
+
+// Sync implements Backend with span recording.
+func (t *Traced) Sync() error {
+	sp := t.tr.Begin(trace.PhaseStorageSync, trace.NoWindow, 0)
+	defer sp.End()
+	return t.Backend.Sync()
+}
+
+// SetTracer arms a Chaos backend to emit an instant event for every
+// injected fault, tagging the trace timeline with the exact offset and
+// fault class.  Must be called before the backend is shared across
+// goroutines.
+func (c *Chaos) SetTracer(tr *trace.Tracer) { c.tr = tr }
+
+// instant records a fault injection on the trace, skipping the detail
+// formatting entirely when tracing is off.
+func (c *Chaos) instant(ph trace.Phase, off int64, n int, format string, args ...any) {
+	if !c.tr.Enabled() {
+		return
+	}
+	c.tr.Instant(ph, off, int64(n), fmt.Sprintf(format, args...))
+}
+
+// SetTracer arms a Resilient backend to emit an instant event for every
+// retry and every abandoned operation.  Must be called before the
+// backend is shared across goroutines.
+func (r *Resilient) SetTracer(tr *trace.Tracer) { r.tr = tr }

@@ -1,0 +1,135 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Chrome trace-event export (the JSON format read by chrome://tracing
+// and Perfetto): every rank becomes a pair of named tracks (main
+// goroutine + background I/O), the shared storage backend a track of
+// its own; spans export as complete ("X") events and instants as
+// instant ("i") events, all with window offset and byte counts in args.
+
+// chromeEvent is one entry of the traceEvents array.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"` // microseconds
+	Dur  *float64       `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant scope
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// track identifies one exported thread lane.
+type track struct {
+	rank, track int
+}
+
+func (tr track) name() string {
+	if tr.rank == RankStorage {
+		return "storage backend"
+	}
+	if tr.track == TrackIO {
+		return fmt.Sprintf("rank %d bg-io", tr.rank)
+	}
+	return fmt.Sprintf("rank %d", tr.rank)
+}
+
+// WriteChrome writes the merged trace as Chrome trace-event JSON.
+func (c *Collector) WriteChrome(w io.Writer) error {
+	if c == nil {
+		return fmt.Errorf("trace: nil collector")
+	}
+	events := c.Events()
+
+	// Assign stable tids: ranks ascending, main before bg-io, storage
+	// last.
+	seen := make(map[track]bool)
+	var tracks []track
+	for _, ev := range events {
+		tr := track{rank: ev.Rank, track: ev.Track}
+		if !seen[tr] {
+			seen[tr] = true
+			tracks = append(tracks, tr)
+		}
+	}
+	sort.Slice(tracks, func(i, j int) bool {
+		a, b := tracks[i], tracks[j]
+		if (a.rank == RankStorage) != (b.rank == RankStorage) {
+			return b.rank == RankStorage
+		}
+		if a.rank != b.rank {
+			return a.rank < b.rank
+		}
+		return a.track < b.track
+	})
+	tids := make(map[track]int, len(tracks))
+	for i, tr := range tracks {
+		tids[tr] = i
+	}
+
+	out := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{
+		{Name: "process_name", Ph: "M", PID: 0, Args: map[string]any{"name": "listless-io"}},
+	}}
+	for i, tr := range tracks {
+		out.TraceEvents = append(out.TraceEvents,
+			chromeEvent{Name: "thread_name", Ph: "M", PID: 0, TID: tids[tr],
+				Args: map[string]any{"name": tr.name()}},
+			chromeEvent{Name: "thread_sort_index", Ph: "M", PID: 0, TID: tids[tr],
+				Args: map[string]any{"sort_index": i}})
+	}
+
+	for _, ev := range events {
+		ce := chromeEvent{
+			Name: string(ev.Phase),
+			Cat:  category(ev.Phase),
+			TS:   float64(ev.Start) / 1e3,
+			PID:  0,
+			TID:  tids[track{rank: ev.Rank, track: ev.Track}],
+			Args: map[string]any{"rank": ev.Rank},
+		}
+		if ev.Window != NoWindow {
+			ce.Args["window_off"] = ev.Window
+		}
+		if ev.Bytes > 0 {
+			ce.Args["bytes"] = ev.Bytes
+		}
+		if ev.Detail != "" {
+			ce.Args["detail"] = ev.Detail
+		}
+		if ev.Kind == KindInstant {
+			ce.Ph = "i"
+			ce.S = "t"
+		} else {
+			ce.Ph = "X"
+			dur := float64(ev.Dur) / 1e3
+			ce.Dur = &dur
+		}
+		out.TraceEvents = append(out.TraceEvents, ce)
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+// category groups phases for trace-viewer filtering.
+func category(ph Phase) string {
+	for i := 0; i < len(ph); i++ {
+		if ph[i] == '.' {
+			return string(ph[:i])
+		}
+	}
+	return string(ph)
+}

@@ -1,0 +1,130 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// buildDeterministicTrace records a fixed event sequence with a fixed
+// clock: two ranks with nested collective spans and background I/O,
+// plus storage-track instants — one of everything the exporter emits.
+func buildDeterministicTrace() *Collector {
+	c := testCollector(64, 0)
+	var now int64
+	c.clock = func() int64 { return now }
+	at := func(ts int64) { now = ts }
+
+	r0, r1, st := c.Tracer(0), c.Tracer(1), c.Storage()
+
+	at(0)
+	w0 := r0.Begin(PhaseCollWrite, NoWindow, 4096)
+	at(100)
+	w1 := r1.Begin(PhaseCollWrite, NoWindow, 4096)
+
+	at(200)
+	pl := r0.Begin(PhaseCollPlan, NoWindow, 0)
+	at(700)
+	pl.End()
+
+	at(800)
+	pr := r0.BeginIO(PhasePreRead, 0, 2048)
+	ex := r0.Begin(PhaseExchange, 0, 1024)
+	at(1500)
+	ex.End()
+	at(1600)
+	pr.End()
+
+	at(1700)
+	rv := r1.Begin(PhaseMPIRecv, NoWindow, 0)
+	at(2400)
+	rv.EndBytes(1024)
+	r1.Instant(PhaseMPISend, NoWindow, 1024, "")
+
+	at(2500)
+	st.Instant(PhaseChaosTransient, 2048, 0, "chaos read fault at offset 2048")
+	st.Instant(PhaseRetry, 2048, 0, "attempt 1")
+
+	at(3000)
+	w1.End()
+	at(3100)
+	w0.End()
+	return c
+}
+
+// TestChromeExportGolden locks the exported Chrome trace-event JSON
+// against a golden file (regenerate with `go test -run Chrome -update`).
+func TestChromeExportGolden(t *testing.T) {
+	c := buildDeterministicTrace()
+	var buf bytes.Buffer
+	if err := c.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "chrome_golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden: %v (regenerate with -update)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("chrome export drifted from golden file; run `go test ./internal/trace -run Chrome -update` if intentional\ngot:\n%s", buf.String())
+	}
+}
+
+// TestChromeExportWellFormed validates the structural invariants any
+// trace viewer needs: parseable JSON, named per-rank tracks, complete
+// events with durations, instants with scope.
+func TestChromeExportWellFormed(t *testing.T) {
+	c := buildDeterministicTrace()
+	var buf bytes.Buffer
+	if err := c.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	names := map[string]bool{}
+	var spans, instants, threadNames int
+	for _, ev := range parsed.TraceEvents {
+		switch ev["ph"] {
+		case "X":
+			spans++
+			if _, ok := ev["dur"]; !ok {
+				t.Errorf("complete event without dur: %v", ev)
+			}
+		case "i":
+			instants++
+			if ev["s"] != "t" {
+				t.Errorf("instant without thread scope: %v", ev)
+			}
+		case "M":
+			if ev["name"] == "thread_name" {
+				threadNames++
+				names[ev["args"].(map[string]any)["name"].(string)] = true
+			}
+		}
+	}
+	for _, want := range []string{"rank 0", "rank 0 bg-io", "rank 1", "storage backend"} {
+		if !names[want] {
+			t.Errorf("missing track %q (have %v)", want, names)
+		}
+	}
+	if spans == 0 || instants == 0 {
+		t.Errorf("spans=%d instants=%d, want both nonzero", spans, instants)
+	}
+}

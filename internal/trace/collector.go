@@ -1,0 +1,219 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// DefaultBufSize is the per-rank ring capacity when none is given.
+const DefaultBufSize = 4096
+
+// Collector is the world-level trace state: it hands out per-rank
+// Tracers sharing one epoch clock, and after a run merges their rings
+// and histograms into a Chrome trace export, a per-rank imbalance
+// summary, and stall/fault forensics.  All methods are safe on a nil
+// receiver, so a nil *Collector is the disabled state that flows
+// through configuration structs.
+type Collector struct {
+	epoch   time.Time
+	clock   func() int64
+	bufSize int
+
+	mu      sync.Mutex
+	tracers map[int]*Tracer
+}
+
+// NewCollector creates a collector whose tracers hold bufSize events
+// each (0 selects DefaultBufSize).
+func NewCollector(bufSize int) *Collector {
+	if bufSize <= 0 {
+		bufSize = DefaultBufSize
+	}
+	c := &Collector{epoch: time.Now(), bufSize: bufSize, tracers: make(map[int]*Tracer)}
+	c.clock = func() int64 { return time.Since(c.epoch).Nanoseconds() }
+	return c
+}
+
+// Tracer returns the tracer of one rank, creating it on first use.
+// Safe to call concurrently from every rank goroutine.
+func (c *Collector) Tracer(rank int) *Tracer {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := c.tracers[rank]
+	if t == nil {
+		t = newTracer(rank, c.bufSize, c.clock)
+		c.tracers[rank] = t
+	}
+	return t
+}
+
+// Storage returns the shared storage backend's tracer (pseudo-rank
+// RankStorage, rendered as its own track).
+func (c *Collector) Storage() *Tracer { return c.Tracer(RankStorage) }
+
+// ranks lists the tracked ranks in ascending order (storage last).
+func (c *Collector) ranks() []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]int, 0, len(c.tracers))
+	for r := range c.tracers {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if (a == RankStorage) != (b == RankStorage) {
+			return b == RankStorage // real ranks first
+		}
+		return a < b
+	})
+	return out
+}
+
+// Events merges every rank's buffered events, sorted by start time.
+func (c *Collector) Events() []Event {
+	if c == nil {
+		return nil
+	}
+	var out []Event
+	for _, r := range c.ranks() {
+		out = append(out, c.Tracer(r).Events()...)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// Dropped sums the ring overwrites across all ranks.
+func (c *Collector) Dropped() int64 {
+	if c == nil {
+		return 0
+	}
+	var n int64
+	for _, r := range c.ranks() {
+		n += c.Tracer(r).Dropped()
+	}
+	return n
+}
+
+// MergedMetrics folds every rank's histograms into one metric set.
+func (c *Collector) MergedMetrics() *Metrics {
+	if c == nil {
+		return nil
+	}
+	m := NewMetrics()
+	for _, r := range c.ranks() {
+		m.Merge(c.Tracer(r).Metrics())
+	}
+	return m
+}
+
+// Summary renders the per-phase breakdown: world totals and counts,
+// latency quantiles from the merged histograms, and the per-rank
+// imbalance — which rank spent the most time in the phase and what
+// share of the world total that is (1/nranks is perfect balance, 1.0
+// is one rank doing all the work).
+func (c *Collector) Summary() string {
+	if c == nil {
+		return ""
+	}
+	type rankTotals struct {
+		rank   int
+		totals map[Phase]int64
+		counts map[Phase]int64
+	}
+	var rts []rankTotals
+	var nRanks int
+	for _, r := range c.ranks() {
+		if r == RankStorage {
+			continue
+		}
+		nRanks++
+		totals, counts := c.Tracer(r).phaseTotals()
+		rts = append(rts, rankTotals{rank: r, totals: totals, counts: counts})
+	}
+	merged := c.MergedMetrics()
+
+	// World totals per phase, from the per-rank totals (ring-proof:
+	// totals accumulate even after the ring wraps).
+	worldNs := make(map[Phase]int64)
+	worldCount := make(map[Phase]int64)
+	maxNs := make(map[Phase]int64)
+	maxRank := make(map[Phase]int)
+	for _, rt := range rts {
+		for ph, ns := range rt.totals {
+			worldNs[ph] += ns
+			if ns > maxNs[ph] {
+				maxNs[ph] = ns
+				maxRank[ph] = rt.rank
+			}
+		}
+		for ph, n := range rt.counts {
+			worldCount[ph] += n
+		}
+	}
+	phases := make([]Phase, 0, len(worldNs))
+	for ph := range worldNs {
+		phases = append(phases, ph)
+	}
+	sort.Slice(phases, func(i, j int) bool { return worldNs[phases[i]] > worldNs[phases[j]] })
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace summary: %d ranks, %d events buffered (%d dropped)\n",
+		nRanks, len(c.Events()), c.Dropped())
+	fmt.Fprintf(&b, "  %-22s %10s %8s %9s %9s %9s   %s\n",
+		"phase", "total", "count", "mean", "p50", "p99", "slowest rank (share)")
+	us := func(ns int64) string { return time.Duration(ns).Round(time.Microsecond).String() }
+	for _, ph := range phases {
+		var mean, p50, p99 int64
+		if h := merged.Hist(ph); h != nil {
+			mean, p50, p99 = h.Mean(), h.Quantile(0.5), h.Quantile(0.99)
+		}
+		share := 0.0
+		if worldNs[ph] > 0 {
+			share = float64(maxNs[ph]) / float64(worldNs[ph])
+		}
+		fmt.Fprintf(&b, "  %-22s %10s %8d %9s %9s %9s   rank %d (%2.0f%%)\n",
+			ph, us(worldNs[ph]), worldCount[ph], us(mean), us(p50), us(p99),
+			maxRank[ph], share*100)
+	}
+	return b.String()
+}
+
+// Forensics renders the last perRank events of every rank, plus its
+// in-flight span — the post-mortem attached to stalls and collective
+// faults.
+func (c *Collector) Forensics(perRank int) string {
+	if c == nil {
+		return ""
+	}
+	var b strings.Builder
+	for _, r := range c.ranks() {
+		t := c.Tracer(r)
+		if r == RankStorage {
+			fmt.Fprintf(&b, "storage backend:\n")
+		} else {
+			fmt.Fprintf(&b, "rank %d:\n", r)
+		}
+		evs := t.Recent(perRank)
+		if len(evs) == 0 {
+			b.WriteString("  (no events)\n")
+		}
+		for _, ev := range evs {
+			fmt.Fprintf(&b, "  %s\n", ev)
+		}
+		if cur, ok := t.Current(); ok && cur.Dur < 0 {
+			fmt.Fprintf(&b, "  in-flight: %s begun +%v",
+				cur.Phase, time.Duration(cur.Start).Round(time.Microsecond))
+			if cur.Window != NoWindow {
+				fmt.Fprintf(&b, " @%d", cur.Window)
+			}
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}

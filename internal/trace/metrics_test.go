@@ -1,0 +1,136 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	cases := []struct {
+		v      int64
+		bucket int
+	}{
+		{0, 0}, {-5, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{1023, 10}, {1024, 11}, {1 << 40, 41},
+	}
+	for _, c := range cases {
+		if got := bucketOf(max64(c.v, 0)); got != c.bucket {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.v, got, c.bucket)
+		}
+	}
+	// Bucket upper bounds: bucket i covers [2^(i-1), 2^i).
+	if bucketHi(0) != 0 || bucketHi(1) != 1 || bucketHi(3) != 7 || bucketHi(11) != 2047 {
+		t.Errorf("bucketHi = %d %d %d %d", bucketHi(0), bucketHi(1), bucketHi(3), bucketHi(11))
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func TestHistogramStats(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{100, 200, 300, 400, 1000} {
+		h.Add(v)
+	}
+	if h.Count() != 5 || h.Sum() != 2000 || h.Min() != 100 || h.Max() != 1000 || h.Mean() != 400 {
+		t.Fatalf("count=%d sum=%d min=%d max=%d mean=%d",
+			h.Count(), h.Sum(), h.Min(), h.Max(), h.Mean())
+	}
+	// Quantiles are bucket upper bounds clamped to the observed max.
+	if q := h.Quantile(0.5); q < 100 || q > 511 {
+		t.Errorf("p50 = %d, want within [100,511]", q)
+	}
+	if q := h.Quantile(1.0); q != 1000 {
+		t.Errorf("p100 = %d, want clamped to max 1000", q)
+	}
+	if q := h.Quantile(0); q < 100 || q > 127 {
+		t.Errorf("p0 = %d, want first bucket bound", q)
+	}
+}
+
+func TestHistogramQuantileEmpty(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.9) != 0 || h.Count() != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+}
+
+// TestHistogramMerge: merging two histograms must equal observing the
+// union of their samples.
+func TestHistogramMerge(t *testing.T) {
+	var a, b, want Histogram
+	as := []int64{1, 5, 9, 1 << 20}
+	bs := []int64{0, 2, 700, 1 << 30}
+	for _, v := range as {
+		a.Add(v)
+		want.Add(v)
+	}
+	for _, v := range bs {
+		b.Add(v)
+		want.Add(v)
+	}
+	a.Merge(&b)
+	if a.Count() != want.Count() || a.Sum() != want.Sum() ||
+		a.Min() != want.Min() || a.Max() != want.Max() {
+		t.Fatalf("merged: count=%d sum=%d min=%d max=%d; want count=%d sum=%d min=%d max=%d",
+			a.Count(), a.Sum(), a.Min(), a.Max(),
+			want.Count(), want.Sum(), want.Min(), want.Max())
+	}
+	if a.counts != want.counts {
+		t.Fatalf("merged buckets = %v, want %v", a.counts, want.counts)
+	}
+	// Merging an empty or nil histogram is a no-op.
+	before := a.counts
+	a.Merge(&Histogram{})
+	a.Merge(nil)
+	if a.counts != before {
+		t.Fatal("merging empty histogram changed buckets")
+	}
+}
+
+func TestMetricsObserveAndMerge(t *testing.T) {
+	m1, m2 := NewMetrics(), NewMetrics()
+	m1.Observe(PhaseExchange, 100)
+	m1.Observe(PhaseExchange, 200)
+	m1.Observe(PhaseCopy, 50)
+	m2.Observe(PhaseExchange, 300)
+	m2.Observe(PhasePreRead, 75)
+
+	m1.Merge(m2)
+	if got := m1.Hist(PhaseExchange).Count(); got != 3 {
+		t.Errorf("exchange count = %d, want 3", got)
+	}
+	if got := m1.Hist(PhasePreRead).Sum(); got != 75 {
+		t.Errorf("pre-read sum = %d, want 75", got)
+	}
+	phases := m1.Phases()
+	if len(phases) != 3 {
+		t.Fatalf("phases = %v, want 3", phases)
+	}
+	for i := 1; i < len(phases); i++ {
+		if phases[i-1] >= phases[i] {
+			t.Fatalf("phases not sorted: %v", phases)
+		}
+	}
+	if m1.Hist(PhaseFault) != nil {
+		t.Error("unobserved phase has a histogram")
+	}
+	s := m1.String()
+	for _, ph := range phases {
+		if !strings.Contains(s, string(ph)) {
+			t.Errorf("String() missing %s:\n%s", ph, s)
+		}
+	}
+
+	// nil metrics are inert.
+	var nm *Metrics
+	nm.Observe(PhaseCopy, 1)
+	nm.Merge(m1)
+	if nm.Hist(PhaseCopy) != nil || nm.Phases() != nil {
+		t.Error("nil metrics has state")
+	}
+}

@@ -1,0 +1,343 @@
+// Package trace is the per-rank observability layer of the repository:
+// structured spans and instant events recorded into fixed-size per-rank
+// ring buffers, log-bucketed latency histograms mergeable across ranks,
+// and a world-level Collector that exports a Chrome trace-event JSON
+// (loadable in chrome://tracing or Perfetto) plus a per-rank imbalance
+// summary.
+//
+// The paper's argument is a cost breakdown — where list-based I/O loses
+// time (ol-list build, exchange, traversal) versus where listless I/O
+// spends it (pack/copy, storage) — and flat end-of-run counters cannot
+// attribute that cost to individual windows, phases, or ranks.  This
+// package provides the attribution substrate: internal/core wraps its
+// collective phases and sieving windows in spans, internal/mpi wraps
+// its blocking waits, and internal/storage marks backend operations,
+// injected faults, and retries.
+//
+// Cost model: a disabled tracer is a nil pointer, so every
+// instrumentation site costs one nil check and nothing else.  An
+// enabled span costs two monotonic clock reads, one short mutex
+// critical section, and one ring-slot store — no allocation.  Memory is
+// bounded by the ring (BufSize events per rank); when the ring wraps,
+// the oldest events are dropped and counted.
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Phase names one kind of span or instant event.  The taxonomy is
+// central so that exports, summaries, and forensics agree on names
+// (see DESIGN.md §6 for the full catalogue).
+type Phase string
+
+// Span phases.
+const (
+	// Whole-operation spans (one per access per rank).
+	PhaseCollWrite Phase = "coll.write"
+	PhaseCollRead  Phase = "coll.read"
+	PhaseIndWrite  Phase = "ind.write"
+	PhaseIndRead   Phase = "ind.read"
+
+	// Collective sub-phases.
+	PhaseCollPlan     Phase = "coll.plan"          // allgather + domain partition
+	PhaseAPSetup      Phase = "coll.ap-setup"      // AP phase 1 (ol-list build+send / view exchange)
+	PhaseIOPSetup     Phase = "coll.iop-setup"     // IOP engine setup (list receive+decode)
+	PhaseWindow       Phase = "coll.window"        // one IOP window's main-goroutine processing
+	PhasePipelineWait Phase = "coll.pipeline-wait" // main goroutine waiting on a background pre-read
+	PhaseExchange     Phase = "coll.exchange"      // one AP↔IOP data chunk send/recv
+	PhaseCopy         Phase = "coll.copy"          // pack/unpack and window merge copies
+
+	// Storage sub-phases of the window loops and data sieving.
+	PhasePreRead    Phase = "storage.pre-read"   // collective window pre-read
+	PhaseWriteBack  Phase = "storage.write-back" // collective window write-back
+	PhaseSieveRead  Phase = "sieve.read"         // independent sieving window read
+	PhaseSieveWrite Phase = "sieve.write"        // independent sieving window RMW
+
+	// Blocking MPI waits.
+	PhaseMPIRecv    Phase = "mpi.recv"
+	PhaseMPIBarrier Phase = "mpi.barrier"
+
+	// Backend operations (the storage.Traced wrapper).
+	PhaseStorageRead     Phase = "storage.read"
+	PhaseStorageWrite    Phase = "storage.write"
+	PhaseStorageSync     Phase = "storage.sync"
+	PhaseStorageTruncate Phase = "storage.truncate"
+)
+
+// Instant phases.
+const (
+	PhaseMPISend        Phase = "mpi.send"      // message posted
+	PhaseFault          Phase = "coll.fault"    // agreed collective error
+	PhaseRetry          Phase = "storage.retry" // Resilient reissued an op
+	PhaseRetryExhausted Phase = "storage.retry-exhausted"
+	PhaseChaosTransient Phase = "chaos.transient"
+	PhaseChaosPermanent Phase = "chaos.permanent"
+	PhaseChaosShortRead Phase = "chaos.short-read"
+	PhaseChaosTornWrite Phase = "chaos.torn-write"
+	PhaseChaosSpike     Phase = "chaos.spike"
+)
+
+// Kind distinguishes completed spans from instant events.
+type Kind uint8
+
+// The two event kinds.
+const (
+	KindSpan Kind = iota
+	KindInstant
+)
+
+// Tracks separate a rank's concurrent activities so exported spans nest
+// properly: the pipelined window loop's background storage I/O overlaps
+// the main goroutine's exchange spans by design.
+const (
+	TrackMain = 0 // the rank's main goroutine
+	TrackIO   = 1 // the pipelined loop's background storage I/O
+)
+
+// RankStorage is the pseudo-rank of the shared storage backend's track
+// (the backend is world-level state, not owned by any rank).
+const RankStorage = -1
+
+// NoWindow marks spans not tied to a file window.
+const NoWindow = int64(-1)
+
+// Event is one recorded span or instant.
+type Event struct {
+	Rank  int
+	Track int
+	Kind  Kind
+	Phase Phase
+	// Window is the absolute file offset of the window or operation the
+	// event covers, or NoWindow.
+	Window int64
+	// Bytes is the payload volume of the event (0 when not applicable).
+	Bytes int64
+	// Start is nanoseconds since the collector's epoch; Dur is the span
+	// duration (0 for instants).
+	Start, Dur int64
+	// Detail carries free-form context for instants (fault messages).
+	Detail string
+}
+
+// String renders one event for forensics output.
+func (e Event) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "[+%v] %s", time.Duration(e.Start).Round(time.Microsecond), e.Phase)
+	if e.Window != NoWindow {
+		fmt.Fprintf(&b, " @%d", e.Window)
+	}
+	if e.Bytes > 0 {
+		fmt.Fprintf(&b, " %dB", e.Bytes)
+	}
+	if e.Kind == KindSpan {
+		fmt.Fprintf(&b, " dur=%v", time.Duration(e.Dur).Round(time.Nanosecond))
+	}
+	if e.Detail != "" {
+		fmt.Fprintf(&b, " (%s)", e.Detail)
+	}
+	return b.String()
+}
+
+// Tracer records one rank's events.  All methods are safe on a nil
+// receiver (the disabled state) and safe for concurrent use — the
+// pipelined window loop records background I/O spans from its prep and
+// write-back goroutines.
+type Tracer struct {
+	rank    int
+	clock   func() int64
+	metrics *Metrics
+
+	mu     sync.Mutex
+	buf    []Event
+	n      uint64 // events ever recorded
+	cur    Event  // last span begun (possibly unfinished)
+	curSet bool
+	totals map[Phase]int64 // per-phase span ns (for imbalance)
+	counts map[Phase]int64 // per-phase span/instant counts
+}
+
+func newTracer(rank, bufSize int, clock func() int64) *Tracer {
+	return &Tracer{
+		rank:    rank,
+		clock:   clock,
+		metrics: NewMetrics(),
+		buf:     make([]Event, bufSize),
+		totals:  make(map[Phase]int64),
+		counts:  make(map[Phase]int64),
+	}
+}
+
+// Enabled reports whether the tracer records anything.  Use it to guard
+// work done only to build event details.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Rank reports the rank the tracer records for.
+func (t *Tracer) Rank() int {
+	if t == nil {
+		return -1
+	}
+	return t.rank
+}
+
+// Span is one in-flight span.  The zero Span (from a disabled tracer)
+// is inert.
+type Span struct {
+	t      *Tracer
+	phase  Phase
+	track  int
+	window int64
+	bytes  int64
+	start  int64
+}
+
+// Begin starts a span on the rank's main track.  window is the absolute
+// file offset the span covers (NoWindow when not applicable); bytes the
+// payload volume (0 when unknown — see Span.EndBytes).
+func (t *Tracer) Begin(ph Phase, window, bytes int64) Span {
+	return t.begin(TrackMain, ph, window, bytes)
+}
+
+// BeginIO starts a span on the rank's background-I/O track, for storage
+// operations the pipelined window loop runs concurrently with the main
+// goroutine's exchange.
+func (t *Tracer) BeginIO(ph Phase, window, bytes int64) Span {
+	return t.begin(TrackIO, ph, window, bytes)
+}
+
+func (t *Tracer) begin(track int, ph Phase, window, bytes int64) Span {
+	if t == nil {
+		return Span{}
+	}
+	start := t.clock()
+	t.mu.Lock()
+	t.cur = Event{Rank: t.rank, Track: track, Kind: KindSpan, Phase: ph,
+		Window: window, Bytes: bytes, Start: start, Dur: -1}
+	t.curSet = true
+	t.mu.Unlock()
+	return Span{t: t, phase: ph, track: track, window: window, bytes: bytes, start: start}
+}
+
+// End completes the span, recording it into the ring and observing its
+// duration in the phase histogram.
+func (s Span) End() { s.EndBytes(s.bytes) }
+
+// EndBytes is End with the payload volume learned during the span (a
+// Recv's message size).
+func (s Span) EndBytes(bytes int64) {
+	t := s.t
+	if t == nil {
+		return
+	}
+	dur := t.clock() - s.start
+	t.mu.Lock()
+	t.record(Event{Rank: t.rank, Track: s.track, Kind: KindSpan, Phase: s.phase,
+		Window: s.window, Bytes: bytes, Start: s.start, Dur: dur})
+	t.totals[s.phase] += dur
+	t.counts[s.phase]++
+	if t.curSet && t.cur.Start == s.start && t.cur.Phase == s.phase && t.cur.Track == s.track {
+		t.cur.Dur = dur // the in-flight marker is now finished
+	}
+	t.mu.Unlock()
+	t.metrics.Observe(s.phase, dur)
+}
+
+// Instant records a point event (a posted message, an injected fault, a
+// retry).
+func (t *Tracer) Instant(ph Phase, window, bytes int64, detail string) {
+	if t == nil {
+		return
+	}
+	ts := t.clock()
+	t.mu.Lock()
+	t.record(Event{Rank: t.rank, Track: TrackMain, Kind: KindInstant, Phase: ph,
+		Window: window, Bytes: bytes, Start: ts, Detail: detail})
+	t.counts[ph]++
+	t.mu.Unlock()
+}
+
+// record stores ev in the ring; the caller holds t.mu.
+func (t *Tracer) record(ev Event) {
+	t.buf[t.n%uint64(len(t.buf))] = ev
+	t.n++
+}
+
+// Current returns the last span begun on this rank, finished or not —
+// an unfinished one is exactly what a stalled rank is blocked inside.
+func (t *Tracer) Current() (Event, bool) {
+	if t == nil {
+		return Event{}, false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.cur, t.curSet
+}
+
+// Recent returns up to n of the most recently recorded events, oldest
+// first.
+func (t *Tracer) Recent(n int) []Event {
+	if t == nil || n <= 0 {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	have := t.n
+	if have > uint64(len(t.buf)) {
+		have = uint64(len(t.buf))
+	}
+	if have > uint64(n) {
+		have = uint64(n)
+	}
+	out := make([]Event, have)
+	for i := uint64(0); i < have; i++ {
+		out[i] = t.buf[(t.n-have+i)%uint64(len(t.buf))]
+	}
+	return out
+}
+
+// Events returns every buffered event, oldest first.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	return t.Recent(len(t.buf))
+}
+
+// Dropped reports how many events the ring has overwritten.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.n <= uint64(len(t.buf)) {
+		return 0
+	}
+	return int64(t.n - uint64(len(t.buf)))
+}
+
+// Metrics returns the tracer's phase histograms.
+func (t *Tracer) Metrics() *Metrics {
+	if t == nil {
+		return nil
+	}
+	return t.metrics
+}
+
+// phaseTotals copies the per-phase span-duration and count maps.
+func (t *Tracer) phaseTotals() (totals, counts map[Phase]int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	totals = make(map[Phase]int64, len(t.totals))
+	for ph, ns := range t.totals {
+		totals[ph] = ns
+	}
+	counts = make(map[Phase]int64, len(t.counts))
+	for ph, c := range t.counts {
+		counts[ph] = c
+	}
+	return totals, counts
+}
