@@ -35,6 +35,7 @@ func main() {
 	var (
 		all      = flag.Bool("all", false, "regenerate every table and figure")
 		pipeline = flag.String("pipeline", "", "run the sequential-vs-pipelined collective ablation and write its JSON to this path (e.g. BENCH_pipeline.json)")
+		transp   = flag.String("transport", "", "run the in-process-vs-TCP exchange comparison and write its JSON to this path (e.g. BENCH_transport.json)")
 		phases   = flag.Bool("phases", false, "run one traced collective per engine and print the per-phase imbalance breakdown")
 		scaleS   = flag.String("scale", "full", "experiment scale: full or quick")
 		csvDir   = flag.String("csv", "", "directory to write per-figure CSV files")
@@ -56,7 +57,7 @@ func main() {
 		figs = multiFlag{"5", "6", "7", "8"}
 		tables = multiFlag{"1", "2", "3"}
 	}
-	if len(figs) == 0 && len(tables) == 0 && *pipeline == "" && !*phases {
+	if len(figs) == 0 && len(tables) == 0 && *pipeline == "" && *transp == "" && !*phases {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -87,6 +88,24 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("wrote %s\n\n", *pipeline)
+	}
+
+	if *transp != "" {
+		t0 := time.Now()
+		tc, err := bench.Transport(scale)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(bench.FormatTransport(tc))
+		fmt.Printf("(measured at scale %s in %v)\n\n", scale, time.Since(t0).Round(time.Millisecond))
+		data, err := bench.TransportJSON(tc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*transp, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n\n", *transp)
 	}
 
 	figRunners := map[string]func(bench.Scale) (bench.Figure, error){

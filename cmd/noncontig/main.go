@@ -5,6 +5,18 @@
 // Example:
 //
 //	noncontig -p 8 -nblock 4096 -sblock 8 -pattern nc-nc -collective -engine listless
+//
+// By default the ranks are goroutines in this process.  With -net the
+// ranks become separate OS processes exchanging over TCP:
+//
+//	noncontig -net launch -p 4 -nblock 1024 -sblock 64 -pattern nc-nc -collective
+//
+// forks one rank process per rank (re-executing this binary with
+// -net rank), hands rank 0 the pre-bound rendezvous socket, and
+// supervises the run; every rank opens the shared file itself under a
+// shared advisory lock.  -net requires -collective: collective I/O
+// partitions the file into disjoint domains, which is what makes
+// cross-process access safe without a shared lock table.
 package main
 
 import (
@@ -19,6 +31,7 @@ import (
 	"repro/internal/noncontig"
 	"repro/internal/storage"
 	"repro/internal/trace"
+	"repro/internal/transport"
 )
 
 func main() {
@@ -46,6 +59,13 @@ func main() {
 		chaosSeed  = flag.Int64("chaos-seed", 0, "inject seeded transient storage faults, ridden out by retries (0 = off)")
 		tracePath  = flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file (load in chrome://tracing or Perfetto)")
 		traceSumm  = flag.Bool("trace-summary", false, "print the per-phase imbalance summary of the traced run")
+		stall      = flag.Duration("stall", 0, "stall watchdog timeout (0 = default: off in-process, 30s with -net)")
+
+		netMode       = flag.String("net", "", `process model: "" (goroutine ranks), "launch" (fork one OS process per rank over TCP), "rank" (run as one such rank; set by launch)`)
+		netRank       = flag.Int("net-rank", -1, "this process's rank (with -net rank)")
+		netRendezvous = flag.String("net-rendezvous", "", "rank 0's rendezvous address (with -net rank, ranks > 0)")
+		netFD         = flag.Int("net-fd", 0, "inherited rendezvous listener fd (with -net rank, rank 0)")
+		netTimeout    = flag.Duration("net-timeout", 5*time.Minute, "kill the whole -net launch run after this long")
 	)
 	flag.Parse()
 
@@ -58,15 +78,62 @@ func main() {
 		log.Fatal(err)
 	}
 
-	var backend storage.Backend = storage.NewMem()
-	if *file != "" {
-		fb, err := storage.OpenFile(*file)
+	if *netMode != "" {
+		if !*collective {
+			log.Fatal("-net requires -collective: independent data sieving read-modify-writes the shared file under a per-process lock table, which cannot exclude other rank processes")
+		}
+		if *chaosSeed != 0 {
+			log.Fatal("-net does not support -chaos-seed (per-process injection would desynchronize the ranks)")
+		}
+	}
+	stallTimeout := *stall
+	if *netMode != "" && stallTimeout == 0 {
+		stallTimeout = 30 * time.Second
+	}
+
+	switch *netMode {
+	case "":
+		// fall through to the in-process run below
+	case "launch":
+		netLaunch(*p, pat, eng, launchFlags{
+			nblock: *nblock, sblock: *sblock, reps: *reps, verify: *verify, tiles: *tiles,
+			sieveBuf: *sieveBuf, collBuf: *collBuf, ioNodes: *ioNodes, noPipe: *noPipe,
+			file: *file, readBW: *readBW, writeBW: *writeBW, latency: *latency,
+			tracePath: *tracePath, stall: stallTimeout, timeout: *netTimeout,
+		})
+		return
+	case "rank":
+		// handled below: same config assembly, different backend + runner
+	default:
+		log.Fatalf("unknown -net mode %q (want launch or rank)", *netMode)
+	}
+
+	isRank := *netMode == "rank"
+	var backend storage.Backend
+	if isRank {
+		if *file == "" {
+			log.Fatal("-net rank requires -file (the shared data file)")
+		}
+		if *netRank < 0 || *netRank >= *p {
+			log.Fatalf("-net rank requires -net-rank in [0, %d)", *p)
+		}
+		fb, err := storage.OpenFileShared(*file)
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer fb.Close()
-		defer os.Remove(*file)
 		backend = fb
+	} else {
+		backend = storage.NewMem()
+		if *file != "" {
+			fb, err := storage.OpenFile(*file)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer fb.Close()
+			defer os.Remove(*file)
+			backend = fb
+		}
 	}
 	if *readBW > 0 || *writeBW > 0 || *latency > 0 {
 		backend = storage.NewThrottled(backend, *readBW, *writeBW, *latency)
@@ -111,17 +178,39 @@ func main() {
 			IONodes:             *ioNodes,
 			DisableCollPipeline: *noPipe,
 		},
-		Trace: collector,
+		Trace:        collector,
+		StallTimeout: stallTimeout,
 	}
 	if cfg.Reps == 0 {
 		cfg.Reps = autoReps(cfg.DataPerProc())
 	}
-	if *chaosSeed != 0 {
+	if *chaosSeed != 0 && cfg.StallTimeout == 0 {
 		// Fault injection can expose hangs; bound them with a diagnostic.
 		cfg.StallTimeout = 30 * time.Second
 	}
 
-	res, err := noncontig.Run(cfg)
+	var res noncontig.Result
+	if isRank {
+		cfgT := transport.TCPConfig{
+			Rank: *netRank, Size: *p,
+			Rendezvous: *netRendezvous,
+			Trace:      collector,
+		}
+		if *netFD > 0 {
+			l, err := transport.ListenerFromFD(*netFD)
+			if err != nil {
+				log.Fatal(err)
+			}
+			cfgT.Listener = l
+		} else if *netRank == 0 && *netRendezvous != "" {
+			cfgT.Rendezvous = *netRendezvous // rank 0 binds it itself
+		} else if *netRank > 0 && *netRendezvous == "" {
+			log.Fatal("-net rank needs -net-rendezvous (or -net-fd for rank 0)")
+		}
+		res, err = noncontig.RunRank(cfg, transport.NewTCP(cfgT))
+	} else {
+		res, err = noncontig.Run(cfg)
+	}
 	if err != nil {
 		if collector != nil {
 			fmt.Fprintf(os.Stderr, "trace forensics (last events per rank):\n%s", collector.Forensics(8))
@@ -129,9 +218,21 @@ func main() {
 		log.Fatal(err)
 	}
 
+	if isRank && *netRank != 0 {
+		// Only rank 0 prints the report; the others confirm and exit.
+		fmt.Printf("rank %d ok: %s moved, wire %s out / %s in\n",
+			*netRank, humanBytes(cfg.DataPerProc()*int64(cfg.Reps)*2),
+			humanBytes(res.Comm.WireBytesSent), humanBytes(res.Comm.WireBytesRecv))
+		writeTrace(*tracePath, collector)
+		return
+	}
+
 	mode := "independent"
 	if *collective {
 		mode = "collective"
+	}
+	if isRank {
+		mode += "/tcp"
 	}
 	fmt.Printf("noncontig %s %s %s  P=%d  N_block=%d  S_block=%dB  data/proc=%s  reps=%d\n",
 		mode, pat, eng, cfg.P, cfg.Blockcount, cfg.Blocklen,
@@ -144,6 +245,10 @@ func main() {
 	}
 	fmt.Printf("  world comm: %d messages, %s payload, %v recv wait\n",
 		res.Comm.Messages, humanBytes(res.Comm.Bytes), time.Duration(res.Comm.RecvWaitNs).Round(time.Microsecond))
+	if res.Comm.WireBytesSent > 0 || res.Comm.WireBytesRecv > 0 {
+		fmt.Printf("  wire: %s sent, %s received (frame headers included)\n",
+			humanBytes(res.Comm.WireBytesSent), humanBytes(res.Comm.WireBytesRecv))
+	}
 	if chaos != nil {
 		st := chaos.Stats()
 		retries, exhausted := resilient.RetryStats()
@@ -156,20 +261,123 @@ func main() {
 	if *traceSumm {
 		fmt.Print(collector.Summary())
 	}
-	if *tracePath != "" {
-		out, err := os.Create(*tracePath)
+	writeTrace(*tracePath, collector)
+}
+
+// launchFlags carries the benchmark parameters the launcher forwards to
+// every rank process.
+type launchFlags struct {
+	nblock, sblock    int64
+	reps              int
+	verify            bool
+	tiles             int64
+	sieveBuf, collBuf int
+	ioNodes           int
+	noPipe            bool
+	file              string
+	readBW, writeBW   int64
+	latency           time.Duration
+	tracePath         string
+	stall             time.Duration
+	timeout           time.Duration
+}
+
+// netLaunch forks one rank process per rank against a shared file and
+// supervises them.
+func netLaunch(p int, pat noncontig.Pattern, eng core.Engine, lf launchFlags) {
+	reps := lf.reps
+	if reps == 0 {
+		t := lf.tiles
+		if t <= 0 {
+			t = 1
+		}
+		reps = autoReps(t * lf.nblock * lf.sblock)
+	}
+	path := lf.file
+	if path == "" {
+		tmp, err := os.CreateTemp("", "noncontig-net-*.dat")
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := collector.WriteChrome(out); err != nil {
-			log.Fatal(err)
-		}
-		if err := out.Close(); err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("  trace: %s (%d events, %d dropped; load in chrome://tracing or Perfetto)\n",
-			*tracePath, len(collector.Events()), collector.Dropped())
+		path = tmp.Name()
+		tmp.Close()
 	}
+	defer os.Remove(path)
+
+	exe, err := os.Executable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	args := func(rank int, rendezvous string) []string {
+		a := []string{
+			"-net", "rank",
+			"-net-rank", fmt.Sprint(rank),
+			"-p", fmt.Sprint(p),
+			"-nblock", fmt.Sprint(lf.nblock),
+			"-sblock", fmt.Sprint(lf.sblock),
+			"-pattern", pat.String(),
+			"-engine", eng.String(),
+			"-reps", fmt.Sprint(reps),
+			"-tiles", fmt.Sprint(lf.tiles),
+			"-file", path,
+			"-collective",
+			fmt.Sprintf("-verify=%t", lf.verify),
+			"-stall", lf.stall.String(),
+		}
+		if lf.sieveBuf > 0 {
+			a = append(a, "-sievebuf", fmt.Sprint(lf.sieveBuf))
+		}
+		if lf.collBuf > 0 {
+			a = append(a, "-collbuf", fmt.Sprint(lf.collBuf))
+		}
+		if lf.ioNodes > 0 {
+			a = append(a, "-ionodes", fmt.Sprint(lf.ioNodes))
+		}
+		if lf.noPipe {
+			a = append(a, "-no-pipeline")
+		}
+		if lf.readBW > 0 {
+			a = append(a, "-read-bw", fmt.Sprint(lf.readBW))
+		}
+		if lf.writeBW > 0 {
+			a = append(a, "-write-bw", fmt.Sprint(lf.writeBW))
+		}
+		if lf.latency > 0 {
+			a = append(a, "-latency", lf.latency.String())
+		}
+		if lf.tracePath != "" {
+			a = append(a, "-trace", fmt.Sprintf("%s.rank%d", lf.tracePath, rank))
+		}
+		if rank == 0 {
+			a = append(a, "-net-fd", fmt.Sprint(transport.RendezvousFD))
+		} else {
+			a = append(a, "-net-rendezvous", rendezvous)
+		}
+		return a
+	}
+	if err := transport.Launch(transport.LaunchOptions{
+		Size: p, Exe: exe, Args: args, Timeout: lf.timeout,
+	}); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func writeTrace(path string, collector *trace.Collector) {
+	if path == "" {
+		return
+	}
+	out, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := collector.WriteChrome(out); err != nil {
+		log.Fatal(err)
+	}
+	if err := out.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  trace: %s (%d events, %d dropped; load in chrome://tracing or Perfetto)\n",
+		path, len(collector.Events()), collector.Dropped())
 }
 
 func parseEngine(s string) (core.Engine, error) {

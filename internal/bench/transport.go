@@ -1,0 +1,171 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/noncontig"
+	"repro/internal/storage"
+	"repro/internal/transport"
+)
+
+// Transport comparison: the same nc-nc collective write + read, with the
+// exchange phase once over the in-process loopback and once over real
+// TCP sockets (every rank a separate endpoint on 127.0.0.1), for both
+// datatype engines.  The delta isolates what the wire costs the
+// two-phase exchange: framing, syscalls, and scheduling instead of a
+// channel handoff.
+
+// TransportPoint is the measurement of one (transport, engine) cell.
+type TransportPoint struct {
+	Transport string `json:"transport"` // "in-process" or "tcp"
+	Engine    string `json:"engine"`
+
+	WriteTime time.Duration `json:"write_time_ns"`
+	ReadTime  time.Duration `json:"read_time_ns"`
+	WriteMBps float64       `json:"write_mbps_per_proc"`
+	ReadMBps  float64       `json:"read_mbps_per_proc"`
+
+	// Rank-0 exchange-phase time and world-wide communication volume.
+	ExchangeNs    int64 `json:"rank0_exchange_ns"`
+	RecvWaitNs    int64 `json:"recv_wait_ns"`
+	Messages      int64 `json:"messages"`
+	PayloadBytes  int64 `json:"payload_bytes"`
+	WireBytesSent int64 `json:"wire_bytes_sent"`
+	WireBytesRecv int64 `json:"wire_bytes_recv"`
+}
+
+// TransportComparison is the full in-process-vs-TCP matrix.
+type TransportComparison struct {
+	P           int   `json:"p"`
+	Blockcount  int64 `json:"n_block"`
+	Blocklen    int64 `json:"s_block"`
+	CollBufSize int   `json:"coll_buf_bytes"`
+	Reps        int   `json:"reps"`
+
+	Points []TransportPoint `json:"points"`
+
+	// ExchangeOverhead is, per engine, rank-0 TCP exchange time over
+	// rank-0 in-process exchange time.
+	ExchangeOverhead map[string]float64 `json:"exchange_overhead"`
+}
+
+func transportConfig(s Scale) TransportComparison {
+	tc := TransportComparison{
+		P:           4,
+		Blockcount:  4096,
+		Blocklen:    32,
+		CollBufSize: 64 << 10,
+		Reps:        4,
+	}
+	if s == Quick {
+		tc.Blockcount = 1024
+		tc.Reps = 2
+	}
+	return tc
+}
+
+// runTransportPoint measures one cell, best-of-repeats on the write time.
+func runTransportPoint(tc TransportComparison, eng core.Engine, overTCP bool, repeats int) (TransportPoint, error) {
+	name := "in-process"
+	if overTCP {
+		name = "tcp"
+	}
+	pt := TransportPoint{Transport: name, Engine: eng.String()}
+	for rep := 0; rep < repeats; rep++ {
+		cfg := noncontig.Config{
+			P:          tc.P,
+			Blockcount: tc.Blockcount,
+			Blocklen:   tc.Blocklen,
+			Pattern:    noncontig.NcNc,
+			Collective: true,
+			Engine:     eng,
+			Reps:       tc.Reps,
+			Verify:     rep == 0,
+			Backend:    storage.NewMem(),
+			Options: core.Options{
+				CollBufSize: tc.CollBufSize,
+			},
+			StallTimeout: 30 * time.Second,
+		}
+		var res noncontig.Result
+		var err error
+		if overTCP {
+			var eps []transport.Transport
+			eps, err = transport.NewLocalTCPWorld(tc.P, transport.TCPConfig{})
+			if err == nil {
+				res, err = noncontig.RunOver(cfg, eps)
+			}
+		} else {
+			res, err = noncontig.Run(cfg)
+		}
+		if err != nil {
+			return TransportPoint{}, fmt.Errorf("transport bench (%s/%s): %w", name, eng, err)
+		}
+		if rep == 0 || res.WriteTime < pt.WriteTime {
+			pt.WriteTime = res.WriteTime
+			pt.ReadTime = res.ReadTime
+			pt.WriteMBps = res.WriteBpp
+			pt.ReadMBps = res.ReadBpp
+			pt.ExchangeNs = res.Stats.ExchangeNs
+			pt.RecvWaitNs = res.Comm.RecvWaitNs
+			pt.Messages = res.Comm.Messages
+			pt.PayloadBytes = res.Comm.Bytes
+			pt.WireBytesSent = res.Comm.WireBytesSent
+			pt.WireBytesRecv = res.Comm.WireBytesRecv
+		}
+	}
+	return pt, nil
+}
+
+// Transport runs the in-process-vs-TCP exchange comparison for both
+// engines.
+func Transport(s Scale) (TransportComparison, error) {
+	tc := transportConfig(s)
+	repeats := 3
+	if s == Quick {
+		repeats = 2
+	}
+	tc.ExchangeOverhead = make(map[string]float64)
+	for _, eng := range []core.Engine{core.Listless, core.ListBased} {
+		var inproc, tcp TransportPoint
+		var err error
+		if inproc, err = runTransportPoint(tc, eng, false, repeats); err != nil {
+			return TransportComparison{}, err
+		}
+		if tcp, err = runTransportPoint(tc, eng, true, repeats); err != nil {
+			return TransportComparison{}, err
+		}
+		tc.Points = append(tc.Points, inproc, tcp)
+		if inproc.ExchangeNs > 0 {
+			tc.ExchangeOverhead[eng.String()] = float64(tcp.ExchangeNs) / float64(inproc.ExchangeNs)
+		}
+	}
+	return tc, nil
+}
+
+// TransportJSON renders the comparison as indented JSON, the payload of
+// BENCH_transport.json.
+func TransportJSON(tc TransportComparison) ([]byte, error) {
+	return json.MarshalIndent(tc, "", "  ")
+}
+
+// FormatTransport renders the comparison as text.
+func FormatTransport(tc TransportComparison) string {
+	s := fmt.Sprintf("Exchange transport comparison (P=%d, N_block=%d, S_block=%dB, collbuf=%dK, nc-nc collective):\n",
+		tc.P, tc.Blockcount, tc.Blocklen, tc.CollBufSize>>10)
+	for _, pt := range tc.Points {
+		s += fmt.Sprintf("  %-10s %-10s write %8.2f MB/s  read %8.2f MB/s  (rank-0 exchange=%v, %d msgs, wire %dB)\n",
+			pt.Engine, pt.Transport, pt.WriteMBps, pt.ReadMBps,
+			time.Duration(pt.ExchangeNs).Round(time.Microsecond),
+			pt.Messages, pt.WireBytesSent)
+	}
+	for _, eng := range []core.Engine{core.Listless, core.ListBased} {
+		if ov, ok := tc.ExchangeOverhead[eng.String()]; ok {
+			s += fmt.Sprintf("  %s exchange over TCP costs %.2fx in-process\n", eng, ov)
+		}
+	}
+	return s
+}

@@ -1,0 +1,38 @@
+package bench
+
+import "testing"
+
+// TestTransportQuick runs the transport matrix at CI scale and checks
+// that the wire accounting separates the two transports.
+func TestTransportQuick(t *testing.T) {
+	tc, err := Transport(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tc.Points) != 4 {
+		t.Fatalf("got %d points, want 4", len(tc.Points))
+	}
+	for _, pt := range tc.Points {
+		if pt.WriteTime <= 0 || pt.ReadTime <= 0 {
+			t.Errorf("%s/%s: missing timings: %+v", pt.Engine, pt.Transport, pt)
+		}
+		if pt.Messages == 0 || pt.PayloadBytes == 0 {
+			t.Errorf("%s/%s: no exchange traffic recorded", pt.Engine, pt.Transport)
+		}
+		switch pt.Transport {
+		case "in-process":
+			if pt.WireBytesSent != 0 {
+				t.Errorf("%s/in-process: wire bytes %d, want 0", pt.Engine, pt.WireBytesSent)
+			}
+		case "tcp":
+			if pt.WireBytesSent == 0 || pt.WireBytesSent != pt.WireBytesRecv {
+				t.Errorf("%s/tcp: wire bytes sent/recv = %d/%d", pt.Engine, pt.WireBytesSent, pt.WireBytesRecv)
+			}
+		default:
+			t.Errorf("unknown transport %q", pt.Transport)
+		}
+	}
+	if len(tc.ExchangeOverhead) != 2 {
+		t.Errorf("exchange overhead map: %v", tc.ExchangeOverhead)
+	}
+}

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/datatype"
+	"repro/internal/mpi"
+	"repro/internal/storage"
+	"repro/internal/transport"
+)
+
+// Transport-matrix tests: the same 4-rank collective I/O must behave
+// identically whether ranks exchange through the in-process loopback or
+// over real TCP sockets — byte-identical file contents, same fault
+// agreement, and no goroutine or file-descriptor leaks.
+
+// fdCount reports the process's open file descriptors (Linux); -1 where
+// /proc is unavailable, which skips the fd-leak assertion.
+func fdCount(t *testing.T) int {
+	t.Helper()
+	ents, err := os.ReadDir("/proc/self/fd")
+	if err != nil {
+		return -1
+	}
+	return len(ents)
+}
+
+// runCollectiveOver runs the standard 4-rank non-contiguous collective
+// write + read-back over the given endpoints and returns the file bytes.
+func runCollectiveOver(t *testing.T, eng Engine, eps []transport.Transport) []byte {
+	t.Helper()
+	const P = 4
+	const blockcount, blocklen = 16, 8
+	d := int64(blockcount * blocklen)
+	be := storage.NewMem()
+	sh := NewShared(be)
+	_, err := mpi.RunOver(eps, mpi.RunOptions{StallTimeout: watchdogTimeout}, func(p *mpi.Proc) {
+		f, err := Open(p, sh, Options{Engine: eng, CollBufSize: 128})
+		if err != nil {
+			panic(err)
+		}
+		defer f.Close()
+		if err := f.SetView(0, datatype.Byte, noncontigTypeP(p.Rank(), P, blockcount, blocklen)); err != nil {
+			panic(err)
+		}
+		data := pattern(p.Rank(), d)
+		if _, err := f.WriteAtAll(0, d, datatype.Byte, data); err != nil {
+			panic(err)
+		}
+		got := make([]byte, d)
+		if _, err := f.ReadAtAll(0, d, datatype.Byte, got); err != nil {
+			panic(err)
+		}
+		if !bytes.Equal(got, data) {
+			panic(fmt.Sprintf("rank %d: collective read-back mismatch", p.Rank()))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return be.Bytes()
+}
+
+// TestTransportMatrixByteIdentical is the acceptance criterion: for both
+// engines, the same collective write produces byte-identical file
+// contents over the in-process loopback and over TCP.
+func TestTransportMatrixByteIdentical(t *testing.T) {
+	for _, eng := range []Engine{ListBased, Listless} {
+		t.Run(eng.String(), func(t *testing.T) {
+			defer leakCheck(t)()
+			fdBefore := fdCount(t)
+
+			loop := runCollectiveOver(t, eng, transport.NewLoopback(4))
+			eps, err := transport.NewLocalTCPWorld(4, transport.TCPConfig{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			tcp := runCollectiveOver(t, eng, eps)
+
+			if len(loop) == 0 {
+				t.Fatal("empty file from loopback run")
+			}
+			if !bytes.Equal(loop, tcp) {
+				t.Fatalf("file contents differ between transports (%d vs %d bytes)", len(loop), len(tcp))
+			}
+			if fdBefore >= 0 {
+				if fdAfter := fdCount(t); fdAfter > fdBefore {
+					t.Errorf("fd leak: %d before, %d after", fdBefore, fdAfter)
+				}
+			}
+		})
+	}
+}
+
+// TestFaultAgreementOverTCP mirrors TestFaultCollectiveWrite with the
+// exchange on real sockets: error agreement is pure messages, so the
+// agreed CollectiveError must survive the wire unchanged.
+func TestFaultAgreementOverTCP(t *testing.T) {
+	const P = 4
+	for _, eng := range []Engine{Listless, ListBased} {
+		t.Run(eng.String(), func(t *testing.T) {
+			defer leakCheck(t)()
+			eps, err := transport.NewLocalTCPWorld(P, transport.TCPConfig{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			fb := storage.NewFaulty(storage.NewMem())
+			sh := NewShared(fb)
+			errs := make([]error, P)
+			_, err = mpi.RunOver(eps, mpi.RunOptions{StallTimeout: watchdogTimeout}, func(p *mpi.Proc) {
+				f, err := Open(p, sh, Options{Engine: eng, CollBufSize: 128})
+				if err != nil {
+					panic(err)
+				}
+				defer f.Close()
+				ft := noncontigTypeP(p.Rank(), P, 16, 8)
+				if err := f.SetView(0, datatype.Byte, ft); err != nil {
+					panic(err)
+				}
+				if p.Rank() == 0 {
+					fb.FailWrites(1)
+				}
+				p.Barrier()
+				_, errs[p.Rank()] = f.WriteAtAll(0, 128, datatype.Byte, make([]byte, 128))
+			})
+			if err != nil {
+				t.Fatalf("world error: %v", err)
+			}
+			requireAgreement(t, "tcp/"+eng.String(), errs, 0, PhaseIOPWindow)
+		})
+	}
+}
+
+// TestTransportSharedFileRanks models the -net process arrangement
+// in-process: every rank holds its own OpenFileShared handle on one
+// file (its own Shared state), exchanges over TCP, and the collective
+// write still lands byte-identically because IOP file domains are
+// disjoint.
+func TestTransportSharedFileRanks(t *testing.T) {
+	const P = 4
+	const blockcount, blocklen = 16, 8
+	d := int64(blockcount * blocklen)
+	for _, eng := range []Engine{ListBased, Listless} {
+		t.Run(eng.String(), func(t *testing.T) {
+			defer leakCheck(t)()
+			oracle := collOracle(t, eng, true, P, blockcount, blocklen)
+
+			path := filepath.Join(t.TempDir(), "shared.dat")
+			eps, err := transport.NewLocalTCPWorld(P, transport.TCPConfig{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, err = mpi.RunOver(eps, mpi.RunOptions{StallTimeout: watchdogTimeout}, func(p *mpi.Proc) {
+				fb, err := storage.OpenFileShared(path)
+				if err != nil {
+					panic(err)
+				}
+				defer fb.Close()
+				f, err := Open(p, NewShared(fb), Options{Engine: eng, CollBufSize: 128})
+				if err != nil {
+					panic(err)
+				}
+				defer f.Close()
+				if err := f.SetView(0, datatype.Byte, noncontigTypeP(p.Rank(), P, blockcount, blocklen)); err != nil {
+					panic(err)
+				}
+				if _, err := f.WriteAtAll(0, d, datatype.Byte, pattern(p.Rank(), d)); err != nil {
+					panic(err)
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, oracle) {
+				t.Fatalf("shared-file contents differ from oracle (%d vs %d bytes)", len(got), len(oracle))
+			}
+		})
+	}
+}

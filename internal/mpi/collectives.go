@@ -16,6 +16,8 @@ const (
 	tagReduceUp
 	tagReduceDown
 	tagScatter
+	tagBarrier  // wired-world linear barrier (report to 0, release)
+	tagFinalize // distributed shutdown barrier before links drop
 )
 
 // Bcast distributes root's data to all ranks and returns it (the root

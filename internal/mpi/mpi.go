@@ -1,14 +1,18 @@
 // Package mpi provides the message-passing process model that the MPI-IO
-// layer (internal/core) is built on: a fixed group of ranks running as
-// goroutines, point-to-point messages with source/tag matching, and the
-// collective operations two-phase I/O needs.
+// layer (internal/core) is built on: a fixed group of ranks, point-to-point
+// messages with source/tag matching, and the collective operations
+// two-phase I/O needs.
 //
 // This is the substitution for the NEC SX's MPI/SX runtime (see
-// DESIGN.md): a shared-memory rank model that exercises the identical
-// communication structure.  Messages are real byte-slice transfers with
-// per-pair FIFO ordering, so the ol-list exchange of list-based
-// collective I/O carries its true cost in copied bytes and message
-// counts, both of which are instrumented.
+// DESIGN.md).  Ranks run over a pluggable byte fabric
+// (internal/transport): the default in-process loopback gives the seed's
+// shared-memory world — goroutine ranks, one-function-call delivery —
+// while the TCP transport runs the identical communication structure
+// between separate OS processes (Run one rank per process with RunRank,
+// or drive a socket fabric single-process with RunOver).  Messages are
+// real byte-slice transfers with per-pair FIFO ordering, so the ol-list
+// exchange of list-based collective I/O carries its true cost in copied
+// bytes and message counts, both of which are instrumented.
 package mpi
 
 import (
@@ -20,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/trace"
+	"repro/internal/transport"
 )
 
 // Wildcards for Recv matching.
@@ -41,67 +46,34 @@ type Stats struct {
 	Received      int64 // messages consumed (Recv and DrainTag)
 	BytesReceived int64 // payload bytes consumed
 	RecvWaitNs    int64 // total time spent blocked in Recv
-}
 
-type message struct {
-	src, tag int
-	data     []byte
-}
-
-type mailbox struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	queue  []message
-	closed bool
-}
-
-func newMailbox() *mailbox {
-	mb := &mailbox{}
-	mb.cond = sync.NewCond(&mb.mu)
-	return mb
-}
-
-func (mb *mailbox) put(m message) {
-	mb.mu.Lock()
-	mb.queue = append(mb.queue, m)
-	mb.mu.Unlock()
-	mb.cond.Broadcast()
-}
-
-// take removes and returns the earliest message matching (src, tag),
-// blocking until one arrives.  It panics with errAborted if the world
-// aborts while waiting.
-func (mb *mailbox) take(src, tag int) message {
-	mb.mu.Lock()
-	defer mb.mu.Unlock()
-	for {
-		if mb.closed {
-			panic(errAborted{})
-		}
-		for i, m := range mb.queue {
-			if (src == AnySource || m.src == src) && (tag == AnyTag || m.tag == tag) {
-				mb.queue = append(mb.queue[:i], mb.queue[i+1:]...)
-				return m
-			}
-		}
-		mb.cond.Wait()
-	}
-}
-
-func (mb *mailbox) close() {
-	mb.mu.Lock()
-	mb.closed = true
-	mb.mu.Unlock()
-	mb.cond.Broadcast()
+	// WireBytesSent / WireBytesRecv are the volumes that actually
+	// crossed a network transport, frame headers included.  Zero for the
+	// in-process loopback; in a distributed world they cover only the
+	// local process's endpoint.
+	WireBytesSent int64
+	WireBytesRecv int64
 }
 
 type errAborted struct{}
 
 func (errAborted) Error() string { return "mpi: world aborted" }
 
+// world is the shared state of one run: the transport endpoints plus
+// the accounting, barrier, split, and watchdog machinery.
 type world struct {
-	size      int
-	mailboxes []*mailbox
+	size int
+	// wired marks a non-loopback fabric: barriers go over messages and
+	// shutdown runs the flush/quiesce protocol.
+	wired bool
+	// dist marks one-rank-per-OS-process operation: only ranks[0] is
+	// local, Split is unavailable, and the rank finalizes its endpoint.
+	dist bool
+	// eps holds the endpoints by rank; in dist mode only the local
+	// rank's entry is non-nil.
+	eps []transport.Transport
+	// ranks lists the locally running ranks (blocked index → rank).
+	ranks []int
 
 	barrierMu  sync.Mutex
 	barrierGen int
@@ -123,9 +95,9 @@ type world struct {
 	splitGen []int // per-rank Split-call counter
 	splits   map[string]*splitEntry
 
-	// Stall-watchdog state (RunOptions.StallTimeout): per-rank wait
-	// states and a progress counter bumped on every delivery, receive,
-	// and barrier passage.  Only maintained when watch is set.
+	// Stall-watchdog state (RunOptions.StallTimeout): per-local-rank
+	// wait states and a progress counter bumped on every delivery,
+	// receive, and barrier passage.  Only maintained when watch is set.
 	watch    bool
 	blocked  []atomic.Uint64
 	progress atomic.Int64
@@ -133,10 +105,36 @@ type world struct {
 	abortOnce sync.Once
 }
 
+func newWorld(eps []transport.Transport, wired bool, traceC *trace.Collector) *world {
+	n := len(eps)
+	w := &world{
+		size: n, wired: wired, eps: eps,
+		ranks:    make([]int, n),
+		traceC:   traceC,
+		splitGen: make([]int, n),
+		splits:   make(map[string]*splitEntry),
+	}
+	for i := range w.ranks {
+		w.ranks[i] = i
+	}
+	w.barrierC = sync.NewCond(&w.barrierMu)
+	return w
+}
+
 func (w *world) abort() {
 	w.abortOnce.Do(func() {
-		for _, mb := range w.mailboxes {
-			mb.close()
+		// Quiesce before closing so the teardown's own link drops don't
+		// overwrite the first failure; ranks blocked in Recv observe
+		// ErrClosed and die silently as errAborted.
+		for _, ep := range w.eps {
+			if ep != nil {
+				ep.Quiesce()
+			}
+		}
+		for _, ep := range w.eps {
+			if ep != nil {
+				ep.Close()
+			}
 		}
 		w.barrierMu.Lock()
 		w.barrierGen = -1 << 30
@@ -149,7 +147,9 @@ func (w *world) abort() {
 // goroutine and must not be shared.
 type Proc struct {
 	rank int
+	widx int // index into w.blocked / w.ranks
 	w    *world
+	ep   transport.Transport
 	tr   *trace.Tracer
 
 	sentMsgs   int64
@@ -168,12 +168,18 @@ func (p *Proc) Size() int { return p.w.size }
 // SentStats reports this process's cumulative communication volume
 // (both sides; the name predates the receive-side counters).
 func (p *Proc) SentStats() Stats {
+	ws := p.ep.Stats()
 	return Stats{
 		Messages: p.sentMsgs, Bytes: p.sentBytes,
 		Received: p.recvMsgs, BytesReceived: p.recvBytes,
-		RecvWaitNs: p.recvWaitNs,
+		RecvWaitNs:    p.recvWaitNs,
+		WireBytesSent: ws.BytesSent, WireBytesRecv: ws.BytesRecv,
 	}
 }
+
+// WireStats reports this rank's endpoint-level wire counters (frames,
+// bytes, flushes).  All zeros on the in-process loopback.
+func (p *Proc) WireStats() transport.WireStats { return p.ep.Stats() }
 
 // RunOptions configure a world beyond its size.
 type RunOptions struct {
@@ -183,7 +189,10 @@ type RunOptions struct {
 	// makes Run return ErrStalled with a per-rank diagnostic — which
 	// ranks are blocked, and on which Recv source/tag — instead of
 	// hanging forever.  The watchdog observes only this world: a rank
-	// blocked inside a Split sub-world appears as running.
+	// blocked inside a Split sub-world appears as running.  Over a
+	// network transport the timeout also becomes the endpoint's write
+	// and handshake deadline, and bytes crossing the wire count as
+	// progress so a slow large transfer is not mistaken for a stall.
 	StallTimeout time.Duration
 	// Trace, when non-nil, attaches each rank's tracer: Recv and
 	// Barrier record wait spans, Send records message instants, and
@@ -207,13 +216,65 @@ func RunWithOptions(n int, opts RunOptions, fn func(p *Proc)) (Stats, error) {
 	if n <= 0 {
 		return Stats{}, fmt.Errorf("mpi: world size %d", n)
 	}
-	w := &world{size: n, mailboxes: make([]*mailbox, n), traceC: opts.Trace}
-	w.barrierC = sync.NewCond(&w.barrierMu)
-	w.splitGen = make([]int, n)
-	w.splits = make(map[string]*splitEntry)
-	for i := range w.mailboxes {
-		w.mailboxes[i] = newMailbox()
+	return newWorld(transport.NewLoopback(n), false, opts.Trace).run(opts, fn)
+}
+
+// RunOver executes fn on len(eps) ranks within this process, one
+// goroutine per endpoint.  With transport.NewLoopback endpoints it is
+// Run; with transport.NewLocalTCPWorld endpoints the same world runs
+// over real sockets — the transport-matrix tests and benchmarks drive
+// both fabrics through this seam.
+func RunOver(eps []transport.Transport, opts RunOptions, fn func(p *Proc)) (Stats, error) {
+	if len(eps) == 0 {
+		return Stats{}, errors.New("mpi: empty endpoint set")
 	}
+	_, loop := eps[0].(*transport.Loopback)
+	w := newWorld(eps, !loop, opts.Trace)
+	if w.wired && opts.StallTimeout > 0 {
+		for _, ep := range eps {
+			setTransportDeadline(ep, opts.StallTimeout)
+		}
+	}
+	return w.run(opts, fn)
+}
+
+// RunRank executes fn as one rank of a distributed world: ep is this
+// process's endpoint of a multi-process fabric (typically
+// transport.NewTCP, launched by transport.Launch).  RunRank dials the
+// fabric, runs fn, and finalizes the endpoint with the shutdown
+// protocol (flush → quiesce → finalize barrier → flush → close) so
+// every peer's in-flight bytes land before the links drop.  Split is
+// not available in this mode.
+func RunRank(ep transport.Transport, opts RunOptions, fn func(p *Proc)) (Stats, error) {
+	rank, size := ep.Rank(), ep.Size()
+	if size <= 0 || rank < 0 || rank >= size {
+		return Stats{}, fmt.Errorf("mpi: rank %d of world size %d", rank, size)
+	}
+	eps := make([]transport.Transport, size)
+	eps[rank] = ep
+	w := &world{
+		size: size, wired: true, dist: true, eps: eps,
+		ranks:  []int{rank},
+		traceC: opts.Trace,
+	}
+	w.barrierC = sync.NewCond(&w.barrierMu)
+	if opts.StallTimeout > 0 {
+		setTransportDeadline(ep, opts.StallTimeout)
+	}
+	return w.run(opts, fn)
+}
+
+// setTransportDeadline wires the watchdog timeout into endpoints that
+// take a write/handshake deadline (the TCP transport).
+func setTransportDeadline(ep transport.Transport, d time.Duration) {
+	if t, ok := ep.(interface{ SetDeadline(time.Duration) }); ok {
+		t.SetDeadline(d)
+	}
+}
+
+// run starts one goroutine per local rank, supervises them, and tears
+// the fabric down.
+func (w *world) run(opts RunOptions, fn func(p *Proc)) (Stats, error) {
 	var (
 		wg     sync.WaitGroup
 		errMu  sync.Mutex
@@ -229,16 +290,16 @@ func RunWithOptions(n int, opts RunOptions, fn func(p *Proc)) (Stats, error) {
 	var watchStop, watchDone chan struct{}
 	if opts.StallTimeout > 0 {
 		w.watch = true
-		w.blocked = make([]atomic.Uint64, n)
+		w.blocked = make([]atomic.Uint64, len(w.ranks))
 		watchStop, watchDone = make(chan struct{}), make(chan struct{})
 		go func() {
 			defer close(watchDone)
 			w.watchdog(opts.StallTimeout, watchStop, setErr)
 		}()
 	}
-	for r := 0; r < n; r++ {
+	for i, r := range w.ranks {
 		wg.Add(1)
-		go func(rank int) {
+		go func(idx, rank int) {
 			defer wg.Done()
 			defer func() {
 				if e := recover(); e != nil {
@@ -251,21 +312,65 @@ func RunWithOptions(n int, opts RunOptions, fn func(p *Proc)) (Stats, error) {
 			if w.watch {
 				// A rank that returned can never unblock a peer; the
 				// watchdog counts it as permanently waiting.
-				defer w.blocked[rank].Store(blockExited)
+				defer w.blocked[idx].Store(blockExited)
 			}
-			fn(&Proc{rank: rank, w: w, tr: opts.Trace.Tracer(rank)})
-		}(r)
+			p := &Proc{rank: rank, widx: idx, w: w, ep: w.eps[rank], tr: opts.Trace.Tracer(rank)}
+			if w.wired {
+				if err := p.ep.Listen(); err != nil {
+					panic(err)
+				}
+				if err := p.ep.Dial(); err != nil {
+					panic(err)
+				}
+			}
+			fn(p)
+			if w.dist {
+				p.finalizeWired()
+			}
+		}(i, r)
 	}
 	wg.Wait()
 	if w.watch {
 		close(watchStop)
 		<-watchDone // runErr must not be written after we return it
 	}
+	var wireSent, wireRecv int64
+	if w.wired {
+		// Idempotent teardown: a clean run still has live reader/writer
+		// goroutines and sockets to release (abort already did this).
+		for _, ep := range w.eps {
+			if ep != nil {
+				ep.Quiesce()
+			}
+		}
+		for _, ep := range w.eps {
+			if ep != nil {
+				s := ep.Stats()
+				wireSent += s.BytesSent
+				wireRecv += s.BytesRecv
+				ep.Close()
+			}
+		}
+	}
 	return Stats{
 		Messages: w.msgs.Load(), Bytes: w.bytes.Load(),
 		Received: w.recvMsgs.Load(), BytesReceived: w.recvBytes.Load(),
-		RecvWaitNs: w.recvWait.Load(),
+		RecvWaitNs:    w.recvWait.Load(),
+		WireBytesSent: wireSent, WireBytesRecv: wireRecv,
 	}, runErr
+}
+
+// finalizeWired runs the distributed shutdown protocol after fn returns
+// cleanly: push queued frames, stop treating link drops as failures,
+// rendezvous with every peer one last time so their in-flight traffic
+// has landed, push the barrier's own release, then let run close the
+// endpoint.  Flush errors are ignored — if a link is truly dead the
+// finalize barrier reports it (or the watchdog does).
+func (p *Proc) finalizeWired() {
+	p.ep.Flush()
+	p.ep.Quiesce()
+	p.msgBarrier(tagFinalize)
+	p.ep.Flush()
 }
 
 // Per-rank wait states for the watchdog, packed into one uint64:
@@ -281,8 +386,26 @@ func blockState(kind uint64, src, tag int) uint64 {
 	return kind | uint64(src+2)<<32 | uint64(uint32(tag+2))
 }
 
-// watchdog polls the world's wait states and aborts it when every rank
-// stays blocked with zero progress for a full timeout window.
+// wireProgress totals the bytes the local endpoints have moved over
+// their links; the watchdog counts it as progress so a large frame
+// streaming slowly through a socket is not mistaken for a stall.
+func (w *world) wireProgress() int64 {
+	if !w.wired {
+		return 0
+	}
+	var total int64
+	for _, ep := range w.eps {
+		if ep != nil {
+			s := ep.Stats()
+			total += s.BytesSent + s.BytesRecv
+		}
+	}
+	return total
+}
+
+// watchdog polls the world's wait states and aborts it when every
+// local rank stays blocked with zero progress for a full timeout
+// window.
 func (w *world) watchdog(timeout time.Duration, stop <-chan struct{}, fail func(error)) {
 	poll := timeout / 4
 	if poll < time.Millisecond {
@@ -298,7 +421,7 @@ func (w *world) watchdog(timeout time.Duration, stop <-chan struct{}, fail func(
 			return
 		case <-tick.C:
 		}
-		prog := w.progress.Load()
+		prog := w.progress.Load() + w.wireProgress()
 		all := true
 		for i := range w.blocked {
 			if w.blocked[i].Load() == blockNone {
@@ -320,17 +443,18 @@ func (w *world) watchdog(timeout time.Duration, stop <-chan struct{}, fail func(
 	}
 }
 
-// stallDiagnostic formats where every rank is stuck: the packed wait
-// state, plus (when tracing) the last span each rank began — which
+// stallDiagnostic formats where every local rank is stuck: the packed
+// wait state, plus (when tracing) the last span each rank began — which
 // collective phase and file window the rank was inside when it stopped
 // making progress.
 func (w *world) stallDiagnostic() error {
 	var b strings.Builder
-	for r := range w.blocked {
-		if r > 0 {
+	for i := range w.blocked {
+		if i > 0 {
 			b.WriteString("; ")
 		}
-		v := w.blocked[r].Load()
+		r := w.ranks[i]
+		v := w.blocked[i].Load()
 		src := int(v>>32&0x3fffffff) - 2
 		tag := int(uint32(v)) - 2
 		fmt.Fprintf(&b, "rank %d ", r)
@@ -368,14 +492,24 @@ func (w *world) stallDiagnostic() error {
 	return fmt.Errorf("%w: no progress for the stall timeout: %s", ErrStalled, b.String())
 }
 
+// transportFail translates an endpoint error into the rank's fate: a
+// plain closure means the world aborted (die silently), anything else
+// is a transport failure that aborts the world and surfaces as this
+// rank's error.
+func (p *Proc) transportFail(err error) {
+	if errors.Is(err, transport.ErrClosed) {
+		panic(errAborted{})
+	}
+	p.w.abort()
+	panic(err)
+}
+
 // Send delivers a copy of data to dst with the given tag.  Send is
 // buffered: it never blocks on the receiver.
 func (p *Proc) Send(dst, tag int, data []byte) {
 	if dst < 0 || dst >= p.w.size {
 		panic(fmt.Sprintf("mpi: send to invalid rank %d", dst))
 	}
-	buf := make([]byte, len(data))
-	copy(buf, data)
 	p.sentMsgs++
 	p.sentBytes += int64(len(data))
 	p.w.msgs.Add(1)
@@ -384,7 +518,9 @@ func (p *Proc) Send(dst, tag int, data []byte) {
 		p.w.progress.Add(1)
 	}
 	p.tr.Instant(trace.PhaseMPISend, trace.NoWindow, int64(len(data)), "")
-	p.w.mailboxes[dst].put(message{src: p.rank, tag: tag, data: buf})
+	if err := p.ep.Send(dst, tag, data); err != nil {
+		p.transportFail(err)
+	}
 }
 
 // SendNoCopy delivers data without copying; the caller must not modify
@@ -401,7 +537,9 @@ func (p *Proc) SendNoCopy(dst, tag int, data []byte) {
 		p.w.progress.Add(1)
 	}
 	p.tr.Instant(trace.PhaseMPISend, trace.NoWindow, int64(len(data)), "")
-	p.w.mailboxes[dst].put(message{src: p.rank, tag: tag, data: data})
+	if err := p.ep.SendNoCopy(dst, tag, data); err != nil {
+		p.transportFail(err)
+	}
 }
 
 // Recv blocks until a message matching (src, tag) arrives and returns its
@@ -412,49 +550,36 @@ func (p *Proc) Recv(src, tag int) (data []byte, fromSrc, fromTag int) {
 	t0 := time.Now()
 	sp := p.tr.Begin(trace.PhaseMPIRecv, trace.NoWindow, 0)
 	if p.w.watch {
-		p.w.blocked[p.rank].Store(blockState(blockRecv, src, tag))
+		p.w.blocked[p.widx].Store(blockState(blockRecv, src, tag))
 	}
-	m := p.w.mailboxes[p.rank].take(src, tag)
+	m, err := p.ep.Recv(src, tag)
+	if err != nil {
+		p.transportFail(err)
+	}
 	if p.w.watch {
-		p.w.blocked[p.rank].Store(blockNone)
+		p.w.blocked[p.widx].Store(blockNone)
 		p.w.progress.Add(1)
 	}
-	sp.EndBytes(int64(len(m.data)))
+	sp.EndBytes(int64(len(m.Data)))
 	ns := time.Since(t0).Nanoseconds()
 	p.recvWaitNs += ns
 	p.w.recvWait.Add(ns)
 	p.recvMsgs++
-	p.recvBytes += int64(len(m.data))
+	p.recvBytes += int64(len(m.Data))
 	p.w.recvMsgs.Add(1)
-	p.w.recvBytes.Add(int64(len(m.data)))
-	return m.data, m.src, m.tag
+	p.w.recvBytes.Add(int64(len(m.Data)))
+	return m.Data, m.Src, m.Tag
 }
 
 // DrainTag removes every queued message with the given tag (from any
-// source) from this rank's mailbox without blocking, returning the
+// source) from this rank's inbox without blocking, returning the
 // number of messages discarded.  Collective error recovery uses it to
 // clear the in-flight traffic of an abandoned collective so the next
-// one starts with clean mailboxes.  Drained messages count as received
+// one starts with clean inboxes.  Drained messages count as received
 // so the world's send/receive accounting still balances after error
 // recovery.
 func (p *Proc) DrainTag(tag int) int {
-	mb := p.w.mailboxes[p.rank]
-	mb.mu.Lock()
-	defer mb.mu.Unlock()
-	kept := mb.queue[:0]
-	var droppedBytes int64
-	for _, m := range mb.queue {
-		if m.tag != tag {
-			kept = append(kept, m)
-		} else {
-			droppedBytes += int64(len(m.data))
-		}
-	}
-	dropped := len(mb.queue) - len(kept)
-	for i := len(kept); i < len(mb.queue); i++ {
-		mb.queue[i] = message{} // release dropped payloads
-	}
-	mb.queue = kept
+	dropped, droppedBytes := p.ep.DrainTag(tag)
 	p.recvMsgs += int64(dropped)
 	p.recvBytes += droppedBytes
 	p.w.recvMsgs.Add(int64(dropped))
@@ -468,11 +593,15 @@ func (p *Proc) Barrier() {
 	sp := p.tr.Begin(trace.PhaseMPIBarrier, trace.NoWindow, 0)
 	defer sp.End()
 	if w.watch {
-		w.blocked[p.rank].Store(blockState(blockBarrier, -2, -2))
+		w.blocked[p.widx].Store(blockState(blockBarrier, -2, -2))
 		defer func() {
-			w.blocked[p.rank].Store(blockNone)
+			w.blocked[p.widx].Store(blockNone)
 			w.progress.Add(1)
 		}()
+	}
+	if w.wired {
+		p.msgBarrier(tagBarrier)
+		return
 	}
 	w.barrierMu.Lock()
 	gen := w.barrierGen
@@ -498,6 +627,33 @@ func (p *Proc) Barrier() {
 	}
 }
 
+// msgBarrier is the linear message barrier a wired world uses: every
+// rank reports to rank 0, which releases everyone.  Per-pair FIFO makes
+// consecutive barriers safe without generation numbers.  It speaks the
+// endpoint directly — no stat counting, no nested Recv wait state — so
+// a barrier looks identical to the in-process one from the outside.
+func (p *Proc) msgBarrier(tag int) {
+	if p.rank == 0 {
+		for i := 1; i < p.w.size; i++ {
+			if _, err := p.ep.Recv(AnySource, tag); err != nil {
+				p.transportFail(err)
+			}
+		}
+		for r := 1; r < p.w.size; r++ {
+			if err := p.ep.SendNoCopy(r, tag, nil); err != nil {
+				p.transportFail(err)
+			}
+		}
+		return
+	}
+	if err := p.ep.SendNoCopy(0, tag, nil); err != nil {
+		p.transportFail(err)
+	}
+	if _, err := p.ep.Recv(0, tag); err != nil {
+		p.transportFail(err)
+	}
+}
+
 // splitWorlds registers the sub-worlds of Split calls so that all
 // members of a color share one world object.
 type splitEntry struct {
@@ -510,7 +666,14 @@ type splitEntry struct {
 // world, ranked by (key, old rank).  The returned Proc addresses only
 // the new world; the original Proc stays valid for the old one.  Every
 // rank of the world must call Split the same number of times.
+//
+// Sub-worlds always communicate in-process (their members are
+// goroutines of this process), so Split is unavailable in distributed
+// mode, where the world's other ranks live in other OS processes.
 func (p *Proc) Split(color, key int) *Proc {
+	if p.w.dist {
+		panic("mpi: Split is not supported in distributed (one rank per process) mode")
+	}
 	// Gather (color, key) from everyone via the parent world.
 	pairs := p.AllgatherInt64s([]int64{int64(color), int64(key)})
 
@@ -534,14 +697,7 @@ func (p *Proc) Split(color, key int) *Proc {
 	keyStr := fmt.Sprintf("%d/%d", gen, color)
 	ent := w.splits[keyStr]
 	if ent == nil {
-		sub := &world{size: size, mailboxes: make([]*mailbox, size)}
-		sub.barrierC = sync.NewCond(&sub.barrierMu)
-		sub.splitGen = make([]int, size)
-		sub.splits = make(map[string]*splitEntry)
-		for i := range sub.mailboxes {
-			sub.mailboxes[i] = newMailbox()
-		}
-		ent = &splitEntry{w: sub}
+		ent = &splitEntry{w: newWorld(transport.NewLoopback(size), false, nil)}
 		w.splits[keyStr] = ent
 	}
 	ent.taken++
@@ -551,5 +707,5 @@ func (p *Proc) Split(color, key int) *Proc {
 	sub := ent.w
 	w.splitMu.Unlock()
 
-	return &Proc{rank: newRank, w: sub}
+	return &Proc{rank: newRank, widx: newRank, w: sub, ep: sub.eps[newRank]}
 }

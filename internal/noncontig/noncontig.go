@@ -22,6 +22,7 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/storage"
 	"repro/internal/trace"
+	"repro/internal/transport"
 )
 
 // Pattern selects the memory/file contiguity combination of Figure 1.
@@ -134,149 +135,238 @@ func Memtype(blockcount, blocklen int64) (*datatype.Type, error) {
 	return datatype.Hvector(blockcount, blocklen, 2*blocklen, datatype.Byte)
 }
 
-// Run executes the benchmark and returns the measured result.
+// rankResult is what one rank's benchmark body produces.  The elapsed
+// times are already Allreduce-maxed, so every rank carries the global
+// numbers; Stats is each rank's own engine snapshot.
+type rankResult struct {
+	writeNs, readNs int64
+	stats           core.Stats
+	verifyFailed    bool
+}
+
+func (c Config) validate() (Config, error) {
+	if c.P <= 0 || c.Blockcount <= 0 || c.Blocklen <= 0 {
+		return c, fmt.Errorf("noncontig: invalid config %+v", c)
+	}
+	if c.Reps <= 0 {
+		c.Reps = 1
+	}
+	return c, nil
+}
+
+// runRankBody is the per-rank benchmark: pre-size (rank 0), install the
+// view, run the timed write/read repetitions, verify, reduce the
+// maxima.  It runs identically under every process model — goroutine
+// ranks on a shared backend, or one OS process per rank each holding
+// its own handle on a shared file.
+func runRankBody(cfg Config, p *mpi.Proc, be storage.Backend, sh *core.Shared, opts core.Options) rankResult {
+	// Pre-size the file so backend growth is not charged to the first
+	// write measured.  Rank 0 truncates; the barrier publishes the size.
+	if p.Rank() == 0 && be.Size() < cfg.FileSize() {
+		if err := be.Truncate(cfg.FileSize()); err != nil {
+			panic(err)
+		}
+	}
+	p.Barrier()
+
+	f, err := core.Open(p, sh, opts)
+	if err != nil {
+		panic(err)
+	}
+	defer f.Close()
+
+	d := cfg.DataPerProc()
+	fileNC := cfg.Pattern == CNc || cfg.Pattern == NcNc
+	memNC := cfg.Pattern == NcC || cfg.Pattern == NcNc
+
+	// Install the fileview.
+	var viewOff int64 // access offset in etypes (bytes; etype stays Byte)
+	if fileNC {
+		ft, err := Filetype(p.Rank(), p.Size(), cfg.Blockcount, cfg.Blocklen)
+		if err != nil {
+			panic(err)
+		}
+		if err := f.SetView(0, datatype.Byte, ft); err != nil {
+			panic(err)
+		}
+	} else {
+		// Contiguous file: each process owns its own region.
+		viewOff = int64(p.Rank()) * d
+	}
+
+	// Build the memory buffer.
+	var memt *datatype.Type
+	var count int64
+	var buf []byte
+	if memNC {
+		mt, err := Memtype(cfg.Blockcount, cfg.Blocklen)
+		if err != nil {
+			panic(err)
+		}
+		memt, count = mt, cfg.tiles()
+		buf = make([]byte, count*mt.Extent())
+	} else {
+		memt, count = datatype.Byte, d
+		buf = make([]byte, d)
+	}
+	fillPattern(buf, p.Rank())
+
+	readBuf := make([]byte, len(buf))
+
+	write := func() {
+		var err error
+		if cfg.Collective {
+			_, err = f.WriteAtAll(viewOff, count, memt, buf)
+		} else {
+			_, err = f.WriteAt(viewOff, count, memt, buf)
+		}
+		if err != nil {
+			panic(err)
+		}
+	}
+	read := func() {
+		var err error
+		if cfg.Collective {
+			_, err = f.ReadAtAll(viewOff, count, memt, readBuf)
+		} else {
+			_, err = f.ReadAt(viewOff, count, memt, readBuf)
+		}
+		if err != nil {
+			panic(err)
+		}
+	}
+
+	var res rankResult
+	var wNs, rNs int64
+	for rep := 0; rep < cfg.Reps; rep++ {
+		p.Barrier()
+		t0 := time.Now()
+		write()
+		p.Barrier()
+		wNs += time.Since(t0).Nanoseconds()
+
+		t1 := time.Now()
+		read()
+		p.Barrier()
+		rNs += time.Since(t1).Nanoseconds()
+
+		if rep == 0 && cfg.Verify {
+			if !verifyTyped(buf, readBuf, memt, count) {
+				res.verifyFailed = true
+			}
+		}
+	}
+	// Reduce the maximum elapsed times onto every rank.
+	res.writeNs = p.AllreduceInt64(wNs, mpi.OpMax)
+	res.readNs = p.AllreduceInt64(rNs, mpi.OpMax)
+	res.stats = f.Stats.Snapshot()
+	return res
+}
+
+// assemble turns one rank's result plus the world stats into a Result.
+func (c Config) assemble(rr rankResult, comm mpi.Stats) (Result, error) {
+	if rr.verifyFailed {
+		return Result{}, fmt.Errorf("noncontig: read-back verification failed (%+v)", c)
+	}
+	res := Result{Config: c, Verified: true}
+	res.WriteTime = time.Duration(rr.writeNs)
+	res.ReadTime = time.Duration(rr.readNs)
+	bytesMoved := float64(c.DataPerProc() * int64(c.Reps))
+	if rr.writeNs > 0 {
+		res.WriteBpp = bytesMoved / (float64(rr.writeNs) / 1e9) / 1e6
+	}
+	if rr.readNs > 0 {
+		res.ReadBpp = bytesMoved / (float64(rr.readNs) / 1e9) / 1e6
+	}
+	res.Stats = rr.stats
+	res.Comm = comm
+	return res, nil
+}
+
+// Run executes the benchmark with in-process goroutine ranks and
+// returns the measured result.
 func Run(cfg Config) (Result, error) {
-	if cfg.P <= 0 || cfg.Blockcount <= 0 || cfg.Blocklen <= 0 {
-		return Result{}, fmt.Errorf("noncontig: invalid config %+v", cfg)
+	cfg, err := cfg.validate()
+	if err != nil {
+		return Result{}, err
 	}
-	if cfg.Reps <= 0 {
-		cfg.Reps = 1
+	return runOver(cfg, transport.NewLoopback(cfg.P))
+}
+
+// RunOver is Run with the ranks exchanging over the given transport
+// endpoints (still one process: the backend is shared directly).  With
+// loopback endpoints it is Run; with transport.NewLocalTCPWorld the
+// exchange phases cross real sockets — the transport benchmark's seam.
+func RunOver(cfg Config, eps []transport.Transport) (Result, error) {
+	cfg, err := cfg.validate()
+	if err != nil {
+		return Result{}, err
 	}
+	if cfg.P != len(eps) {
+		return Result{}, fmt.Errorf("noncontig: config P=%d but %d endpoints", cfg.P, len(eps))
+	}
+	return runOver(cfg, eps)
+}
+
+func runOver(cfg Config, eps []transport.Transport) (Result, error) {
 	be := cfg.Backend
 	if be == nil {
 		be = storage.NewMem()
-	}
-	// Pre-size the file so backend growth is not charged to the first
-	// write measured.
-	if be.Size() < cfg.FileSize() {
-		if err := be.Truncate(cfg.FileSize()); err != nil {
-			return Result{}, err
-		}
 	}
 	sh := core.NewShared(be)
 	opts := cfg.Options
 	opts.Engine = cfg.Engine
 	opts.Trace = cfg.Trace
 
-	res := Result{Config: cfg, Verified: true}
-	var writeNs, readNs int64
-	var rank0Stats core.Stats
-	verifyFailed := false
-
-	comm, err := mpi.RunWithOptions(cfg.P, mpi.RunOptions{StallTimeout: cfg.StallTimeout, Trace: cfg.Trace}, func(p *mpi.Proc) {
-		f, err := core.Open(p, sh, opts)
-		if err != nil {
-			panic(err)
-		}
-		defer f.Close()
-
-		d := cfg.DataPerProc()
-		fileNC := cfg.Pattern == CNc || cfg.Pattern == NcNc
-		memNC := cfg.Pattern == NcC || cfg.Pattern == NcNc
-
-		// Install the fileview.
-		var viewOff int64 // access offset in etypes (bytes; etype stays Byte)
-		if fileNC {
-			ft, err := Filetype(p.Rank(), p.Size(), cfg.Blockcount, cfg.Blocklen)
-			if err != nil {
-				panic(err)
-			}
-			if err := f.SetView(0, datatype.Byte, ft); err != nil {
-				panic(err)
-			}
-		} else {
-			// Contiguous file: each process owns its own region.
-			viewOff = int64(p.Rank()) * d
-		}
-
-		// Build the memory buffer.
-		var memt *datatype.Type
-		var count int64
-		var buf []byte
-		if memNC {
-			mt, err := Memtype(cfg.Blockcount, cfg.Blocklen)
-			if err != nil {
-				panic(err)
-			}
-			memt, count = mt, cfg.tiles()
-			buf = make([]byte, count*mt.Extent())
-		} else {
-			memt, count = datatype.Byte, d
-			buf = make([]byte, d)
-		}
-		fillPattern(buf, p.Rank())
-
-		readBuf := make([]byte, len(buf))
-
-		write := func() {
-			var err error
-			if cfg.Collective {
-				_, err = f.WriteAtAll(viewOff, count, memt, buf)
-			} else {
-				_, err = f.WriteAt(viewOff, count, memt, buf)
-			}
-			if err != nil {
-				panic(err)
-			}
-		}
-		read := func() {
-			var err error
-			if cfg.Collective {
-				_, err = f.ReadAtAll(viewOff, count, memt, readBuf)
-			} else {
-				_, err = f.ReadAt(viewOff, count, memt, readBuf)
-			}
-			if err != nil {
-				panic(err)
-			}
-		}
-
-		var wNs, rNs int64
-		for rep := 0; rep < cfg.Reps; rep++ {
-			p.Barrier()
-			t0 := time.Now()
-			write()
-			p.Barrier()
-			wNs += time.Since(t0).Nanoseconds()
-
-			t1 := time.Now()
-			read()
-			p.Barrier()
-			rNs += time.Since(t1).Nanoseconds()
-
-			if rep == 0 && cfg.Verify {
-				if !verifyTyped(buf, readBuf, memt, count) {
-					verifyFailed = true
-				}
-			}
-		}
-		// Reduce the maximum elapsed times.
-		wMax := p.AllreduceInt64(wNs, mpi.OpMax)
-		rMax := p.AllreduceInt64(rNs, mpi.OpMax)
-		if p.Rank() == 0 {
-			writeNs, readNs = wMax, rMax
-			rank0Stats = f.Stats.Snapshot()
-		}
+	results := make([]rankResult, cfg.P)
+	comm, err := mpi.RunOver(eps, mpi.RunOptions{StallTimeout: cfg.StallTimeout, Trace: cfg.Trace}, func(p *mpi.Proc) {
+		results[p.Rank()] = runRankBody(cfg, p, be, sh, opts)
 	})
 	if err != nil {
 		return Result{}, err
 	}
-	if verifyFailed {
-		return Result{}, fmt.Errorf("noncontig: read-back verification failed (%+v)", cfg)
+	for r := range results {
+		if results[r].verifyFailed {
+			results[0].verifyFailed = true
+		}
 	}
+	return cfg.assemble(results[0], comm)
+}
 
-	res.WriteTime = time.Duration(writeNs)
-	res.ReadTime = time.Duration(readNs)
-	bytesMoved := float64(cfg.DataPerProc() * int64(cfg.Reps))
-	if writeNs > 0 {
-		res.WriteBpp = bytesMoved / (float64(writeNs) / 1e9) / 1e6
+// RunRank executes one rank of the benchmark as its own OS process: ep
+// is this process's endpoint of a multi-process fabric and cfg.Backend
+// this process's own handle on the shared file (storage.OpenFileShared).
+// Collective access is required — independent data sieving would
+// read-modify-write the shared file under a per-process lock table,
+// which cannot exclude other processes.  Every rank returns the same
+// reduced timings; Stats are the local rank's.
+func RunRank(cfg Config, ep transport.Transport) (Result, error) {
+	cfg, err := cfg.validate()
+	if err != nil {
+		return Result{}, err
 	}
-	if readNs > 0 {
-		res.ReadBpp = bytesMoved / (float64(readNs) / 1e9) / 1e6
+	if cfg.P != ep.Size() {
+		return Result{}, fmt.Errorf("noncontig: config P=%d but world size %d", cfg.P, ep.Size())
 	}
-	res.Stats = rank0Stats
-	res.Comm = comm
-	return res, nil
+	if cfg.Backend == nil {
+		return Result{}, fmt.Errorf("noncontig: RunRank needs an explicit Backend (each process opens the shared file itself)")
+	}
+	if !cfg.Collective {
+		return Result{}, fmt.Errorf("noncontig: RunRank requires collective access (independent sieving cannot lock across processes)")
+	}
+	sh := core.NewShared(cfg.Backend)
+	opts := cfg.Options
+	opts.Engine = cfg.Engine
+	opts.Trace = cfg.Trace
+
+	var rr rankResult
+	comm, err := mpi.RunRank(ep, mpi.RunOptions{StallTimeout: cfg.StallTimeout, Trace: cfg.Trace}, func(p *mpi.Proc) {
+		rr = runRankBody(cfg, p, cfg.Backend, sh, opts)
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	return cfg.assemble(rr, comm)
 }
 
 // fillPattern writes a rank-dependent deterministic pattern.

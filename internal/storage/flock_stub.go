@@ -1,0 +1,9 @@
+//go:build !unix
+
+package storage
+
+import "os"
+
+// flockFile is a no-op where flock(2) is unavailable; opens succeed
+// without cross-process exclusion.
+func flockFile(f *os.File, shared bool) error { return nil }

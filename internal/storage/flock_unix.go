@@ -1,0 +1,30 @@
+//go:build unix
+
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// flockFile takes a non-blocking advisory lock on f: exclusive for
+// single-owner opens, shared for deliberate multi-process access.  A
+// conflicting holder yields ErrLocked immediately — the caller races a
+// live owner and must not touch the file.  The lock lives on the open
+// file description, so Close releases it.
+func flockFile(f *os.File, shared bool) error {
+	how := syscall.LOCK_EX
+	if shared {
+		how = syscall.LOCK_SH
+	}
+	err := syscall.Flock(int(f.Fd()), how|syscall.LOCK_NB)
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, syscall.EWOULDBLOCK) {
+		return fmt.Errorf("%w: %s", ErrLocked, f.Name())
+	}
+	return fmt.Errorf("storage: flock %s: %w", f.Name(), err)
+}

@@ -1,0 +1,63 @@
+//go:build unix
+
+package storage
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+)
+
+// flock conflicts apply between open file descriptions, so a second
+// open in the same process exercises the same kernel check a second
+// rank process would hit.
+
+func TestOpenFileExclusive(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f")
+	fb, err := OpenFile(path)
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	defer fb.Close()
+
+	if _, err := OpenFile(path); !errors.Is(err, ErrLocked) {
+		t.Fatalf("second exclusive open: err = %v, want ErrLocked", err)
+	}
+	if _, err := OpenFileShared(path); !errors.Is(err, ErrLocked) {
+		t.Fatalf("shared open against exclusive holder: err = %v, want ErrLocked", err)
+	}
+}
+
+func TestOpenFileSharedCoexists(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f")
+	a, err := OpenFileShared(path)
+	if err != nil {
+		t.Fatalf("first shared open: %v", err)
+	}
+	defer a.Close()
+	b, err := OpenFileShared(path)
+	if err != nil {
+		t.Fatalf("second shared open: %v", err)
+	}
+	defer b.Close()
+
+	if _, err := OpenFile(path); !errors.Is(err, ErrLocked) {
+		t.Fatalf("exclusive open against shared holders: err = %v, want ErrLocked", err)
+	}
+}
+
+func TestCloseReleasesLock(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f")
+	fb, err := OpenFile(path)
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	if err := fb.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	fb2, err := OpenFile(path)
+	if err != nil {
+		t.Fatalf("reopen after close: %v", err)
+	}
+	fb2.Close()
+}

@@ -35,6 +35,11 @@ type Backend interface {
 // Mem is a growable in-memory Backend.  It is safe for concurrent use.
 // Reads past the end return io.EOF after the available bytes, like
 // os.File.
+//
+// Mem is strictly single-process: it lives in this process's heap, so
+// ranks running as separate OS processes (the network transport's -net
+// mode) cannot share one — they must share a *File, whose advisory lock
+// enforces deliberate multi-process access.
 type Mem struct {
 	mu   sync.RWMutex
 	data []byte
@@ -149,10 +154,31 @@ type File struct {
 	sizeErr error // deferred Stat failure from Size (which cannot return one)
 }
 
-// OpenFile creates or opens path for read/write access.
+// OpenFile creates or opens path for exclusive read/write access: an
+// advisory lock (flock) is taken so a second process opening the same
+// path — e.g. two single-process runs racing, or a multi-process rank
+// that should have used OpenFileShared — fails fast with ErrLocked
+// instead of silently interleaving writes.
 func OpenFile(path string) (*File, error) {
+	return openLocked(path, false)
+}
+
+// OpenFileShared creates or opens path for read/write access under a
+// shared advisory lock — the open the network transport's rank
+// processes use when they deliberately operate on one file (collective
+// I/O partitions it into disjoint domains).  A shared open fails with
+// ErrLocked while an exclusive holder exists, and vice versa.
+func OpenFileShared(path string) (*File, error) {
+	return openLocked(path, true)
+}
+
+func openLocked(path string, shared bool) (*File, error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
+		return nil, err
+	}
+	if err := flockFile(f, shared); err != nil {
+		f.Close()
 		return nil, err
 	}
 	return &File{f: f}, nil
@@ -212,6 +238,10 @@ func (fb *File) Close() error { return fb.f.Close() }
 // ErrShortRead is returned by ReadFull when zero-filling was required but
 // disabled.
 var ErrShortRead = errors.New("storage: short read")
+
+// ErrLocked is wrapped by OpenFile / OpenFileShared when another
+// process holds a conflicting advisory lock on the path.
+var ErrLocked = errors.New("storage: file locked by another process")
 
 // ReadFull reads len(p) bytes at off, zero-filling anything past the end
 // of the store — the read semantics data sieving needs when its file

@@ -43,6 +43,9 @@ func (tr track) name() string {
 	if tr.track == TrackIO {
 		return fmt.Sprintf("rank %d bg-io", tr.rank)
 	}
+	if tr.track == TrackWire {
+		return fmt.Sprintf("rank %d wire", tr.rank)
+	}
 	return fmt.Sprintf("rank %d", tr.rank)
 }
 

@@ -61,6 +61,11 @@ const (
 	PhaseMPIRecv    Phase = "mpi.recv"
 	PhaseMPIBarrier Phase = "mpi.barrier"
 
+	// Wire-level transport activity (the TCP transport's per-link
+	// reader and writer goroutines; the in-process loopback emits none).
+	PhaseWireSend Phase = "wire.send" // one coalesced flush of queued frames
+	PhaseWireRecv Phase = "wire.recv" // one frame's payload transfer
+
 	// Backend operations (the storage.Traced wrapper).
 	PhaseStorageRead     Phase = "storage.read"
 	PhaseStorageWrite    Phase = "storage.write"
@@ -96,6 +101,7 @@ const (
 const (
 	TrackMain = 0 // the rank's main goroutine
 	TrackIO   = 1 // the pipelined loop's background storage I/O
+	TrackWire = 2 // the network transport's reader/writer goroutines
 )
 
 // RankStorage is the pseudo-rank of the shared storage backend's track
@@ -206,6 +212,12 @@ func (t *Tracer) Begin(ph Phase, window, bytes int64) Span {
 // goroutine's exchange.
 func (t *Tracer) BeginIO(ph Phase, window, bytes int64) Span {
 	return t.begin(TrackIO, ph, window, bytes)
+}
+
+// BeginWire starts a span on the rank's wire track, for the transport's
+// reader/writer goroutines, which overlap the main goroutine by design.
+func (t *Tracer) BeginWire(ph Phase, bytes int64) Span {
+	return t.begin(TrackWire, ph, NoWindow, bytes)
 }
 
 func (t *Tracer) begin(track int, ph Phase, window, bytes int64) Span {

@@ -1,0 +1,131 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Wire framing: every message crosses a link as one length-prefixed
+// frame.  The header is fixed-size little-endian —
+//
+//	[0:4)  uint32  payload length
+//	[4:8)  int32   source rank
+//	[8:12) int32   tag
+//
+// followed by the payload bytes.  Per-pair ordering is the TCP stream's
+// own; no sequence numbers are needed.  Negative tags are reserved for
+// the transport's control frames (rendezvous hello and address book);
+// internal/mpi never sends them.
+const (
+	// FrameHeaderSize is the fixed frame-header length in bytes.
+	FrameHeaderSize = 12
+
+	// DefaultMaxFrame bounds the payload length a decoder accepts.  A
+	// garbage or hostile header must never make the reader allocate an
+	// absurd buffer; anything larger than this is a frame error.
+	DefaultMaxFrame = 1 << 30
+)
+
+// Control tags of the rendezvous handshake.
+const (
+	tagHello = -2 // payload: the sender's listen address (may be empty on pair links)
+	tagBook  = -3 // payload: the encoded rank→address book
+)
+
+// ErrFrame is wrapped by every frame-decoding error.
+var ErrFrame = errors.New("transport: bad frame")
+
+// appendFrame appends the encoded frame to dst and returns it.
+func appendFrame(dst []byte, src, tag int, payload []byte) []byte {
+	var hdr [FrameHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(int32(src)))
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(int32(tag)))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// DecodeFrame decodes one frame from the front of b, returning the
+// envelope, the payload (aliasing b), and the remaining bytes.  A
+// truncated, oversized, or garbage header returns an error wrapping
+// ErrFrame; DecodeFrame never panics and never allocates.
+func DecodeFrame(b []byte, maxFrame int) (src, tag int, payload, rest []byte, err error) {
+	if maxFrame <= 0 {
+		maxFrame = DefaultMaxFrame
+	}
+	if len(b) < FrameHeaderSize {
+		return 0, 0, nil, nil, fmt.Errorf("%w: truncated header (%d bytes)", ErrFrame, len(b))
+	}
+	n := binary.LittleEndian.Uint32(b[0:4])
+	if n > uint32(maxFrame) {
+		return 0, 0, nil, nil, fmt.Errorf("%w: payload length %d exceeds limit %d", ErrFrame, n, maxFrame)
+	}
+	src = int(int32(binary.LittleEndian.Uint32(b[4:8])))
+	tag = int(int32(binary.LittleEndian.Uint32(b[8:12])))
+	if uint32(len(b)-FrameHeaderSize) < n {
+		return 0, 0, nil, nil, fmt.Errorf("%w: truncated payload (%d of %d bytes)", ErrFrame, len(b)-FrameHeaderSize, n)
+	}
+	end := FrameHeaderSize + int(n)
+	return src, tag, b[FrameHeaderSize:end:end], b[end:], nil
+}
+
+// readFrame reads one frame from r.  The payload buffer is freshly
+// allocated, at most maxFrame bytes — the length is validated before
+// any allocation, so a garbage header cannot over-allocate.
+func readFrame(r io.Reader, maxFrame int) (src, tag int, payload []byte, err error) {
+	if maxFrame <= 0 {
+		maxFrame = DefaultMaxFrame
+	}
+	var hdr [FrameHeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, 0, nil, err // EOF between frames is a link event, not a frame error
+	}
+	n := binary.LittleEndian.Uint32(hdr[0:4])
+	if n > uint32(maxFrame) {
+		return 0, 0, nil, fmt.Errorf("%w: payload length %d exceeds limit %d", ErrFrame, n, maxFrame)
+	}
+	src = int(int32(binary.LittleEndian.Uint32(hdr[4:8])))
+	tag = int(int32(binary.LittleEndian.Uint32(hdr[8:12])))
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, 0, nil, fmt.Errorf("%w: truncated payload: %v", ErrFrame, err)
+	}
+	return src, tag, payload, nil
+}
+
+// Address-book wire form: count, then count length-prefixed strings,
+// all as uvarints.  Decoding tolerates garbage (the payload crossed the
+// wire) by erroring, never panicking.
+
+func encodeBook(addrs []string) []byte {
+	buf := binary.AppendUvarint(nil, uint64(len(addrs)))
+	for _, a := range addrs {
+		buf = binary.AppendUvarint(buf, uint64(len(a)))
+		buf = append(buf, a...)
+	}
+	return buf
+}
+
+func decodeBook(b []byte, wantSize int) ([]string, error) {
+	n, k := binary.Uvarint(b)
+	if k <= 0 || n != uint64(wantSize) {
+		return nil, fmt.Errorf("%w: address book for %d ranks, want %d", ErrFrame, n, wantSize)
+	}
+	b = b[k:]
+	addrs := make([]string, wantSize)
+	for i := range addrs {
+		ln, k := binary.Uvarint(b)
+		if k <= 0 || ln > uint64(len(b)-k) {
+			return nil, fmt.Errorf("%w: truncated address book entry %d", ErrFrame, i)
+		}
+		b = b[k:]
+		addrs[i] = string(b[:ln])
+		b = b[ln:]
+	}
+	return addrs, nil
+}

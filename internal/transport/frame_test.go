@@ -1,0 +1,139 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf []byte
+	payloads := [][]byte{[]byte("hello"), {}, bytes.Repeat([]byte{0xab}, 1000)}
+	for i, p := range payloads {
+		buf = appendFrame(buf, i, 100+i, p)
+	}
+	rest := buf
+	for i, p := range payloads {
+		src, tag, payload, r, err := DecodeFrame(rest, 0)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if src != i || tag != 100+i || !bytes.Equal(payload, p) {
+			t.Fatalf("frame %d: got (src=%d tag=%d len=%d)", i, src, tag, len(payload))
+		}
+		rest = r
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d trailing bytes", len(rest))
+	}
+}
+
+func TestDecodeFrameErrors(t *testing.T) {
+	full := appendFrame(nil, 1, 2, []byte("payload"))
+	cases := []struct {
+		name string
+		b    []byte
+		max  int
+	}{
+		{"empty", nil, 0},
+		{"truncated header", full[:FrameHeaderSize-1], 0},
+		{"truncated payload", full[:len(full)-3], 0},
+		{"oversized", appendFrame(nil, 0, 0, make([]byte, 64)), 16},
+		{"garbage length", []byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0, 0, 0, 0, 0}, 1 << 20},
+	}
+	for _, tc := range cases {
+		if _, _, _, _, err := DecodeFrame(tc.b, tc.max); !errors.Is(err, ErrFrame) {
+			t.Errorf("%s: err = %v, want ErrFrame", tc.name, err)
+		}
+	}
+}
+
+func TestReadFrame(t *testing.T) {
+	full := appendFrame(nil, 3, 7, []byte("wire payload"))
+	src, tag, payload, err := readFrame(bytes.NewReader(full), 0)
+	if err != nil || src != 3 || tag != 7 || string(payload) != "wire payload" {
+		t.Fatalf("got (%d, %d, %q, %v)", src, tag, payload, err)
+	}
+
+	// EOF at a frame boundary is a link event, not a frame error.
+	if _, _, _, err := readFrame(bytes.NewReader(nil), 0); err != io.EOF {
+		t.Fatalf("empty stream: err = %v, want io.EOF", err)
+	}
+	// A payload cut short is a frame error.
+	if _, _, _, err := readFrame(bytes.NewReader(full[:len(full)-1]), 0); !errors.Is(err, ErrFrame) {
+		t.Fatalf("truncated stream: err = %v, want ErrFrame", err)
+	}
+	// An oversized length errors before allocating.
+	huge := appendFrame(nil, 0, 0, nil)
+	huge[3] = 0x7f // claim ~2 GiB payload
+	if _, _, _, err := readFrame(bytes.NewReader(huge), 1<<20); !errors.Is(err, ErrFrame) {
+		t.Fatalf("oversized claim: err = %v, want ErrFrame", err)
+	}
+}
+
+func TestFrameHeaderHalves(t *testing.T) {
+	var hdr [FrameHeaderSize]byte
+	putFrameHeader(hdr[:], 5, 1<<20+2, 999)
+	src, tag, n, err := parseFrameHeader(hdr[:], DefaultMaxFrame)
+	if err != nil || src != 5 || tag != 1<<20+2 || n != 999 {
+		t.Fatalf("got (%d, %d, %d, %v)", src, tag, n, err)
+	}
+	if _, _, _, err := parseFrameHeader(hdr[:], 100); !errors.Is(err, ErrFrame) {
+		t.Fatalf("limit: err = %v, want ErrFrame", err)
+	}
+}
+
+func TestBookRoundTrip(t *testing.T) {
+	addrs := []string{"127.0.0.1:9000", "127.0.0.1:9001", "", "[::1]:80"}
+	got, err := decodeBook(encodeBook(addrs), len(addrs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range addrs {
+		if got[i] != addrs[i] {
+			t.Fatalf("entry %d: %q != %q", i, got[i], addrs[i])
+		}
+	}
+	if _, err := decodeBook(encodeBook(addrs), 2); !errors.Is(err, ErrFrame) {
+		t.Fatalf("size mismatch: err = %v, want ErrFrame", err)
+	}
+	if _, err := decodeBook([]byte{4, 0xff}, 4); !errors.Is(err, ErrFrame) {
+		t.Fatalf("garbage: err = %v, want ErrFrame", err)
+	}
+}
+
+// FuzzFrameDecode drives the two frame decoders with arbitrary bytes:
+// truncated, oversized, or garbage input must error (wrapping ErrFrame
+// where a frame exists) — never panic and never allocate beyond the
+// frame limit.
+func FuzzFrameDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(appendFrame(nil, 0, 0, nil))
+	f.Add(appendFrame(nil, 3, 1<<20+1, []byte("seed payload")))
+	f.Add(appendFrame(nil, -1, -1, bytes.Repeat([]byte{7}, 100)))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Add(encodeBook([]string{"127.0.0.1:1", "127.0.0.1:2"}))
+	const maxFrame = 1 << 16
+	f.Fuzz(func(t *testing.T, b []byte) {
+		src, tag, payload, rest, err := DecodeFrame(b, maxFrame)
+		if err == nil {
+			if len(payload) > maxFrame {
+				t.Fatalf("payload %d exceeds limit", len(payload))
+			}
+			if len(payload)+len(rest)+FrameHeaderSize != len(b) {
+				t.Fatalf("frame accounting: %d + %d + %d != %d", len(payload), len(rest), FrameHeaderSize, len(b))
+			}
+			// The streaming decoder must agree with the in-place one.
+			s2, t2, p2, err2 := readFrame(bytes.NewReader(b), maxFrame)
+			if err2 != nil || s2 != src || t2 != tag || !bytes.Equal(p2, payload) {
+				t.Fatalf("readFrame disagrees: (%d %d %d %v) vs (%d %d %d)", s2, t2, len(p2), err2, src, tag, len(payload))
+			}
+		} else if !errors.Is(err, ErrFrame) {
+			t.Fatalf("DecodeFrame error does not wrap ErrFrame: %v", err)
+		}
+		if _, err := decodeBook(b, 4); err != nil && !errors.Is(err, ErrFrame) {
+			t.Fatalf("decodeBook error does not wrap ErrFrame: %v", err)
+		}
+	})
+}

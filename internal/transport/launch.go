@@ -1,0 +1,197 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/exec"
+	"sync"
+	"time"
+)
+
+// Launcher: fork one OS process per rank and supervise them.  The
+// parent binds the rendezvous socket itself and passes the listening
+// fd to rank 0 (ExtraFiles → fd 3), so the port is chosen by the
+// kernel yet never raced: every other rank gets the final address on
+// its command line before any child starts.
+
+// LaunchOptions configures one multi-process run.
+type LaunchOptions struct {
+	// Size is the number of ranks (one process each).
+	Size int
+	// Exe is the binary every rank runs.
+	Exe string
+	// Args builds rank r's argument list.  rendezvous is the bound
+	// rank-0 address; rank 0 should be told to adopt inherited fd
+	// RendezvousFD instead of binding it.
+	Args func(rank int, rendezvous string) []string
+	// Stdout / Stderr receive the children's output, each line prefixed
+	// "[rank N] ".  Defaults: os.Stdout / os.Stderr.
+	Stdout, Stderr io.Writer
+	// Timeout kills every rank if the run outlives it (0 = no limit).
+	Timeout time.Duration
+	// Env, when non-nil, replaces the children's environment.
+	Env []string
+}
+
+// RendezvousFD is the file descriptor number at which rank 0's child
+// process inherits the pre-bound rendezvous listener (the first
+// ExtraFiles slot).
+const RendezvousFD = 3
+
+// ListenerFromFD adopts an inherited listening socket, e.g. the
+// rendezvous listener the launcher passes rank 0 at RendezvousFD.
+func ListenerFromFD(fd int) (net.Listener, error) {
+	f := os.NewFile(uintptr(fd), "rendezvous")
+	if f == nil {
+		return nil, fmt.Errorf("transport: invalid inherited fd %d", fd)
+	}
+	defer f.Close()
+	ln, err := net.FileListener(f)
+	if err != nil {
+		return nil, fmt.Errorf("transport: adopting inherited fd %d: %w", fd, err)
+	}
+	return ln, nil
+}
+
+// Launch runs Size rank processes to completion.  The first rank to
+// fail (or an overall timeout) kills the rest; the returned error names
+// that first failure.
+func Launch(opts LaunchOptions) error {
+	if opts.Size <= 0 {
+		return errors.New("transport: launch needs at least one rank")
+	}
+	if opts.Exe == "" || opts.Args == nil {
+		return errors.New("transport: launch needs Exe and Args")
+	}
+	if opts.Stdout == nil {
+		opts.Stdout = os.Stdout
+	}
+	if opts.Stderr == nil {
+		opts.Stderr = os.Stderr
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fmt.Errorf("transport: binding rendezvous: %w", err)
+	}
+	rendezvous := ln.Addr().String()
+	lf, err := ln.(*net.TCPListener).File()
+	ln.Close() // the dup in lf keeps the listening socket alive
+	if err != nil {
+		return fmt.Errorf("transport: dup rendezvous fd: %w", err)
+	}
+	defer lf.Close()
+
+	var outMu sync.Mutex
+	cmds := make([]*exec.Cmd, opts.Size)
+	writers := make([]*prefixWriter, 0, 2*opts.Size)
+	var killOnce sync.Once
+	killAll := func() {
+		killOnce.Do(func() {
+			for _, c := range cmds {
+				if c != nil && c.Process != nil {
+					c.Process.Kill()
+				}
+			}
+		})
+	}
+
+	type rankExit struct {
+		rank int
+		err  error
+	}
+	exits := make(chan rankExit, opts.Size)
+	started := 0
+	var firstErr error
+	for r := 0; r < opts.Size; r++ {
+		cmd := exec.Command(opts.Exe, opts.Args(r, rendezvous)...)
+		if opts.Env != nil {
+			cmd.Env = opts.Env
+		}
+		if r == 0 {
+			cmd.ExtraFiles = []*os.File{lf}
+		}
+		ow := &prefixWriter{mu: &outMu, w: opts.Stdout, prefix: []byte(fmt.Sprintf("[rank %d] ", r))}
+		ew := &prefixWriter{mu: &outMu, w: opts.Stderr, prefix: []byte(fmt.Sprintf("[rank %d] ", r))}
+		cmd.Stdout, cmd.Stderr = ow, ew
+		writers = append(writers, ow, ew)
+		if err := cmd.Start(); err != nil {
+			firstErr = fmt.Errorf("transport: starting rank %d: %w", r, err)
+			killAll()
+			break
+		}
+		cmds[r] = cmd
+		started++
+		go func(r int, c *exec.Cmd) { exits <- rankExit{r, c.Wait()} }(r, cmd)
+	}
+
+	var timer <-chan time.Time
+	if opts.Timeout > 0 {
+		timer = time.After(opts.Timeout)
+	}
+	for remaining := started; remaining > 0; {
+		select {
+		case e := <-exits:
+			remaining--
+			if e.err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("transport: rank %d: %w", e.rank, e.err)
+				}
+				killAll()
+			}
+		case <-timer:
+			if firstErr == nil {
+				firstErr = fmt.Errorf("transport: launch timed out after %v", opts.Timeout)
+			}
+			killAll()
+			timer = nil
+		}
+	}
+	for _, w := range writers {
+		w.flushTail()
+	}
+	return firstErr
+}
+
+// prefixWriter prefixes each complete line of one child stream; the
+// shared mutex keeps ranks' lines from interleaving mid-line.  exec
+// writes each stream from a single copier goroutine, so buf needs no
+// lock of its own.
+type prefixWriter struct {
+	mu     *sync.Mutex
+	w      io.Writer
+	prefix []byte
+	buf    []byte
+}
+
+func (p *prefixWriter) Write(b []byte) (int, error) {
+	p.buf = append(p.buf, b...)
+	for {
+		i := bytes.IndexByte(p.buf, '\n')
+		if i < 0 {
+			return len(b), nil
+		}
+		p.mu.Lock()
+		p.w.Write(p.prefix)
+		p.w.Write(p.buf[:i+1])
+		p.mu.Unlock()
+		p.buf = p.buf[i+1:]
+	}
+}
+
+// flushTail emits any unterminated final line after the child exits.
+func (p *prefixWriter) flushTail() {
+	if len(p.buf) == 0 {
+		return
+	}
+	p.mu.Lock()
+	p.w.Write(p.prefix)
+	p.w.Write(p.buf)
+	p.w.Write([]byte("\n"))
+	p.mu.Unlock()
+	p.buf = nil
+}

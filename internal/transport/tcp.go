@@ -1,0 +1,653 @@
+package transport
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// TCP transport: one stream per rank pair, framed messages, a rank-0
+// rendezvous that distributes the address book.
+//
+// Connection topology: every rank binds a listener.  Rank 0's listener
+// is the rendezvous — every other rank dials it, sends a hello frame
+// carrying its own listen address, and receives the completed address
+// book back; that rendezvous connection then serves as the 0↔r pair
+// link.  For the remaining pairs, the higher rank dials the lower
+// rank's listed address (so each pair has exactly one stream), sends a
+// hello to identify itself, and both sides attach reader/writer
+// goroutines.  Once every link exists the listeners close.
+//
+// Each link has a writer goroutine with an outbound frame queue: Send
+// enqueues and returns (buffered semantics, like the in-process
+// world), and the writer drains the whole queue into one buffered
+// flush — write coalescing: n queued frames cost one syscall batch,
+// visible as FramesSent/Flushes in WireStats.  Write and handshake
+// deadlines come from Config.Deadline or, when unset, from the stall
+// watchdog via SetDeadline; a peer that stops draining its socket
+// fails the endpoint instead of wedging it forever.
+
+// TCPConfig parameterizes one rank's TCP endpoint.
+type TCPConfig struct {
+	Rank, Size int
+	// Rendezvous is rank 0's well-known address (host:port).  Rank 0
+	// binds it (unless Listener is set); other ranks dial it.
+	Rendezvous string
+	// Listener, when non-nil, is a pre-bound listening socket to use
+	// instead of binding Rendezvous or ListenAddr — the launcher passes
+	// rank 0 its rendezvous socket this way (no bind race), and tests
+	// inject pre-bound ephemeral listeners.
+	Listener net.Listener
+	// ListenAddr is the address non-zero ranks bind for inbound pair
+	// links (default "127.0.0.1:0").
+	ListenAddr string
+	// Deadline bounds every link write (per flush) and the whole
+	// rendezvous handshake.  Zero means no write deadline and a default
+	// handshake timeout; internal/mpi's stall watchdog installs its
+	// timeout here via SetDeadline when the flag is zero.
+	Deadline time.Duration
+	// MaxFrame bounds accepted payload lengths (default DefaultMaxFrame).
+	MaxFrame int
+	// WriteBuf is the per-link coalescing buffer size (default 256 KiB).
+	WriteBuf int
+	// Trace, when non-nil, records wire.send / wire.recv spans on this
+	// rank's wire track.
+	Trace *trace.Collector
+}
+
+const (
+	defaultHandshakeTimeout = 30 * time.Second
+	defaultWriteBuf         = 256 << 10
+	readBufSize             = 64 << 10
+	maxCtrlFrame            = 64 << 10
+)
+
+// TCP is one rank's endpoint of a TCP fabric.
+type TCP struct {
+	cfg TCPConfig
+	tr  *trace.Tracer
+	ib  *inbox
+
+	ln    net.Listener
+	links []*link // by peer rank; nil for self
+
+	mu       sync.Mutex
+	closed   bool
+	quiesced atomic.Bool
+	deadline atomic.Int64 // write/handshake deadline, ns
+
+	framesSent, framesRecv atomic.Int64
+	bytesSent, bytesRecv   atomic.Int64
+	flushes                atomic.Int64
+}
+
+// NewTCP creates an unconnected endpoint; Listen then Dial bring it up.
+func NewTCP(cfg TCPConfig) *TCP {
+	if cfg.MaxFrame <= 0 {
+		cfg.MaxFrame = DefaultMaxFrame
+	}
+	if cfg.WriteBuf <= 0 {
+		cfg.WriteBuf = defaultWriteBuf
+	}
+	t := &TCP{
+		cfg:   cfg,
+		tr:    cfg.Trace.Tracer(cfg.Rank),
+		ib:    newInbox(),
+		links: make([]*link, cfg.Size),
+	}
+	t.deadline.Store(int64(cfg.Deadline))
+	return t
+}
+
+// Rank implements Transport.
+func (t *TCP) Rank() int { return t.cfg.Rank }
+
+// Size implements Transport.
+func (t *TCP) Size() int { return t.cfg.Size }
+
+// SetDeadline installs the write/handshake deadline if the config left
+// it zero — the seam internal/mpi uses to wire the stall watchdog's
+// timeout to the wire.
+func (t *TCP) SetDeadline(d time.Duration) {
+	if t.cfg.Deadline == 0 && d > 0 {
+		t.deadline.Store(int64(d))
+	}
+}
+
+func (t *TCP) deadlineDur() time.Duration { return time.Duration(t.deadline.Load()) }
+
+func (t *TCP) handshakeDeadline() time.Time {
+	d := t.deadlineDur()
+	if d <= 0 {
+		d = defaultHandshakeTimeout
+	}
+	return time.Now().Add(d)
+}
+
+// Listen implements Transport: bind this rank's listening socket.
+func (t *TCP) Listen() error {
+	if t.cfg.Size < 1 || t.cfg.Rank < 0 || t.cfg.Rank >= t.cfg.Size {
+		return fmt.Errorf("transport: rank %d of world size %d", t.cfg.Rank, t.cfg.Size)
+	}
+	if t.cfg.Listener != nil {
+		t.ln = t.cfg.Listener
+		return nil
+	}
+	addr := t.cfg.ListenAddr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	if t.cfg.Rank == 0 && t.cfg.Rendezvous != "" {
+		addr = t.cfg.Rendezvous
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	t.ln = ln
+	return nil
+}
+
+// Dial implements Transport: the rendezvous handshake plus the pairwise
+// links.  On return every peer is reachable and the listener is closed.
+func (t *TCP) Dial() error {
+	if t.ln == nil {
+		if err := t.Listen(); err != nil {
+			return err
+		}
+	}
+	defer func() {
+		if t.ln != nil {
+			t.ln.Close()
+			t.ln = nil
+		}
+	}()
+	hs := t.handshakeDeadline()
+	var err error
+	if t.cfg.Rank == 0 {
+		err = t.dialAsRoot(hs)
+	} else {
+		err = t.dialAsPeer(hs)
+	}
+	if err != nil {
+		t.closeWith(fmt.Errorf("transport: rendezvous failed on rank %d: %w", t.cfg.Rank, err))
+		return err
+	}
+	for _, l := range t.links {
+		if l != nil {
+			l.start()
+		}
+	}
+	return nil
+}
+
+// dialAsRoot runs rank 0's side: collect hellos, distribute the book.
+func (t *TCP) dialAsRoot(hs time.Time) error {
+	addrs := make([]string, t.cfg.Size)
+	addrs[0] = t.ln.Addr().String()
+	conns := make([]net.Conn, t.cfg.Size)
+	if tl, ok := t.ln.(*net.TCPListener); ok {
+		tl.SetDeadline(hs)
+	}
+	for got := 1; got < t.cfg.Size; {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return fmt.Errorf("waiting for %d more ranks: %w", t.cfg.Size-got, err)
+		}
+		conn.SetDeadline(hs)
+		src, tag, addr, err := readFrame(conn, maxCtrlFrame)
+		if err != nil || tag != tagHello || src < 1 || src >= t.cfg.Size || conns[src] != nil {
+			conn.Close() // stray or duplicate connection; the real rank will retry or fail itself
+			continue
+		}
+		conns[src] = conn
+		addrs[src] = string(addr)
+		got++
+	}
+	book := encodeBook(addrs)
+	for r := 1; r < t.cfg.Size; r++ {
+		if _, err := conns[r].Write(appendFrame(nil, 0, tagBook, book)); err != nil {
+			return fmt.Errorf("sending address book to rank %d: %w", r, err)
+		}
+		conns[r].SetDeadline(time.Time{})
+		t.links[r] = newLink(t, r, conns[r])
+	}
+	return nil
+}
+
+// dialAsPeer runs every other rank's side: register at the rendezvous,
+// receive the book, dial lower ranks, accept higher ranks.
+func (t *TCP) dialAsPeer(hs time.Time) error {
+	conn, err := dialRetry(t.cfg.Rendezvous, hs)
+	if err != nil {
+		return fmt.Errorf("dialing rendezvous %s: %w", t.cfg.Rendezvous, err)
+	}
+	conn.SetDeadline(hs)
+	if _, err := conn.Write(appendFrame(nil, t.cfg.Rank, tagHello, []byte(t.ln.Addr().String()))); err != nil {
+		return fmt.Errorf("hello to rendezvous: %w", err)
+	}
+	src, tag, payload, err := readFrame(conn, maxCtrlFrame)
+	if err != nil || src != 0 || tag != tagBook {
+		return fmt.Errorf("reading address book (src=%d tag=%d): %w", src, tag, err)
+	}
+	book, err := decodeBook(payload, t.cfg.Size)
+	if err != nil {
+		return err
+	}
+	conn.SetDeadline(time.Time{})
+	t.links[0] = newLink(t, 0, conn)
+
+	// Dial every lower rank (the higher rank of a pair dials).
+	for j := 1; j < t.cfg.Rank; j++ {
+		c, err := dialRetry(book[j], hs)
+		if err != nil {
+			return fmt.Errorf("dialing rank %d at %s: %w", j, book[j], err)
+		}
+		c.SetDeadline(hs)
+		if _, err := c.Write(appendFrame(nil, t.cfg.Rank, tagHello, nil)); err != nil {
+			return fmt.Errorf("hello to rank %d: %w", j, err)
+		}
+		c.SetDeadline(time.Time{})
+		t.links[j] = newLink(t, j, c)
+	}
+
+	// Accept every higher rank.
+	if tl, ok := t.ln.(*net.TCPListener); ok {
+		tl.SetDeadline(hs)
+	}
+	for need := t.cfg.Size - t.cfg.Rank - 1; need > 0; {
+		c, err := t.ln.Accept()
+		if err != nil {
+			return fmt.Errorf("waiting for %d higher ranks: %w", need, err)
+		}
+		c.SetDeadline(hs)
+		src, tag, _, err := readFrame(c, maxCtrlFrame)
+		if err != nil || tag != tagHello || src <= t.cfg.Rank || src >= t.cfg.Size || t.links[src] != nil {
+			c.Close()
+			continue
+		}
+		c.SetDeadline(time.Time{})
+		t.links[src] = newLink(t, src, c)
+		need--
+	}
+	return nil
+}
+
+// dialRetry dials addr until it succeeds or the handshake deadline
+// passes; peers race the rendezvous bind, so early refusals retry.
+func dialRetry(addr string, deadline time.Time) (net.Conn, error) {
+	for {
+		timeout := time.Until(deadline)
+		if timeout <= 0 {
+			return nil, fmt.Errorf("handshake deadline exceeded dialing %s", addr)
+		}
+		conn, err := net.DialTimeout("tcp", addr, timeout)
+		if err == nil {
+			return conn, nil
+		}
+		if time.Until(deadline) < 10*time.Millisecond {
+			return nil, err
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// Send implements Transport.
+func (t *TCP) Send(dst, tag int, data []byte) error {
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	return t.SendNoCopy(dst, tag, buf)
+}
+
+// SendNoCopy implements Transport.
+func (t *TCP) SendNoCopy(dst, tag int, data []byte) error {
+	if dst < 0 || dst >= t.cfg.Size {
+		return fmt.Errorf("transport: send to invalid rank %d", dst)
+	}
+	if tag < 0 {
+		return fmt.Errorf("transport: tag %d is reserved", tag)
+	}
+	if dst == t.cfg.Rank {
+		// Self-sends never touch the wire (an IOP that is also an AP).
+		t.ib.put(Message{Src: t.cfg.Rank, Tag: tag, Data: data})
+		return nil
+	}
+	l := t.links[dst]
+	if l == nil {
+		return fmt.Errorf("transport: no link to rank %d (endpoint not dialed)", dst)
+	}
+	return l.enqueue(tag, data)
+}
+
+// Recv implements Transport.
+func (t *TCP) Recv(src, tag int) (Message, error) {
+	return t.ib.take(src, tag)
+}
+
+// DrainTag implements Transport.
+func (t *TCP) DrainTag(tag int) (int, int64) {
+	return t.ib.drain(tag)
+}
+
+// Flush implements Transport: wait for every link's queue to hit the
+// socket.
+func (t *TCP) Flush() error {
+	for _, l := range t.links {
+		if l == nil {
+			continue
+		}
+		if err := l.flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Quiesce implements Transport.
+func (t *TCP) Quiesce() { t.quiesced.Store(true) }
+
+// Close implements Transport.
+func (t *TCP) Close() error { return t.closeWith(nil) }
+
+// closeWith tears the endpoint down; the first cause wins and is what
+// blocked Recvs report (nil means a plain Close → ErrClosed).
+func (t *TCP) closeWith(cause error) error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	t.mu.Unlock()
+	t.ib.close(cause)
+	if t.ln != nil {
+		t.ln.Close()
+	}
+	for _, l := range t.links {
+		if l != nil {
+			l.close()
+		}
+	}
+	return nil
+}
+
+func (t *TCP) isClosed() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.closed
+}
+
+// linkFailed handles a reader/writer error on one link: fatal for the
+// whole endpoint unless it is quiescing (peers closing at shutdown) or
+// already closed.
+func (t *TCP) linkFailed(l *link, err error) {
+	if t.quiesced.Load() || t.isClosed() {
+		l.close()
+		return
+	}
+	t.closeWith(fmt.Errorf("transport: link to rank %d lost: %v", l.peer, err))
+}
+
+// Stats implements Transport.
+func (t *TCP) Stats() WireStats {
+	return WireStats{
+		FramesSent: t.framesSent.Load(),
+		FramesRecv: t.framesRecv.Load(),
+		BytesSent:  t.bytesSent.Load(),
+		BytesRecv:  t.bytesRecv.Load(),
+		Flushes:    t.flushes.Load(),
+	}
+}
+
+// wireProgress reports total bytes moved, counted as they cross the
+// sockets — the stall watchdog folds this in so a slow-but-flowing
+// large frame is progress, not a stall.
+func (t *TCP) wireProgress() int64 { return t.bytesSent.Load() + t.bytesRecv.Load() }
+
+// outFrame is one queued outbound message.
+type outFrame struct {
+	tag  int
+	data []byte
+}
+
+// link is one pair connection with its writer queue.
+type link struct {
+	t    *TCP
+	peer int
+	conn net.Conn
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	out     []outFrame
+	writing bool
+	closed  bool
+	err     error
+}
+
+func newLink(t *TCP, peer int, conn net.Conn) *link {
+	l := &link{t: t, peer: peer, conn: conn}
+	l.cond = sync.NewCond(&l.mu)
+	return l
+}
+
+func (l *link) start() {
+	go l.writer()
+	go l.reader()
+}
+
+func (l *link) enqueue(tag int, data []byte) error {
+	l.mu.Lock()
+	if l.closed {
+		err := l.err
+		l.mu.Unlock()
+		if err == nil {
+			err = ErrClosed
+		}
+		return err
+	}
+	l.out = append(l.out, outFrame{tag: tag, data: data})
+	l.mu.Unlock()
+	l.cond.Signal()
+	return nil
+}
+
+// flush blocks until the queue is drained and flushed to the socket.
+func (l *link) flush() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for (len(l.out) > 0 || l.writing) && !l.closed {
+		l.cond.Wait()
+	}
+	return l.err
+}
+
+func (l *link) close() {
+	l.mu.Lock()
+	if !l.closed {
+		l.closed = true
+		if l.err == nil {
+			l.err = ErrClosed
+		}
+	}
+	l.mu.Unlock()
+	l.cond.Broadcast()
+	l.conn.Close()
+}
+
+// failWith records err as the link's failure and escalates it.
+func (l *link) failWith(err error) {
+	l.mu.Lock()
+	if !l.closed && l.err == nil {
+		l.err = err
+	}
+	l.mu.Unlock()
+	l.cond.Broadcast()
+	l.t.linkFailed(l, err)
+}
+
+// writer drains the outbound queue: every wake-up takes the whole
+// queue and writes it through one buffered flush (write coalescing).
+func (l *link) writer() {
+	cw := &countingWriter{w: l.conn, n: &l.t.bytesSent}
+	bw := bufio.NewWriterSize(cw, l.t.cfg.WriteBuf)
+	var hdr [FrameHeaderSize]byte
+	for {
+		l.mu.Lock()
+		for len(l.out) == 0 && !l.closed {
+			l.cond.Wait()
+		}
+		if len(l.out) == 0 {
+			l.mu.Unlock()
+			return // closed and drained
+		}
+		batch := l.out
+		l.out = nil
+		l.writing = true
+		l.mu.Unlock()
+
+		if d := l.t.deadlineDur(); d > 0 {
+			l.conn.SetWriteDeadline(time.Now().Add(d))
+		}
+		var werr error
+		var total int64
+		sp := l.t.tr.BeginWire(trace.PhaseWireSend, 0)
+		for _, fr := range batch {
+			if werr != nil {
+				break
+			}
+			putFrameHeader(hdr[:], l.t.cfg.Rank, fr.tag, len(fr.data))
+			if _, werr = bw.Write(hdr[:]); werr == nil {
+				_, werr = bw.Write(fr.data)
+			}
+			total += FrameHeaderSize + int64(len(fr.data))
+			l.t.framesSent.Add(1)
+		}
+		if werr == nil {
+			werr = bw.Flush()
+		}
+		sp.EndBytes(total)
+		l.t.flushes.Add(1)
+
+		l.mu.Lock()
+		l.writing = false
+		l.mu.Unlock()
+		l.cond.Broadcast()
+		if werr != nil {
+			l.failWith(werr)
+			return
+		}
+	}
+}
+
+// reader parses inbound frames and delivers them to the inbox.  The
+// span covers the payload transfer (header → full frame), not the idle
+// wait between frames.
+func (l *link) reader() {
+	cr := &countingReader{r: l.conn, n: &l.t.bytesRecv}
+	br := bufio.NewReaderSize(cr, readBufSize)
+	var hdr [FrameHeaderSize]byte
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			l.failWith(err)
+			return
+		}
+		src, tag, n, err := parseFrameHeader(hdr[:], l.t.cfg.MaxFrame)
+		if err != nil {
+			l.failWith(err)
+			return
+		}
+		if src != l.peer || tag < 0 {
+			l.failWith(fmt.Errorf("%w: envelope src=%d tag=%d on link to rank %d", ErrFrame, src, tag, l.peer))
+			return
+		}
+		sp := l.t.tr.BeginWire(trace.PhaseWireRecv, 0)
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			l.failWith(fmt.Errorf("%w: truncated payload: %v", ErrFrame, err))
+			return
+		}
+		sp.EndBytes(FrameHeaderSize + int64(n))
+		l.t.framesRecv.Add(1)
+		l.t.ib.put(Message{Src: src, Tag: tag, Data: payload})
+	}
+}
+
+// countingReader / countingWriter count bytes as they cross the socket,
+// feeding both WireStats and the watchdog's progress signal.
+type countingReader struct {
+	r io.Reader
+	n *atomic.Int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n.Add(int64(n))
+	return n, err
+}
+
+type countingWriter struct {
+	w io.Writer
+	n *atomic.Int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n.Add(int64(n))
+	return n, err
+}
+
+// NewLocalTCPWorld binds a fresh 127.0.0.1 rendezvous and returns size
+// configured endpoints for a single-process TCP world — the transport
+// matrix tests and benchmarks run real sockets without forking.  Each
+// endpoint still needs Listen+Dial (internal/mpi's runners do both).
+func NewLocalTCPWorld(size int, base TCPConfig) ([]Transport, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	eps := make([]Transport, size)
+	for r := range eps {
+		cfg := base
+		cfg.Rank, cfg.Size, cfg.Rendezvous = r, size, ln.Addr().String()
+		if r == 0 {
+			cfg.Listener = ln
+		}
+		eps[r] = NewTCP(cfg)
+	}
+	return eps, nil
+}
+
+// putFrameHeader / parseFrameHeader are the header halves of the frame
+// codec, used by the streaming reader/writer paths.
+func putFrameHeader(hdr []byte, src, tag, payloadLen int) {
+	_ = hdr[FrameHeaderSize-1]
+	hdr[0] = byte(payloadLen)
+	hdr[1] = byte(payloadLen >> 8)
+	hdr[2] = byte(payloadLen >> 16)
+	hdr[3] = byte(payloadLen >> 24)
+	putInt32LE(hdr[4:8], int32(src))
+	putInt32LE(hdr[8:12], int32(tag))
+}
+
+func parseFrameHeader(hdr []byte, maxFrame int) (src, tag, payloadLen int, err error) {
+	n := uint32(hdr[0]) | uint32(hdr[1])<<8 | uint32(hdr[2])<<16 | uint32(hdr[3])<<24
+	if n > uint32(maxFrame) {
+		return 0, 0, 0, fmt.Errorf("%w: payload length %d exceeds limit %d", ErrFrame, n, maxFrame)
+	}
+	src = int(int32(uint32(hdr[4]) | uint32(hdr[5])<<8 | uint32(hdr[6])<<16 | uint32(hdr[7])<<24))
+	tag = int(int32(uint32(hdr[8]) | uint32(hdr[9])<<8 | uint32(hdr[10])<<16 | uint32(hdr[11])<<24))
+	return src, tag, int(n), nil
+}
+
+func putInt32LE(b []byte, v int32) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+}
