@@ -52,6 +52,8 @@ func main() {
 		collBuf    = flag.Int("collbuf", 0, "collective buffer bytes (0 = default)")
 		ioNodes    = flag.Int("ionodes", 0, "number of I/O processes (0 = all)")
 		noPipe     = flag.Bool("no-pipeline", false, "disable the pipelined collective window loop")
+		noPool     = flag.Bool("no-pool", false, "disable buffer pooling: allocate every hot-path buffer fresh")
+		noVectored = flag.Bool("no-vectored", false, "disable vectored storage I/O on the sparse direct path")
 		file       = flag.String("file", "", "back the run with this file instead of memory")
 		readBW     = flag.Int64("read-bw", 0, "throttle: backend read bandwidth in bytes/s")
 		writeBW    = flag.Int64("write-bw", 0, "throttle: backend write bandwidth in bytes/s")
@@ -98,6 +100,7 @@ func main() {
 		netLaunch(*p, pat, eng, launchFlags{
 			nblock: *nblock, sblock: *sblock, reps: *reps, verify: *verify, tiles: *tiles,
 			sieveBuf: *sieveBuf, collBuf: *collBuf, ioNodes: *ioNodes, noPipe: *noPipe,
+			noPool: *noPool, noVectored: *noVectored,
 			file: *file, readBW: *readBW, writeBW: *writeBW, latency: *latency,
 			tracePath: *tracePath, stall: stallTimeout, timeout: *netTimeout,
 		})
@@ -177,6 +180,8 @@ func main() {
 			CollBufSize:         *collBuf,
 			IONodes:             *ioNodes,
 			DisableCollPipeline: *noPipe,
+			DisablePool:         *noPool,
+			DisableVectored:     *noVectored,
 		},
 		Trace:        collector,
 		StallTimeout: stallTimeout,
@@ -274,6 +279,8 @@ type launchFlags struct {
 	sieveBuf, collBuf int
 	ioNodes           int
 	noPipe            bool
+	noPool            bool
+	noVectored        bool
 	file              string
 	readBW, writeBW   int64
 	latency           time.Duration
@@ -335,6 +342,12 @@ func netLaunch(p int, pat noncontig.Pattern, eng core.Engine, lf launchFlags) {
 		}
 		if lf.noPipe {
 			a = append(a, "-no-pipeline")
+		}
+		if lf.noPool {
+			a = append(a, "-no-pool")
+		}
+		if lf.noVectored {
+			a = append(a, "-no-vectored")
 		}
 		if lf.readBW > 0 {
 			a = append(a, "-read-bw", fmt.Sprint(lf.readBW))

@@ -4,13 +4,13 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
-	"runtime"
 	"testing"
 	"time"
 
 	"repro/internal/datatype"
 	"repro/internal/mpi"
 	"repro/internal/storage"
+	"repro/internal/testutil"
 )
 
 // Fault-tolerance harness: seeded multi-rank worlds with injected
@@ -22,29 +22,6 @@ import (
 // watchdogTimeout bounds every faulted world in this file: a protocol
 // bug shows up as an ErrStalled diagnostic, not a hung test run.
 const watchdogTimeout = 10 * time.Second
-
-// leakCheck snapshots the goroutine count; the returned func fails the
-// test if the count has not returned to the baseline shortly after.
-func leakCheck(t *testing.T) func() {
-	t.Helper()
-	base := runtime.NumGoroutine()
-	return func() {
-		t.Helper()
-		deadline := time.Now().Add(2 * time.Second)
-		var n int
-		for {
-			n = runtime.NumGoroutine()
-			if n <= base || time.Now().After(deadline) {
-				break
-			}
-			time.Sleep(2 * time.Millisecond)
-		}
-		if n > base {
-			buf := make([]byte, 1<<16)
-			t.Errorf("goroutine leak: %d before, %d after\n%s", base, n, buf[:runtime.Stack(buf, true)])
-		}
-	}
-}
 
 // requireAgreement asserts that every rank returned the same
 // rank-attributed CollectiveError and returns the agreed value.
@@ -114,7 +91,7 @@ func TestCollectiveErrorAgreement(t *testing.T) {
 	for _, eng := range []Engine{Listless, ListBased} {
 		for _, pipeline := range []bool{false, true} {
 			label := fmt.Sprintf("%v/pipeline=%v", eng, pipeline)
-			checkLeaks := leakCheck(t)
+			checkLeaks := testutil.LeakCheck(t)
 
 			fb := storage.NewFaulty(storage.NewMem())
 			sh := NewShared(fb)
@@ -189,7 +166,7 @@ func TestFaultCollectiveMatrix(t *testing.T) {
 					op = "write"
 				}
 				label := fmt.Sprintf("%v/pipeline=%v/%s", eng, pipeline, op)
-				checkLeaks := leakCheck(t)
+				checkLeaks := testutil.LeakCheck(t)
 
 				fb := storage.NewFaulty(storage.NewMem())
 				sh := NewShared(fb)
@@ -274,7 +251,7 @@ func TestChaosCollectiveHarness(t *testing.T) {
 		for _, eng := range []Engine{Listless, ListBased} {
 			for _, pipeline := range []bool{false, true} {
 				label := fmt.Sprintf("seed=%d/%v/pipeline=%v", seed, eng, pipeline)
-				checkLeaks := leakCheck(t)
+				checkLeaks := testutil.LeakCheck(t)
 
 				chaos := storage.NewChaos(seed, storage.NewMem(), storage.TransientOnly())
 				be := storage.NewResilient(chaos, storage.ResilientConfig{Seed: seed + 1})

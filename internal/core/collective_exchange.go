@@ -26,7 +26,11 @@ func (f *File) apExchange(pl *collPlan, d0, d int64, mem *memState, buf []byte, 
 				continue
 			}
 			if write {
-				chunk := make([]byte, b-a)
+				// The chunk's ownership passes to the transport at
+				// SendNoCopy and onward to the receiving IOP, which
+				// returns it to a pool after merging (the zero-copy
+				// AP→IOP path: pack once, no intermediate copies).
+				chunk := f.bp.Get(int(b - a))
 				csp := f.tr.Begin(trace.PhaseCopy, winLo, b-a)
 				t0 := time.Now()
 				f.eng.packUser(chunk, buf, mem, a-d0, b-a)
@@ -46,6 +50,7 @@ func (f *File) apExchange(pl *collPlan, d0, d int64, mem *memState, buf []byte, 
 				csp := f.tr.Begin(trace.PhaseCopy, winLo, b-a)
 				f.eng.unpackUser(buf, chunk, mem, a-d0, b-a)
 				csp.End()
+				f.bp.Put(chunk) // this rank owns the received chunk; recycle it
 				f.Stats.ExchangeNs += t1.Sub(t0).Nanoseconds()
 				f.Stats.CopyNs += time.Since(t1).Nanoseconds()
 			}

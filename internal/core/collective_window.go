@@ -26,8 +26,14 @@ import (
 //     ranges, backends accept concurrent access, and all MPI traffic
 //     stays on the main goroutine (preserving per-pair message order).
 //
+// The pipeline's steady state is allocation-free: the two window
+// buffers come from the pool, each slot owns one persistent worker
+// goroutine fed by reusable channels of value structs (no per-window
+// goroutines, channels, or window descriptors), and the engines recycle
+// their per-window state via iopWindow.release.
+//
 // All Stats fields are updated on the main goroutine only; background
-// I/O durations travel back through the slot/ready tokens.
+// I/O durations travel back through the reply tokens.
 
 // iopProcess runs this rank's IOP role: engine setup (the list-based
 // engine receives one access list from every AP — this must happen even
@@ -58,7 +64,9 @@ func (f *File) iopProcess(pl *collPlan, write bool) *CollectiveError {
 }
 
 // iopExchangeWrite receives every AP's chunk for one window and merges
-// it into the window buffer w, accounting exchange and copy time.
+// it into the window buffer w, accounting exchange and copy time.  The
+// received chunks are owned by this rank (SendNoCopy transfers
+// ownership end-to-end) and are returned to the pool after merging.
 // winLo annotates the trace spans with the window's file offset.
 func (f *File) iopExchangeWrite(iw iopWindow, w []byte, winLo int64) {
 	for r := 0; r < f.p.Size(); r++ {
@@ -73,13 +81,16 @@ func (f *File) iopExchangeWrite(iw iopWindow, w []byte, winLo int64) {
 		csp := f.tr.Begin(trace.PhaseCopy, winLo, int64(len(chunk)))
 		iw.copyIn(w, r, chunk)
 		csp.End()
+		f.bp.Put(chunk)
 		f.Stats.ExchangeNs += t1.Sub(t0).Nanoseconds()
 		f.Stats.CopyNs += time.Since(t1).Nanoseconds()
 	}
 }
 
 // iopExchangeRead extracts every AP's portion of the window buffer w
-// and sends it, accounting copy and exchange time.
+// and sends it, accounting copy and exchange time.  Chunk ownership
+// passes to the transport and onward to the receiving AP, which
+// recycles it after unpacking.
 func (f *File) iopExchangeRead(iw iopWindow, w []byte, winLo int64) {
 	for r := 0; r < f.p.Size(); r++ {
 		n := iw.chunkLen(r)
@@ -88,7 +99,7 @@ func (f *File) iopExchangeRead(iw iopWindow, w []byte, winLo int64) {
 		}
 		csp := f.tr.Begin(trace.PhaseCopy, winLo, n)
 		t0 := time.Now()
-		chunk := make([]byte, n)
+		chunk := f.bp.Get(int(n))
 		iw.copyOut(w, r, chunk)
 		t1 := time.Now()
 		csp.End()
@@ -102,12 +113,14 @@ func (f *File) iopExchangeRead(iw iopWindow, w []byte, winLo int64) {
 
 // iopSequential is the strictly ordered window loop.
 func (f *File) iopSequential(iop iopState, domLo, domHi, winSize int64, write bool) error {
-	win := make([]byte, winSize)
+	win := f.bp.Get(int(winSize))
+	defer f.bp.Put(win)
 	for winLo := domLo; winLo < domHi; winLo += winSize {
 		winHi := min(winLo+winSize, domHi)
 		w := win[:winHi-winLo]
 		iw := iop.window(winLo, winHi)
 		if iw.total() == 0 {
+			iw.release()
 			continue
 		}
 		wsp := f.tr.Begin(trace.PhaseWindow, winLo, iw.total())
@@ -123,6 +136,7 @@ func (f *File) iopSequential(iop iopState, domLo, domHi, winSize int64, write bo
 				f.Stats.StorageNs += time.Since(t0).Nanoseconds()
 				if err != nil {
 					wsp.End()
+					iw.release()
 					return err
 				}
 			}
@@ -134,6 +148,7 @@ func (f *File) iopSequential(iop iopState, domLo, domHi, winSize int64, write bo
 			f.Stats.StorageNs += time.Since(t0).Nanoseconds()
 			if err != nil {
 				wsp.End()
+				iw.release()
 				return err
 			}
 			f.Stats.SieveWrites++
@@ -145,158 +160,199 @@ func (f *File) iopSequential(iop iopState, domLo, domHi, winSize int64, write bo
 			f.Stats.StorageNs += time.Since(t0).Nanoseconds()
 			if err != nil {
 				wsp.End()
+				iw.release()
 				return err
 			}
 			f.Stats.SieveReads++
 			f.iopExchangeRead(iw, w, winLo)
 		}
 		wsp.End()
+		iw.release()
 	}
 	return nil
 }
 
-// ioToken carries the result of one background storage access through
-// the pipeline's channels: its error and its duration.
+// ioToken carries the result of background storage access through the
+// pipeline's channels: its error and its duration.
 type ioToken struct {
 	err error
 	ns  int64
 }
 
-// pipeSlot is one of the two window buffers.  avail holds exactly one
-// token; taking it grants use of buf, returning it (after the slot's
-// write-back completes) releases it to the window after next.
+// pipeReq is one request to a slot worker.
+type pipeReq struct {
+	lo, hi int64
+	kind   uint8 // pipePrep or pipeWrite
+	read   bool  // pipePrep: pre-read the window into the slot buffer
+}
+
+const (
+	pipePrep  = uint8(iota) // prepare the slot for a window (optional pre-read)
+	pipeWrite               // write the slot buffer back to storage
+)
+
+// pipeSlot is one of the two window buffers with its persistent worker.
+// Requests are processed FIFO, which encodes the slot discipline: a
+// window's prep (and therefore its pre-read) cannot start before the
+// slot's previous write-back finished.  req has capacity 2 — at most
+// one outstanding write-back plus one prep are ever queued — so the
+// main goroutine never blocks enqueueing.
 type pipeSlot struct {
-	buf   []byte
-	avail chan ioToken
+	buf  []byte
+	req  chan pipeReq // main → worker
+	done chan ioToken // worker → main: prep complete, slot buffer ready
+	fin  chan ioToken // worker → main: trailing write-back result at exit
 }
 
-// pipeWindow is one in-flight window of the pipeline.
+// slotWorker is a slot's persistent background goroutine.  Write-back
+// errors and durations are carried into the next prep reply (or the fin
+// token at shutdown), mirroring the slot hand-over semantics: whoever
+// waits for the slot learns the fate of its previous write-back.
+func (f *File) slotWorker(s *pipeSlot) {
+	var carry ioToken
+	for r := range s.req {
+		switch r.kind {
+		case pipeWrite:
+			bsp := f.tr.BeginIO(trace.PhaseWriteBack, r.lo, r.hi-r.lo)
+			t0 := time.Now()
+			_, err := f.sh.b.WriteAt(s.buf[:r.hi-r.lo], r.lo)
+			bsp.End()
+			carry.ns += time.Since(t0).Nanoseconds()
+			if carry.err == nil {
+				carry.err = err
+			}
+		case pipePrep:
+			t := carry
+			carry = ioToken{}
+			if t.err == nil && r.read {
+				rsp := f.tr.BeginIO(trace.PhasePreRead, r.lo, r.hi-r.lo)
+				t0 := time.Now()
+				err := storage.ReadFull(f.sh.b, s.buf[:r.hi-r.lo], r.lo)
+				rsp.End()
+				t.err = err
+				t.ns += time.Since(t0).Nanoseconds()
+			}
+			s.done <- t
+		}
+	}
+	s.fin <- carry
+}
+
+// pipeWindow describes one in-flight window (a value; the pipeline
+// holds at most two).
 type pipeWindow struct {
-	winLo, winHi int64
-	iw           iopWindow
-	slot         *pipeSlot
-	covered      bool         // write: pre-read skipped
-	ready        chan ioToken // pre-read (or slot hand-over) completion
+	lo, hi  int64
+	iw      iopWindow
+	slot    *pipeSlot
+	covered bool // write: pre-read skipped
 }
 
-// iopPipelined is the double-buffered window loop.  The prep goroutine
-// of window k+1 first waits for its slot's token — released by window
-// k-1's write-back — so at most two windows are ever in flight, then
-// pre-reads the window (unless this is a fully covered write) and
-// signals ready.  The main goroutine does all exchange and copying and
-// hands write-backs to the background.
+// iopPipelined is the double-buffered window loop.  Window k+1's prep
+// request queues behind its slot's previous write-back (windows k+1 and
+// k-1 share a slot), so at most two windows are ever in flight; the
+// main goroutine does all exchange and copying and hands write-backs to
+// the slot workers.
 func (f *File) iopPipelined(iop iopState, domLo, domHi, winSize int64, write bool) error {
 	var slots [2]*pipeSlot
 	for i := range slots {
-		slots[i] = &pipeSlot{buf: make([]byte, winSize), avail: make(chan ioToken, 1)}
-		slots[i].avail <- ioToken{}
+		s := &pipeSlot{
+			buf:  f.bp.Get(int(winSize)),
+			req:  make(chan pipeReq, 2),
+			done: make(chan ioToken, 1),
+			fin:  make(chan ioToken, 1),
+		}
+		slots[i] = s
+		go f.slotWorker(s)
 	}
+
 	nextSlot := 0
 	nextLo := domLo
 
-	// mk prepares the next non-empty window, or returns nil when the
+	// mk prepares the next non-empty window, or ok=false when the
 	// domain is exhausted.  Empty windows are skipped without consuming
 	// a slot.  iop.window calls stay on the main goroutine, in order.
-	mk := func() *pipeWindow {
+	mk := func() (pipeWindow, bool) {
 		for nextLo < domHi {
 			winLo := nextLo
 			winHi := min(winLo+winSize, domHi)
 			nextLo = winHi
 			iw := iop.window(winLo, winHi)
 			if iw.total() == 0 {
+				iw.release()
 				continue
 			}
-			pw := &pipeWindow{
-				winLo: winLo, winHi: winHi, iw: iw,
-				slot:  slots[nextSlot],
-				ready: make(chan ioToken, 1),
-			}
+			pw := pipeWindow{lo: winLo, hi: winHi, iw: iw, slot: slots[nextSlot]}
 			nextSlot = 1 - nextSlot
 			if write && !f.opts.DisableMergeCheck {
 				pw.covered = iw.covered()
 			}
-			go func() {
-				t := <-pw.slot.avail // wait out the slot's prior write-back
-				if t.err == nil && (!write || !pw.covered) {
-					rsp := f.tr.BeginIO(trace.PhasePreRead, pw.winLo, pw.winHi-pw.winLo)
-					t0 := time.Now()
-					err := storage.ReadFull(f.sh.b, pw.slot.buf[:pw.winHi-pw.winLo], pw.winLo)
-					rsp.End()
-					t = ioToken{err: err, ns: t.ns + time.Since(t0).Nanoseconds()}
-				}
-				pw.ready <- t
-			}()
-			return pw
+			pw.slot.req <- pipeReq{lo: winLo, hi: winHi, kind: pipePrep, read: !write || !pw.covered}
+			return pw, true
 		}
-		return nil
+		return pipeWindow{}, false
 	}
 
-	cur := mk()
-	for cur != nil {
-		// Start window k+1's pre-read before touching window k: this is
+	var err error
+	cur, ok := mk()
+	for ok && err == nil {
+		// Start window k+1's prep before touching window k: this is
 		// the overlap.
-		nxt := mk()
-		if nxt != nil {
+		nxt, nok := mk()
+		if nok {
 			f.Stats.WindowsOverlapped++
 		}
 
-		psp := f.tr.Begin(trace.PhasePipelineWait, cur.winLo, 0)
-		t := <-cur.ready
+		psp := f.tr.Begin(trace.PhasePipelineWait, cur.lo, 0)
+		t := <-cur.slot.done
 		psp.End()
 		f.Stats.StorageNs += t.ns
 		if t.err != nil {
-			// Unwind quiescently: no background I/O may outlive this
-			// return, or it would race the next collective on the file.
-			// nxt's prep consumed its slot token, so waiting for ready
-			// also waits out that slot's prior write-back; with no nxt,
-			// the other slot's token must be reclaimed directly.
-			if nxt != nil {
-				t2 := <-nxt.ready
+			// Unwind quiescently: consume nxt's prep reply if one was
+			// issued (its slot's prior write-back folds into it), then
+			// fall through to the shutdown drain below — no background
+			// I/O may outlive this return, or it would race the next
+			// collective on the file.
+			err = t.err
+			if nok {
+				t2 := <-nxt.slot.done
 				f.Stats.StorageNs += t2.ns
-			} else {
-				for _, s := range slots {
-					if s != cur.slot {
-						t2 := <-s.avail
-						f.Stats.StorageNs += t2.ns
-					}
-				}
+				nxt.iw.release()
 			}
-			return t.err
+			cur.iw.release()
+			break
 		}
 
-		w := cur.slot.buf[:cur.winHi-cur.winLo]
-		wsp := f.tr.Begin(trace.PhaseWindow, cur.winLo, cur.iw.total())
+		w := cur.slot.buf[:cur.hi-cur.lo]
+		wsp := f.tr.Begin(trace.PhaseWindow, cur.lo, cur.iw.total())
 		if write {
 			if cur.covered {
 				f.Stats.PreReadsSkipped++
 			}
-			f.iopExchangeWrite(cur.iw, w, cur.winLo)
+			f.iopExchangeWrite(cur.iw, w, cur.lo)
 			f.Stats.SieveWrites++
-			slot, lo := cur.slot, cur.winLo
-			go func() {
-				bsp := f.tr.BeginIO(trace.PhaseWriteBack, lo, int64(len(w)))
-				t0 := time.Now()
-				_, err := f.sh.b.WriteAt(w, lo)
-				bsp.End()
-				slot.avail <- ioToken{err: err, ns: time.Since(t0).Nanoseconds()}
-			}()
+			cur.slot.req <- pipeReq{lo: cur.lo, hi: cur.hi, kind: pipeWrite}
 		} else {
 			f.Stats.SieveReads++
-			f.iopExchangeRead(cur.iw, w, cur.winLo)
-			cur.slot.avail <- ioToken{}
+			f.iopExchangeRead(cur.iw, w, cur.lo)
 		}
 		wsp.End()
-		cur = nxt
+		cur.iw.release()
+		cur, ok = nxt, nok
 	}
 
-	// Drain both slots: collect the outstanding write-back results.
-	var firstErr error
+	// Shut down: closing req makes each worker finish every queued
+	// write-back, then report the trailing result and exit — the
+	// pipeline is quiescent when fin has been consumed from both slots.
 	for _, s := range slots {
-		t := <-s.avail
-		f.Stats.StorageNs += t.ns
-		if t.err != nil && firstErr == nil {
-			firstErr = t.err
-		}
+		close(s.req)
 	}
-	return firstErr
+	for _, s := range slots {
+		t := <-s.fin
+		f.Stats.StorageNs += t.ns
+		if t.err != nil && err == nil {
+			err = t.err
+		}
+		f.bp.Put(s.buf)
+	}
+	return err
 }

@@ -31,6 +31,7 @@ import (
 
 	"repro/internal/datatype"
 	"repro/internal/mpi"
+	"repro/internal/pool"
 	"repro/internal/storage"
 	"repro/internal/trace"
 )
@@ -84,6 +85,21 @@ type Options struct {
 	// pre-read and window k-1's write-back with window k's exchange
 	// (ablation of window pipelining).
 	DisableCollPipeline bool
+	// DisablePool makes every hot-path buffer (collective window double
+	// buffers, exchange chunks, sieve and pack buffers) a fresh
+	// allocation instead of drawing on the shared buffer pool (ablation
+	// of buffer pooling; the steady-state loop is allocation-free with
+	// pooling on).
+	DisablePool bool
+	// Pool, when non-nil, overrides the shared pool.Global as the buffer
+	// source — tests install a pool.NewChecked() here to catch
+	// double-put and use-after-put.  Ignored when DisablePool is set.
+	Pool *pool.Pool
+	// DisableVectored makes the sparse direct-access path issue one
+	// backend call per contiguous fileview run instead of batching each
+	// pack-buffer chunk into a single vectored ReadAtv/WriteAtv
+	// (ablation of scatter/gather I/O).
+	DisableVectored bool
 	// SieveDensity is the paper's §5 outlook item, "the decision on the
 	// trade-off between data sieving and multiple file accesses":
 	// independent non-contiguous accesses whose useful-data fraction in
@@ -130,7 +146,13 @@ type Stats struct {
 	PreReadsSkipped int64
 	// DirectReads / DirectWrites count per-block direct backend
 	// accesses taken by the sparse-access heuristic (SieveDensity).
+	// With vectored I/O enabled they still count logical per-run
+	// accesses; VectoredReads / VectoredWrites count the batched
+	// backend calls that actually carried them.
 	DirectReads, DirectWrites int64
+	// VectoredReads / VectoredWrites count ReadAtv/WriteAtv batches
+	// issued by the direct-access path.
+	VectoredReads, VectoredWrites int64
 	// BytesRead / BytesWritten are user-data volumes moved.
 	BytesRead, BytesWritten int64
 
@@ -186,6 +208,7 @@ type File struct {
 	sh   *Shared
 	opts Options
 	tr   *trace.Tracer // this rank's span recorder; nil when tracing is off
+	bp   *pool.Pool    // buffer pool; nil (allocate-always) when DisablePool
 
 	v   view
 	eng accessEngine
@@ -209,6 +232,13 @@ func Open(p *mpi.Proc, sh *Shared, opts Options) (*File, error) {
 		sh:   sh,
 		opts: opts,
 		tr:   opts.Trace.Tracer(p.Rank()),
+	}
+	if !opts.DisablePool {
+		if opts.Pool != nil {
+			f.bp = opts.Pool
+		} else {
+			f.bp = pool.Global
+		}
 	}
 	f.eng = newEngine(f)
 	if err := f.SetView(0, datatype.Byte, datatype.Byte); err != nil {

@@ -115,6 +115,10 @@ type iopWindow interface {
 	// copyOut extracts AP r's portion of the window buffer w into
 	// chunk, which has chunkLen(r) bytes.
 	copyOut(w []byte, r int, chunk []byte)
+	// release returns the window to its engine for reuse.  The caller
+	// must not touch the window afterwards; engines may recycle the
+	// backing state on the next window call (or make release a no-op).
+	release()
 }
 
 // memState carries the per-access memtype representation.  The

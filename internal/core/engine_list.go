@@ -334,6 +334,11 @@ func (s *listIOPState) window(winLo, winHi int64) iopWindow {
 func (w *listIOPWindow) total() int64         { return w.tot }
 func (w *listIOPWindow) chunkLen(r int) int64 { return w.lens[r] }
 
+// release is a no-op: the list engine's windows alias list slices whose
+// lifetime is the collective; per-window allocation is inherent to the
+// list representation (part of what the listless engine eliminates).
+func (w *listIOPWindow) release() {}
+
 // covered merges the per-AP window sub-lists (the list-merging cost of
 // the ROMIO write optimization, §2.3).
 func (w *listIOPWindow) covered() bool {

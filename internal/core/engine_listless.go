@@ -240,10 +240,15 @@ func (s *listlessAPState) dataAtSelf(x int64) int64 {
 	return da
 }
 
-// listlessIOPState navigates the fileviews cached at SetView.
+// listlessIOPState navigates the fileviews cached at SetView.  free is
+// a freelist of released windows: the window loop holds at most two in
+// flight, so reusing them (with their apA/apB slices) keeps the steady
+// state allocation-free.  window and release are both called on the
+// collective's main goroutine only.
 type listlessIOPState struct {
-	e  *listlessEngine
-	pl *collPlan
+	e    *listlessEngine
+	pl   *collPlan
+	free []*listlessIOPWindow
 }
 
 func (e *listlessEngine) iopSetup(pl *collPlan) (iopState, error) {
@@ -275,12 +280,22 @@ type listlessIOPWindow struct {
 
 func (s *listlessIOPState) window(winLo, winHi int64) iopWindow {
 	P := len(s.pl.ds)
-	w := &listlessIOPWindow{
-		s: s, winLo: winLo, winHi: winHi,
-		apA: make([]int64, P), apB: make([]int64, P),
+	var w *listlessIOPWindow
+	if n := len(s.free); n > 0 {
+		w = s.free[n-1]
+		s.free = s.free[:n-1]
+		w.winLo, w.winHi, w.tot = winLo, winHi, 0
+	} else {
+		w = &listlessIOPWindow{
+			s: s, winLo: winLo, winHi: winHi,
+			apA: make([]int64, P), apB: make([]int64, P),
+		}
 	}
 	for r := 0; r < P; r++ {
 		if s.pl.ds[r] == 0 {
+			// Must be reset explicitly: a recycled window may hold
+			// stale ranges here.
+			w.apA[r], w.apB[r] = 0, 0
 			continue
 		}
 		a := s.dataAtRemote(r, winLo)
@@ -290,6 +305,8 @@ func (s *listlessIOPState) window(winLo, winHi int64) iopWindow {
 	}
 	return w
 }
+
+func (w *listlessIOPWindow) release() { w.s.free = append(w.s.free, w) }
 
 func (w *listlessIOPWindow) total() int64         { return w.tot }
 func (w *listlessIOPWindow) chunkLen(r int) int64 { return w.apB[r] - w.apA[r] }

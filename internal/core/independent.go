@@ -98,7 +98,8 @@ func (f *File) transferIndependent(d0, d int64, memtype *datatype.Type, count in
 			return storage.ReadFull(f.sh.b, buf[m0:m0+d], start)
 		}
 		// nc-c: stage through the pack buffer.
-		pb := make([]byte, min(int64(f.opts.PackBufSize), d))
+		pb := f.bp.Get(int(min(int64(f.opts.PackBufSize), d)))
+		defer f.bp.Put(pb)
 		for done := int64(0); done < d; {
 			n := min(int64(len(pb)), d-done)
 			if write {
@@ -130,10 +131,12 @@ func (f *File) transferIndependent(d0, d int64, memtype *datatype.Type, count in
 		return f.transferDirect(d0, d, buf, mem, memContig, write)
 	}
 
-	win := make([]byte, min(int64(f.opts.SieveBufSize), hi-lo))
+	win := f.bp.Get(int(min(int64(f.opts.SieveBufSize), hi-lo)))
+	defer f.bp.Put(win)
 	var pb []byte
 	if !memContig {
-		pb = make([]byte, f.opts.PackBufSize)
+		pb = f.bp.Get(f.opts.PackBufSize)
+		defer f.bp.Put(pb)
 	}
 
 	// The sequential fileview cursor: the list-based engine pays the
@@ -233,18 +236,25 @@ func (f *File) moveWindow(w []byte, winLo, dv, n int64, buf []byte, mem *memStat
 	return nil
 }
 
-// transferDirect performs a non-contiguous independent access as a
-// sequence of direct contiguous backend accesses, one per run of the
-// fileview — the "multiple file accesses" alternative to data sieving.
-// No read-modify-write and no byte-range locks are needed because every
+// transferDirect performs a non-contiguous independent access as direct
+// contiguous backend accesses, one per run of the fileview — the
+// "multiple file accesses" alternative to data sieving.  No
+// read-modify-write and no byte-range locks are needed because every
 // backend access touches exactly the bytes of the view.
+//
+// By default the runs of each pack-buffer chunk are gathered into one
+// vectored batch (one preadv/pwritev-style backend call per chunk
+// instead of one per run); Options.DisableVectored restores the
+// per-run loop.  Stats counts both: DirectReads/DirectWrites are the
+// logical runs, VectoredReads/VectoredWrites the batched calls.
 func (f *File) transferDirect(d0, d int64, buf []byte, mem *memState, memContig bool, write bool) error {
 	var pb []byte
 	if !memContig {
-		pb = make([]byte, min(int64(f.opts.PackBufSize), d))
+		pb = f.bp.Get(int(min(int64(f.opts.PackBufSize), d)))
+		defer f.bp.Put(pb)
 	}
 	// Process the access in data-contiguous chunks bounded by the pack
-	// buffer, issuing one backend call per fileview run within a chunk.
+	// buffer.
 	chunk := d
 	if !memContig && chunk > int64(len(pb)) {
 		chunk = int64(len(pb))
@@ -252,6 +262,7 @@ func (f *File) transferDirect(d0, d int64, buf []byte, mem *memState, memContig 
 
 	vc := f.eng.seekData(d0)
 
+	var segs []storage.Segment // reused across chunks
 	var ioErr error
 	for m := int64(0); m < d && ioErr == nil; m += chunk {
 		c := min(chunk, d-m)
@@ -265,19 +276,36 @@ func (f *File) transferDirect(d0, d int64, buf []byte, mem *memState, memContig 
 				f.eng.packUser(cb, buf, mem, m, c)
 			}
 		}
+		segs = segs[:0]
 		vc.eachRun(c, func(fileOff, dataOff, ln int64) {
 			if ioErr != nil {
 				return
 			}
 			piece := cb[dataOff-(d0+m) : dataOff-(d0+m)+ln]
 			if write {
-				_, ioErr = f.sh.b.WriteAt(piece, fileOff)
 				f.Stats.DirectWrites++
 			} else {
-				ioErr = storage.ReadFull(f.sh.b, piece, fileOff)
 				f.Stats.DirectReads++
 			}
+			if !f.opts.DisableVectored {
+				segs = append(segs, storage.Segment{Off: fileOff, Buf: piece})
+				return
+			}
+			if write {
+				_, ioErr = f.sh.b.WriteAt(piece, fileOff)
+			} else {
+				ioErr = storage.ReadFull(f.sh.b, piece, fileOff)
+			}
 		})
+		if ioErr == nil && len(segs) > 0 {
+			if write {
+				ioErr = storage.WriteAtv(f.sh.b, segs)
+				f.Stats.VectoredWrites++
+			} else {
+				ioErr = storage.ReadAtv(f.sh.b, segs)
+				f.Stats.VectoredReads++
+			}
+		}
 		if ioErr == nil && !memContig && !write {
 			f.eng.unpackUser(buf, cb, mem, m, c)
 		}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/flatten"
 	"repro/internal/mpi"
 	"repro/internal/storage"
+	"repro/internal/testutil"
 )
 
 // collScenario runs one partitioned collective write+read on be and
@@ -133,7 +134,7 @@ func TestCollectiveBackendMatrix(t *testing.T) {
 // the error to the drain, and error agreement must broadcast it).
 func TestPipelinedFaultPropagates(t *testing.T) {
 	for _, eng := range []Engine{Listless, ListBased} {
-		checkLeaks := leakCheck(t)
+		checkLeaks := testutil.LeakCheck(t)
 		fb := storage.NewFaulty(storage.NewMem())
 		sh := NewShared(fb)
 		const P = 4

@@ -10,6 +10,7 @@ import (
 	"repro/internal/datatype"
 	"repro/internal/mpi"
 	"repro/internal/storage"
+	"repro/internal/testutil"
 	"repro/internal/transport"
 )
 
@@ -17,17 +18,6 @@ import (
 // identically whether ranks exchange through the in-process loopback or
 // over real TCP sockets — byte-identical file contents, same fault
 // agreement, and no goroutine or file-descriptor leaks.
-
-// fdCount reports the process's open file descriptors (Linux); -1 where
-// /proc is unavailable, which skips the fd-leak assertion.
-func fdCount(t *testing.T) int {
-	t.Helper()
-	ents, err := os.ReadDir("/proc/self/fd")
-	if err != nil {
-		return -1
-	}
-	return len(ents)
-}
 
 // runCollectiveOver runs the standard 4-rank non-contiguous collective
 // write + read-back over the given endpoints and returns the file bytes.
@@ -71,8 +61,8 @@ func runCollectiveOver(t *testing.T, eng Engine, eps []transport.Transport) []by
 func TestTransportMatrixByteIdentical(t *testing.T) {
 	for _, eng := range []Engine{ListBased, Listless} {
 		t.Run(eng.String(), func(t *testing.T) {
-			defer leakCheck(t)()
-			fdBefore := fdCount(t)
+			defer testutil.LeakCheck(t)()
+			fdBefore := testutil.FDCount(t)
 
 			loop := runCollectiveOver(t, eng, transport.NewLoopback(4))
 			eps, err := transport.NewLocalTCPWorld(4, transport.TCPConfig{})
@@ -88,7 +78,7 @@ func TestTransportMatrixByteIdentical(t *testing.T) {
 				t.Fatalf("file contents differ between transports (%d vs %d bytes)", len(loop), len(tcp))
 			}
 			if fdBefore >= 0 {
-				if fdAfter := fdCount(t); fdAfter > fdBefore {
+				if fdAfter := testutil.FDCount(t); fdAfter > fdBefore {
 					t.Errorf("fd leak: %d before, %d after", fdBefore, fdAfter)
 				}
 			}
@@ -103,7 +93,7 @@ func TestFaultAgreementOverTCP(t *testing.T) {
 	const P = 4
 	for _, eng := range []Engine{Listless, ListBased} {
 		t.Run(eng.String(), func(t *testing.T) {
-			defer leakCheck(t)()
+			defer testutil.LeakCheck(t)()
 			eps, err := transport.NewLocalTCPWorld(P, transport.TCPConfig{})
 			if err != nil {
 				t.Fatal(err)
@@ -146,7 +136,7 @@ func TestTransportSharedFileRanks(t *testing.T) {
 	d := int64(blockcount * blocklen)
 	for _, eng := range []Engine{ListBased, Listless} {
 		t.Run(eng.String(), func(t *testing.T) {
-			defer leakCheck(t)()
+			defer testutil.LeakCheck(t)()
 			oracle := collOracle(t, eng, true, P, blockcount, blocklen)
 
 			path := filepath.Join(t.TempDir(), "shared.dat")

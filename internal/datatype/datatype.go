@@ -679,18 +679,21 @@ func (t *Type) finishStruct() {
 				t.blocks -= bl*c.blocks - 1
 			}
 		}
-		span := int64(0)
-		if bl > 0 {
-			span = (bl - 1) * cext
+		if bl == 0 {
+			// A zero-length member replicates its typemap zero times and
+			// so contributes nothing — not even explicit bound markers
+			// (MPI typemap semantics).
+			if c.depth+1 > t.depth {
+				t.depth = c.depth + 1
+			}
+			continue
 		}
+		span := (bl - 1) * cext
 		if c.hasLB {
 			lbCands = append(lbCands, d+min64(0, span)+c.lb)
 		}
 		if c.hasUB {
 			ubCands = append(ubCands, d+max64(0, span)+c.ub)
-		}
-		if bl == 0 && c.kind != KindNamed {
-			continue
 		}
 		blo := d + min64(0, span) + c.lb
 		bhi := d + max64(0, span) + c.ub

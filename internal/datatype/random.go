@@ -16,8 +16,8 @@ func randomType(r *rand.Rand, depth int) *Type {
 		return dt
 	case 1:
 		count := int64(1 + r.Intn(5))
-		blocklen := int64(1 + r.Intn(3))
-		stride := blocklen + int64(r.Intn(3)) // >= blocklen keeps it monotone
+		blocklen := int64(r.Intn(4))              // 0 is legal: empty blocks
+		stride := blocklen + 1 + int64(r.Intn(3)) // > blocklen keeps it monotone and holey
 		dt, _ := Vector(count, blocklen, stride, child)
 		return dt
 	case 2:
@@ -27,7 +27,7 @@ func randomType(r *rand.Rand, depth int) *Type {
 		pos := int64(0)
 		for i := 0; i < n; i++ {
 			pos += int64(r.Intn(3))
-			blocklens[i] = int64(1 + r.Intn(3))
+			blocklens[i] = int64(r.Intn(4)) // 0 is legal: empty blocks
 			displs[i] = pos
 			pos += blocklens[i]
 		}
@@ -46,7 +46,7 @@ func randomType(r *rand.Rand, depth int) *Type {
 		for i := 0; i < n; i++ {
 			c := randomType(r, depth-1)
 			pos += int64(r.Intn(5))
-			blocklens[i] = int64(1 + r.Intn(2))
+			blocklens[i] = int64(r.Intn(3)) // 0 is legal: empty members
 			displs[i] = pos
 			children[i] = c
 			pos += blocklens[i] * c.Extent()

@@ -2,32 +2,14 @@ package mpi
 
 import (
 	"fmt"
-	"runtime"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 
+	"repro/internal/testutil"
 	"repro/internal/transport"
 )
-
-func leakCheckMPI(t *testing.T) {
-	t.Helper()
-	before := runtime.NumGoroutine()
-	t.Cleanup(func() {
-		deadline := time.Now().Add(2 * time.Second)
-		for {
-			if runtime.NumGoroutine() <= before {
-				return
-			}
-			if time.Now().After(deadline) {
-				t.Errorf("goroutine leak: %d before, %d after", before, runtime.NumGoroutine())
-				return
-			}
-			time.Sleep(10 * time.Millisecond)
-		}
-	})
-}
 
 func localTCPWorld(t *testing.T, n int) []transport.Transport {
 	t.Helper()
@@ -41,7 +23,7 @@ func localTCPWorld(t *testing.T, n int) []transport.Transport {
 // TestRunOverTCPCollectives runs the full collective vocabulary over
 // real sockets and checks the results and the accounting balance.
 func TestRunOverTCPCollectives(t *testing.T) {
-	leakCheckMPI(t)
+	t.Cleanup(testutil.LeakCheck(t))
 	const n = 4
 	stats, err := RunOver(localTCPWorld(t, n), RunOptions{StallTimeout: 10 * time.Second}, func(p *Proc) {
 		r := p.Rank()
@@ -122,7 +104,7 @@ func TestRunOverLoopback(t *testing.T) {
 // TestRunOverTCPStall: the watchdog must catch a deadlock over the wire
 // with the same diagnostic text as in-process.
 func TestRunOverTCPStall(t *testing.T) {
-	leakCheckMPI(t)
+	t.Cleanup(testutil.LeakCheck(t))
 	_, err := RunOver(localTCPWorld(t, 2), RunOptions{StallTimeout: 300 * time.Millisecond}, func(p *Proc) {
 		if p.Rank() == 0 {
 			p.Recv(1, 5) // never sent
@@ -143,7 +125,7 @@ func TestRunOverTCPStall(t *testing.T) {
 // and the finalize protocol all run exactly as they would across real
 // process boundaries.
 func TestRunRankInProcess(t *testing.T) {
-	leakCheckMPI(t)
+	t.Cleanup(testutil.LeakCheck(t))
 	const n = 4
 	eps := localTCPWorld(t, n)
 	var wg sync.WaitGroup
@@ -194,7 +176,7 @@ func TestRunRankInProcess(t *testing.T) {
 
 // TestRunRankSplitPanics: Split needs in-process peers.
 func TestRunRankSplitPanics(t *testing.T) {
-	leakCheckMPI(t)
+	t.Cleanup(testutil.LeakCheck(t))
 	eps := localTCPWorld(t, 2)
 	var wg sync.WaitGroup
 	errs := make([]error, 2)

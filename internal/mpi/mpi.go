@@ -523,8 +523,10 @@ func (p *Proc) Send(dst, tag int, data []byte) {
 	}
 }
 
-// SendNoCopy delivers data without copying; the caller must not modify
-// data afterwards.  Used for large one-shot payloads.
+// SendNoCopy delivers data without copying, transferring ownership of
+// the payload to the transport (and onward to the receiver, who may
+// recycle it into a buffer pool): the caller must not touch data — or
+// any alias of it — afterwards.  Used for large one-shot payloads.
 func (p *Proc) SendNoCopy(dst, tag int, data []byte) {
 	if dst < 0 || dst >= p.w.size {
 		panic(fmt.Sprintf("mpi: send to invalid rank %d", dst))

@@ -1,0 +1,77 @@
+package pool
+
+import (
+	"fmt"
+	"sync"
+)
+
+// poisonByte fills buffers parked in a Checked pool.  Any byte that
+// differs on the next Get proves a write-after-Put.
+const poisonByte = 0xDB
+
+// checkedState is the misuse detector attached by NewChecked: it
+// poisons every parked buffer and tracks, by backing-array identity,
+// which buffers are currently parked, turning double-Put and
+// use-after-Put into panics at the offending call site.
+type checkedState struct {
+	mu sync.Mutex
+	// parked maps the first byte of a parked buffer to its poisoned
+	// length.  The *byte key keeps the backing array alive, so a parked
+	// address can never be recycled by the allocator and misattributed.
+	parked map[*byte]int
+}
+
+// NewChecked returns a pool in checked (debug) mode: Put poisons the
+// buffer and records it as parked; a second Put of the same buffer
+// panics ("double put"), and a Get that finds the poison disturbed
+// panics ("use after put").  Checked pools are for tests — poisoning
+// and verification touch every byte, and parked buffers are pinned —
+// but are drop-in: the race-mode suites run the full collective stack
+// over one.
+func NewChecked() *Pool {
+	return &Pool{checked: &checkedState{parked: make(map[*byte]int)}}
+}
+
+// bufKey identifies a buffer by its first backing byte.
+func bufKey(buf []byte) *byte {
+	b := buf[:1]
+	return &b[0]
+}
+
+// onPut runs before a buffer is parked: detect double-Put, then poison
+// the full class size that a future Get may hand out.
+func (cs *checkedState) onPut(buf []byte, size int) {
+	key := bufKey(buf)
+	cs.mu.Lock()
+	if _, dup := cs.parked[key]; dup {
+		cs.mu.Unlock()
+		panic(fmt.Sprintf("pool: double put of %d-byte buffer", cap(buf)))
+	}
+	cs.parked[key] = size
+	cs.mu.Unlock()
+	full := buf[:size]
+	for i := range full {
+		full[i] = poisonByte
+	}
+}
+
+// onGet runs after a buffer leaves a freelist: verify the poison is
+// intact, then un-park it.
+func (cs *checkedState) onGet(buf []byte) {
+	key := bufKey(buf)
+	cs.mu.Lock()
+	size, ok := cs.parked[key]
+	delete(cs.parked, key)
+	cs.mu.Unlock()
+	if !ok {
+		// A buffer the detector never saw parked (sync.Pool handed back
+		// something from before the detector attached); nothing to check.
+		return
+	}
+	full := buf[:1][:size]
+	for i, b := range full {
+		if b != poisonByte {
+			panic(fmt.Sprintf("pool: use after put: byte %d of a parked %d-byte buffer was modified", i, size))
+		}
+	}
+}

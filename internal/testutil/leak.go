@@ -1,0 +1,52 @@
+// Package testutil holds resource-leak helpers shared by the
+// transport, mpi, and core test suites: goroutine-leak detection for
+// background pumps that must exit on Close, and file-descriptor
+// counting for socket and file cleanup assertions.
+package testutil
+
+import (
+	"os"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// LeakCheck snapshots the goroutine count; the returned func fails the
+// test if the count has not returned to the baseline shortly after,
+// dumping all goroutine stacks.  Call it before starting the work under
+// test, then invoke the check where the leak would be visible
+// (`check := testutil.LeakCheck(t); ...; check()`), or register it for
+// test end with `t.Cleanup(testutil.LeakCheck(t))` / `defer
+// testutil.LeakCheck(t)()`.
+func LeakCheck(t testing.TB) func() {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(2 * time.Second)
+		var n int
+		for {
+			n = runtime.NumGoroutine()
+			if n <= base || time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		if n > base {
+			buf := make([]byte, 1<<16)
+			t.Errorf("goroutine leak: %d before, %d after\n%s", base, n, buf[:runtime.Stack(buf, true)])
+		}
+	}
+}
+
+// FDCount reports the process's open file descriptors (Linux); -1
+// where /proc is unavailable, which callers treat as "skip the fd-leak
+// assertion".
+func FDCount(t testing.TB) int {
+	t.Helper()
+	ents, err := os.ReadDir("/proc/self/fd")
+	if err != nil {
+		return -1
+	}
+	return len(ents)
+}

@@ -1,0 +1,33 @@
+package testutil
+
+import (
+	"testing"
+	"time"
+)
+
+// TestLeakCheckClean: a goroutine that exits before the check passes.
+func TestLeakCheckClean(t *testing.T) {
+	check := LeakCheck(t)
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+	check()
+}
+
+// TestLeakCheckWaits: the check polls, so a goroutine that exits
+// shortly after the work finishes does not false-positive.
+func TestLeakCheckWaits(t *testing.T) {
+	check := LeakCheck(t)
+	go time.Sleep(50 * time.Millisecond)
+	check()
+}
+
+func TestFDCount(t *testing.T) {
+	n := FDCount(t)
+	if n == 0 {
+		t.Fatalf("FDCount = 0; a live process has open descriptors")
+	}
+	if n < 0 {
+		t.Skip("/proc unavailable")
+	}
+}

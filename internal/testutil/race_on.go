@@ -1,0 +1,8 @@
+//go:build race
+
+package testutil
+
+// RaceEnabled reports whether the race detector is compiled in.
+// Allocation-count assertions skip under it: the detector's
+// instrumentation allocates on its own.
+const RaceEnabled = true

@@ -76,6 +76,8 @@ const (
 // Instant phases.
 const (
 	PhaseMPISend        Phase = "mpi.send"      // message posted
+	PhasePoolAlloc      Phase = "pool.alloc"    // buffer-pool miss: a fresh class buffer was allocated
+	PhasePoolOversize   Phase = "pool.oversize" // buffer-pool bypass: request above the largest class
 	PhaseFault          Phase = "coll.fault"    // agreed collective error
 	PhaseRetry          Phase = "storage.retry" // Resilient reissued an op
 	PhaseRetryExhausted Phase = "storage.retry-exhausted"

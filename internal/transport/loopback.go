@@ -61,6 +61,9 @@ func (l *Loopback) Send(dst, tag int, data []byte) error {
 }
 
 // SendNoCopy implements Transport: deliver directly without copying.
+// The same slice travels from sender to receiver — the zero-copy
+// loopback mailbox — so ownership passes end-to-end: the receiver may
+// recycle the payload into a buffer pool.
 func (l *Loopback) SendNoCopy(dst, tag int, data []byte) error {
 	if dst < 0 || dst >= len(l.fab.inboxes) {
 		return fmt.Errorf("transport: send to invalid rank %d", dst)

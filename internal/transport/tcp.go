@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/pool"
 	"repro/internal/trace"
 )
 
@@ -54,11 +55,22 @@ type TCPConfig struct {
 	Deadline time.Duration
 	// MaxFrame bounds accepted payload lengths (default DefaultMaxFrame).
 	MaxFrame int
-	// WriteBuf is the per-link coalescing buffer size (default 256 KiB).
+	// WriteBuf is the target size of one coalesced vectored write
+	// (default 256 KiB); a drained queue larger than this is split into
+	// WriteBuf-sized writev batches.
 	WriteBuf int
 	// Trace, when non-nil, records wire.send / wire.recv spans on this
 	// rank's wire track.
 	Trace *trace.Collector
+	// Pool supplies inbound payload buffers and receives outbound
+	// payloads back after they hit the socket (SendNoCopy transfers
+	// ownership of the payload to the transport; the reader's delivered
+	// payloads are owned by the receiver, which may Put them to any
+	// pool).  Nil selects pool.Global; DisablePool turns pooling off.
+	Pool *pool.Pool
+	// DisablePool makes the endpoint allocate every payload and drop
+	// every sent one — the unpooled ablation.
+	DisablePool bool
 }
 
 const (
@@ -94,6 +106,11 @@ func NewTCP(cfg TCPConfig) *TCP {
 	}
 	if cfg.WriteBuf <= 0 {
 		cfg.WriteBuf = defaultWriteBuf
+	}
+	if cfg.DisablePool {
+		cfg.Pool = nil // nil *Pool: Get allocates, Put drops
+	} else if cfg.Pool == nil {
+		cfg.Pool = pool.Global
 	}
 	t := &TCP{
 		cfg:   cfg,
@@ -298,9 +315,10 @@ func dialRetry(addr string, deadline time.Time) (net.Conn, error) {
 	}
 }
 
-// Send implements Transport.
+// Send implements Transport.  The staging copy comes from the endpoint
+// pool and is recycled after it hits the socket.
 func (t *TCP) Send(dst, tag int, data []byte) error {
-	buf := make([]byte, len(data))
+	buf := t.cfg.Pool.Get(len(data))
 	copy(buf, data)
 	return t.SendNoCopy(dst, tag, buf)
 }
@@ -492,11 +510,19 @@ func (l *link) failWith(err error) {
 }
 
 // writer drains the outbound queue: every wake-up takes the whole
-// queue and writes it through one buffered flush (write coalescing).
+// queue and writes it in WriteBuf-sized vectored batches — each batch
+// is one net.Buffers.WriteTo, which on a *net.TCPConn is writev: n
+// queued frames (headers and payloads alike) cost one syscall, with no
+// copy into an intermediate coalescing buffer.  The queue arrays
+// double-buffer (the drained array is handed back to enqueue once its
+// payloads are recycled) and the header slab and iovec scratch persist
+// across wake-ups, so the steady-state writer allocates nothing.
 func (l *link) writer() {
-	cw := &countingWriter{w: l.conn, n: &l.t.bytesSent}
-	bw := bufio.NewWriterSize(cw, l.t.cfg.WriteBuf)
-	var hdr [FrameHeaderSize]byte
+	var (
+		bufs  net.Buffers // iovec scratch: hdr, payload, hdr, payload, ...
+		hdrs  []byte      // slab backing the batch's frame headers
+		spare []outFrame  // drained queue array, handed back to enqueue
+	)
 	for {
 		l.mu.Lock()
 		for len(l.out) == 0 && !l.closed {
@@ -507,32 +533,64 @@ func (l *link) writer() {
 			return // closed and drained
 		}
 		batch := l.out
-		l.out = nil
+		if spare != nil {
+			l.out = spare
+			spare = nil
+		} else {
+			l.out = nil
+		}
 		l.writing = true
 		l.mu.Unlock()
 
 		if d := l.t.deadlineDur(); d > 0 {
 			l.conn.SetWriteDeadline(time.Now().Add(d))
 		}
+		if need := len(batch) * FrameHeaderSize; cap(hdrs) < need {
+			hdrs = make([]byte, need)
+		}
 		var werr error
 		var total int64
 		sp := l.t.tr.BeginWire(trace.PhaseWireSend, 0)
-		for _, fr := range batch {
-			if werr != nil {
-				break
+		for done := 0; done < len(batch) && werr == nil; {
+			bufs = bufs[:0]
+			var group int64
+			for ; done < len(batch); done++ {
+				fr := batch[done]
+				if len(bufs) > 0 && group+FrameHeaderSize+int64(len(fr.data)) > int64(l.t.cfg.WriteBuf) {
+					break
+				}
+				h := hdrs[done*FrameHeaderSize : (done+1)*FrameHeaderSize]
+				putFrameHeader(h, l.t.cfg.Rank, fr.tag, len(fr.data))
+				bufs = append(bufs, h)
+				if len(fr.data) > 0 {
+					bufs = append(bufs, fr.data)
+				}
+				group += FrameHeaderSize + int64(len(fr.data))
+				l.t.framesSent.Add(1)
 			}
-			putFrameHeader(hdr[:], l.t.cfg.Rank, fr.tag, len(fr.data))
-			if _, werr = bw.Write(hdr[:]); werr == nil {
-				_, werr = bw.Write(fr.data)
+			// WriteTo consumes a shifting view; keep bufs' own header
+			// intact and clear the payload refs afterwards.
+			view := bufs
+			n, err := view.WriteTo(l.conn)
+			l.t.bytesSent.Add(n)
+			total += n
+			werr = err
+			for i := range bufs {
+				bufs[i] = nil
 			}
-			total += FrameHeaderSize + int64(len(fr.data))
-			l.t.framesSent.Add(1)
-		}
-		if werr == nil {
-			werr = bw.Flush()
 		}
 		sp.EndBytes(total)
 		l.t.flushes.Add(1)
+
+		if werr == nil {
+			// The payloads hit the socket and this endpoint owned them
+			// (SendNoCopy is an ownership transfer): recycle them.
+			for i := range batch {
+				l.t.cfg.Pool.Put(batch[i].data)
+				batch[i] = outFrame{}
+			}
+			spare = batch[:0]
+		}
 
 		l.mu.Lock()
 		l.writing = false
@@ -567,7 +625,9 @@ func (l *link) reader() {
 			return
 		}
 		sp := l.t.tr.BeginWire(trace.PhaseWireRecv, 0)
-		payload := make([]byte, n)
+		// Ownership of the payload passes to whoever Recvs the message;
+		// core returns exchange chunks to its pool after unpacking.
+		payload := l.t.cfg.Pool.Get(n)
 		if _, err := io.ReadFull(br, payload); err != nil {
 			l.failWith(fmt.Errorf("%w: truncated payload: %v", ErrFrame, err))
 			return
@@ -578,8 +638,9 @@ func (l *link) reader() {
 	}
 }
 
-// countingReader / countingWriter count bytes as they cross the socket,
-// feeding both WireStats and the watchdog's progress signal.
+// countingReader counts bytes as they cross the socket, feeding both
+// WireStats and the watchdog's progress signal.  (The writer counts
+// from writev return values directly.)
 type countingReader struct {
 	r io.Reader
 	n *atomic.Int64
@@ -587,17 +648,6 @@ type countingReader struct {
 
 func (c *countingReader) Read(p []byte) (int, error) {
 	n, err := c.r.Read(p)
-	c.n.Add(int64(n))
-	return n, err
-}
-
-type countingWriter struct {
-	w io.Writer
-	n *atomic.Int64
-}
-
-func (c *countingWriter) Write(p []byte) (int, error) {
-	n, err := c.w.Write(p)
 	c.n.Add(int64(n))
 	return n, err
 }

@@ -2,33 +2,13 @@ package transport
 
 import (
 	"fmt"
-	"runtime"
 	"strings"
 	"sync"
 	"testing"
 	"time"
-)
 
-// leakCheck fails the test if goroutines started during it are still
-// alive shortly after it finishes (reader/writer pumps must exit on
-// Close).
-func leakCheck(t *testing.T) {
-	t.Helper()
-	before := runtime.NumGoroutine()
-	t.Cleanup(func() {
-		deadline := time.Now().Add(2 * time.Second)
-		for {
-			if runtime.NumGoroutine() <= before {
-				return
-			}
-			if time.Now().After(deadline) {
-				t.Errorf("goroutine leak: %d before, %d after", before, runtime.NumGoroutine())
-				return
-			}
-			time.Sleep(10 * time.Millisecond)
-		}
-	})
-}
+	"repro/internal/testutil"
+)
 
 // dialWorld brings up every endpoint of a fabric concurrently.
 func dialWorld(t *testing.T, eps []Transport) {
@@ -64,7 +44,7 @@ func closeWorld(eps []Transport) {
 }
 
 func TestTCPExchange(t *testing.T) {
-	leakCheck(t)
+	t.Cleanup(testutil.LeakCheck(t))
 	const n = 4
 	eps, err := NewLocalTCPWorld(n, TCPConfig{Deadline: 10 * time.Second})
 	if err != nil {
@@ -130,7 +110,7 @@ func TestTCPExchange(t *testing.T) {
 }
 
 func TestTCPPairFIFOAndWildcards(t *testing.T) {
-	leakCheck(t)
+	t.Cleanup(testutil.LeakCheck(t))
 	eps, err := NewLocalTCPWorld(2, TCPConfig{Deadline: 10 * time.Second})
 	if err != nil {
 		t.Fatal(err)
@@ -160,7 +140,7 @@ func TestTCPPairFIFOAndWildcards(t *testing.T) {
 }
 
 func TestTCPDrainTag(t *testing.T) {
-	leakCheck(t)
+	t.Cleanup(testutil.LeakCheck(t))
 	eps, err := NewLocalTCPWorld(2, TCPConfig{Deadline: 10 * time.Second})
 	if err != nil {
 		t.Fatal(err)
@@ -188,7 +168,7 @@ func TestTCPDrainTag(t *testing.T) {
 }
 
 func TestTCPLinkLossFailsEndpoint(t *testing.T) {
-	leakCheck(t)
+	t.Cleanup(testutil.LeakCheck(t))
 	eps, err := NewLocalTCPWorld(2, TCPConfig{Deadline: 10 * time.Second})
 	if err != nil {
 		t.Fatal(err)
@@ -216,7 +196,7 @@ func TestTCPLinkLossFailsEndpoint(t *testing.T) {
 }
 
 func TestTCPQuiescedShutdownIsClean(t *testing.T) {
-	leakCheck(t)
+	t.Cleanup(testutil.LeakCheck(t))
 	eps, err := NewLocalTCPWorld(3, TCPConfig{Deadline: 10 * time.Second})
 	if err != nil {
 		t.Fatal(err)
@@ -243,7 +223,7 @@ func TestTCPQuiescedShutdownIsClean(t *testing.T) {
 }
 
 func TestTCPCoalescing(t *testing.T) {
-	leakCheck(t)
+	t.Cleanup(testutil.LeakCheck(t))
 	eps, err := NewLocalTCPWorld(2, TCPConfig{Deadline: 10 * time.Second})
 	if err != nil {
 		t.Fatal(err)

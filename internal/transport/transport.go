@@ -68,8 +68,12 @@ type Transport interface {
 	Dial() error
 	// Send enqueues a copy of data for dst.
 	Send(dst, tag int, data []byte) error
-	// SendNoCopy enqueues data without copying; the caller must not
-	// modify data afterwards.
+	// SendNoCopy enqueues data without copying, transferring ownership
+	// of the payload to the transport: the caller must not read, write,
+	// or pool.Put data (or any alias of it) afterwards.  The delivered
+	// Message's Data is in turn owned by the receiver, which may return
+	// it to a buffer pool.  Transports that put the payload on a wire
+	// recycle it themselves once it has been written.
 	SendNoCopy(dst, tag int, data []byte) error
 	// Recv blocks until a message matching (src, tag) is available and
 	// removes it.  It returns ErrClosed after Close, or the transport
