@@ -37,6 +37,7 @@ func main() {
 		pipeline = flag.String("pipeline", "", "run the sequential-vs-pipelined collective ablation and write its JSON to this path (e.g. BENCH_pipeline.json)")
 		transp   = flag.String("transport", "", "run the in-process-vs-TCP exchange comparison and write its JSON to this path (e.g. BENCH_transport.json)")
 		alloc    = flag.String("alloc", "", "run the pooled-vs-unpooled allocation comparison and write its JSON to this path (e.g. BENCH_alloc.json)")
+		server   = flag.String("server", "", "run the I/O-server tier comparison (local vs striped servers; views vs offset lists) and write its JSON to this path (e.g. BENCH_server.json)")
 		phases   = flag.Bool("phases", false, "run one traced collective per engine and print the per-phase imbalance breakdown")
 		scaleS   = flag.String("scale", "full", "experiment scale: full or quick")
 		csvDir   = flag.String("csv", "", "directory to write per-figure CSV files")
@@ -58,7 +59,7 @@ func main() {
 		figs = multiFlag{"5", "6", "7", "8"}
 		tables = multiFlag{"1", "2", "3"}
 	}
-	if len(figs) == 0 && len(tables) == 0 && *pipeline == "" && *transp == "" && *alloc == "" && !*phases {
+	if len(figs) == 0 && len(tables) == 0 && *pipeline == "" && *transp == "" && *alloc == "" && *server == "" && !*phases {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -125,6 +126,24 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("wrote %s\n\n", *alloc)
+	}
+
+	if *server != "" {
+		t0 := time.Now()
+		sc, err := bench.Server(scale)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(bench.FormatServer(sc))
+		fmt.Printf("(measured at scale %s in %v)\n\n", scale, time.Since(t0).Round(time.Millisecond))
+		data, err := bench.ServerJSON(sc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*server, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n\n", *server)
 	}
 
 	figRunners := map[string]func(bench.Scale) (bench.Figure, error){

@@ -17,6 +17,18 @@
 // shared advisory lock.  -net requires -collective: collective I/O
 // partitions the file into disjoint domains, which is what makes
 // cross-process access safe without a shared lock table.
+//
+// With -servers the file moves behind a tier of I/O-server processes,
+// each owning one stripe of the file and evaluating registered fileview
+// patterns server-side:
+//
+//	noncontig -net launch -p 4 -servers 2 -stripe 65536 -nblock 1024 -sblock 64 -pattern nc-nc -collective
+//
+// launches the servers first (each adopting a pre-bound listener), then
+// the ranks with -server-addrs pointing at them; the ranks mount the
+// striped remote backend instead of a shared local file.  When every
+// rank has exited the launcher interrupts the servers, which sync their
+// stripes, print their request stats, and flush their traces.
 package main
 
 import (
@@ -24,10 +36,12 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/ioserver"
 	"repro/internal/noncontig"
 	"repro/internal/storage"
 	"repro/internal/trace"
@@ -63,11 +77,17 @@ func main() {
 		traceSumm  = flag.Bool("trace-summary", false, "print the per-phase imbalance summary of the traced run")
 		stall      = flag.Duration("stall", 0, "stall watchdog timeout (0 = default: off in-process, 30s with -net)")
 
-		netMode       = flag.String("net", "", `process model: "" (goroutine ranks), "launch" (fork one OS process per rank over TCP), "rank" (run as one such rank; set by launch)`)
+		netMode       = flag.String("net", "", `process model: "" (goroutine ranks), "launch" (fork one OS process per rank over TCP), "rank" (run as one such rank; set by launch), "server" (run as one I/O server; set by launch)`)
 		netRank       = flag.Int("net-rank", -1, "this process's rank (with -net rank)")
 		netRendezvous = flag.String("net-rendezvous", "", "rank 0's rendezvous address (with -net rank, ranks > 0)")
 		netFD         = flag.Int("net-fd", 0, "inherited rendezvous listener fd (with -net rank, rank 0)")
 		netTimeout    = flag.Duration("net-timeout", 5*time.Minute, "kill the whole -net launch run after this long")
+
+		servers     = flag.Int("servers", 0, "with -net launch: number of I/O-server processes to stripe the file across")
+		stripeUnit  = flag.Int64("stripe", 64<<10, "stripe unit bytes of the I/O-server tier")
+		serverAddrs = flag.String("server-addrs", "", "comma-separated I/O-server addresses to mount as the backend (with -net rank; set by launch)")
+		netIndex    = flag.Int("net-index", -1, "this server's stripe index (with -net server; set by launch)")
+		noViews     = flag.Bool("no-views", false, "disable server-side view evaluation: ship raw offset lists to the I/O servers instead")
 	)
 	flag.Parse()
 
@@ -80,7 +100,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	if *netMode != "" {
+	if *netMode != "" && *netMode != "server" {
 		if !*collective {
 			log.Fatal("-net requires -collective: independent data sieving read-modify-writes the shared file under a per-process lock table, which cannot exclude other rank processes")
 		}
@@ -93,6 +113,9 @@ func main() {
 		stallTimeout = 30 * time.Second
 	}
 
+	if *stripeUnit <= 0 {
+		log.Fatal("-stripe must be positive")
+	}
 	switch *netMode {
 	case "":
 		// fall through to the in-process run below
@@ -100,32 +123,47 @@ func main() {
 		netLaunch(*p, pat, eng, launchFlags{
 			nblock: *nblock, sblock: *sblock, reps: *reps, verify: *verify, tiles: *tiles,
 			sieveBuf: *sieveBuf, collBuf: *collBuf, ioNodes: *ioNodes, noPipe: *noPipe,
-			noPool: *noPool, noVectored: *noVectored,
+			noPool: *noPool, noVectored: *noVectored, noViews: *noViews,
+			servers: *servers, stripe: *stripeUnit,
 			file: *file, readBW: *readBW, writeBW: *writeBW, latency: *latency,
 			tracePath: *tracePath, stall: stallTimeout, timeout: *netTimeout,
 		})
 		return
+	case "server":
+		runServer(*netIndex, *servers, *stripeUnit, *file, *tracePath)
+		return
 	case "rank":
 		// handled below: same config assembly, different backend + runner
 	default:
-		log.Fatalf("unknown -net mode %q (want launch or rank)", *netMode)
+		log.Fatalf("unknown -net mode %q (want launch, rank, or server)", *netMode)
 	}
 
 	isRank := *netMode == "rank"
 	var backend storage.Backend
+	var agg *ioserver.Striped
 	if isRank {
-		if *file == "" {
-			log.Fatal("-net rank requires -file (the shared data file)")
-		}
 		if *netRank < 0 || *netRank >= *p {
 			log.Fatalf("-net rank requires -net-rank in [0, %d)", *p)
 		}
-		fb, err := storage.OpenFileShared(*file)
-		if err != nil {
-			log.Fatal(err)
+		if *serverAddrs != "" {
+			a, err := ioserver.NewStriped(*stripeUnit, strings.Split(*serverAddrs, ","), ioserver.ClientOptions{})
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer a.Close()
+			agg = a
+			backend = a
+		} else {
+			if *file == "" {
+				log.Fatal("-net rank requires -file (the shared data file) or -server-addrs")
+			}
+			fb, err := storage.OpenFileShared(*file)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer fb.Close()
+			backend = fb
 		}
-		defer fb.Close()
-		backend = fb
 	} else {
 		backend = storage.NewMem()
 		if *file != "" {
@@ -182,6 +220,7 @@ func main() {
 			DisableCollPipeline: *noPipe,
 			DisablePool:         *noPool,
 			DisableVectored:     *noVectored,
+			DisableViewPath:     *noViews,
 		},
 		Trace:        collector,
 		StallTimeout: stallTimeout,
@@ -228,6 +267,9 @@ func main() {
 		fmt.Printf("rank %d ok: %s moved, wire %s out / %s in\n",
 			*netRank, humanBytes(cfg.DataPerProc()*int64(cfg.Reps)*2),
 			humanBytes(res.Comm.WireBytesSent), humanBytes(res.Comm.WireBytesRecv))
+		if agg != nil {
+			fmt.Printf("rank %d storage: %d server round-trips\n", *netRank, agg.Rounds())
+		}
 		writeTrace(*tracePath, collector)
 		return
 	}
@@ -253,6 +295,13 @@ func main() {
 	if res.Comm.WireBytesSent > 0 || res.Comm.WireBytesRecv > 0 {
 		fmt.Printf("  wire: %s sent, %s received (frame headers included)\n",
 			humanBytes(res.Comm.WireBytesSent), humanBytes(res.Comm.WireBytesRecv))
+	}
+	if agg != nil {
+		fmt.Printf("  storage tier: %d servers, stripe %s, %d round-trips from this rank\n",
+			len(agg.Clients()), humanBytes(*stripeUnit), agg.Rounds())
+		if st, err := agg.ServerStats(); err == nil {
+			fmt.Printf("    server totals: %s\n", st)
+		}
 	}
 	if chaos != nil {
 		st := chaos.Stats()
@@ -281,6 +330,9 @@ type launchFlags struct {
 	noPipe            bool
 	noPool            bool
 	noVectored        bool
+	noViews           bool
+	servers           int
+	stripe            int64
 	file              string
 	readBW, writeBW   int64
 	latency           time.Duration
@@ -300,22 +352,27 @@ func netLaunch(p int, pat noncontig.Pattern, eng core.Engine, lf launchFlags) {
 		}
 		reps = autoReps(t * lf.nblock * lf.sblock)
 	}
+	// With an I/O-server tier the ranks mount the servers instead of a
+	// shared local file; -file then names optional per-server stripe
+	// persistence, not rank-shared state.
 	path := lf.file
-	if path == "" {
-		tmp, err := os.CreateTemp("", "noncontig-net-*.dat")
-		if err != nil {
-			log.Fatal(err)
+	if lf.servers == 0 {
+		if path == "" {
+			tmp, err := os.CreateTemp("", "noncontig-net-*.dat")
+			if err != nil {
+				log.Fatal(err)
+			}
+			path = tmp.Name()
+			tmp.Close()
 		}
-		path = tmp.Name()
-		tmp.Close()
+		defer os.Remove(path)
 	}
-	defer os.Remove(path)
 
 	exe, err := os.Executable()
 	if err != nil {
 		log.Fatal(err)
 	}
-	args := func(rank int, rendezvous string) []string {
+	args := func(rank int, rendezvous string, serverAddrs []string) []string {
 		a := []string{
 			"-net", "rank",
 			"-net-rank", fmt.Sprint(rank),
@@ -326,10 +383,16 @@ func netLaunch(p int, pat noncontig.Pattern, eng core.Engine, lf launchFlags) {
 			"-engine", eng.String(),
 			"-reps", fmt.Sprint(reps),
 			"-tiles", fmt.Sprint(lf.tiles),
-			"-file", path,
 			"-collective",
 			fmt.Sprintf("-verify=%t", lf.verify),
 			"-stall", lf.stall.String(),
+		}
+		if lf.servers > 0 {
+			a = append(a,
+				"-server-addrs", strings.Join(serverAddrs, ","),
+				"-stripe", fmt.Sprint(lf.stripe))
+		} else {
+			a = append(a, "-file", path)
 		}
 		if lf.sieveBuf > 0 {
 			a = append(a, "-sievebuf", fmt.Sprint(lf.sieveBuf))
@@ -348,6 +411,9 @@ func netLaunch(p int, pat noncontig.Pattern, eng core.Engine, lf launchFlags) {
 		}
 		if lf.noVectored {
 			a = append(a, "-no-vectored")
+		}
+		if lf.noViews {
+			a = append(a, "-no-views")
 		}
 		if lf.readBW > 0 {
 			a = append(a, "-read-bw", fmt.Sprint(lf.readBW))
@@ -368,11 +434,80 @@ func netLaunch(p int, pat noncontig.Pattern, eng core.Engine, lf launchFlags) {
 		}
 		return a
 	}
+	serverArgs := func(idx int) []string {
+		a := []string{
+			"-net", "server",
+			"-net-index", fmt.Sprint(idx),
+			"-servers", fmt.Sprint(lf.servers),
+			"-stripe", fmt.Sprint(lf.stripe),
+		}
+		if lf.file != "" {
+			a = append(a, "-file", fmt.Sprintf("%s.srv%d", lf.file, idx))
+		}
+		if lf.tracePath != "" {
+			a = append(a, "-trace", fmt.Sprintf("%s.srv%d", lf.tracePath, idx))
+		}
+		return a
+	}
 	if err := transport.Launch(transport.LaunchOptions{
 		Size: p, Exe: exe, Args: args, Timeout: lf.timeout,
+		Servers: lf.servers, ServerArgs: serverArgs,
 	}); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// runServer is the -net server role: adopt the pre-bound listener the
+// launcher passed at fd 3, serve this stripe until interrupted, then
+// sync, report, and flush the trace.
+func runServer(index, count int, stripe int64, filePath, tracePath string) {
+	if count <= 0 || index < 0 || index >= count {
+		log.Fatalf("-net server requires -net-index in [0, %d)", count)
+	}
+	var backend storage.Backend = storage.NewMem()
+	if filePath != "" {
+		fb, err := storage.OpenFile(filePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer fb.Close()
+		backend = fb
+	}
+	var collector *trace.Collector
+	if tracePath != "" {
+		collector = trace.NewCollector(trace.DefaultBufSize)
+		backend = storage.NewTraced(backend, collector.Storage())
+	}
+
+	srv, err := ioserver.New(ioserver.Config{
+		Backend: backend,
+		Geom:    storage.StripeGeom{Unit: stripe, Count: count},
+		Index:   index,
+		Tracer:  collector.Storage(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := transport.ListenerFromFD(transport.RendezvousFD)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	go func() {
+		<-sig
+		srv.Close()
+	}()
+
+	if err := srv.Serve(ln); err != nil {
+		log.Fatal(err)
+	}
+	if err := backend.Sync(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("server %d/%d (stripe %s): %s\n", index, count, humanBytes(stripe), srv.Stats())
+	writeTrace(tracePath, collector)
 }
 
 func writeTrace(path string, collector *trace.Collector) {

@@ -1,0 +1,320 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datatype"
+	"repro/internal/ioserver"
+	"repro/internal/mpi"
+	"repro/internal/noncontig"
+	"repro/internal/storage"
+)
+
+// I/O-server tier comparison, two axes:
+//
+//  1. Throughput: the standard nc-nc collective against local memory,
+//     one remote stripe server, and N remote stripe servers — what the
+//     network tier costs, and what striping buys back.
+//  2. Round-trips: a sparse independent access against the server tier
+//     with server-side view evaluation versus shipping raw offset
+//     lists — the constant-size-request property of registered views,
+//     measured in client round-trips per operation, with the server's
+//     view-cache counters alongside.
+
+// ServerPoint is one cell of the throughput axis.
+type ServerPoint struct {
+	Backend string `json:"backend"` // "local", "1-server", "3-server", ...
+	Engine  string `json:"engine"`
+
+	WriteTime time.Duration `json:"write_time_ns"`
+	ReadTime  time.Duration `json:"read_time_ns"`
+	WriteMBps float64       `json:"write_mbps_per_proc"`
+	ReadMBps  float64       `json:"read_mbps_per_proc"`
+
+	// Rounds is the total client round-trips of the measured run
+	// (0 for the local backend).
+	Rounds int64 `json:"round_trips"`
+}
+
+// ViewPoint is one cell of the view-vs-offset-list axis.
+type ViewPoint struct {
+	Mode string `json:"mode"` // "views" or "offset-lists"
+
+	Ops         int64   `json:"ops"` // write+read operations issued
+	Rounds      int64   `json:"round_trips"`
+	RoundsPerOp float64 `json:"round_trips_per_op"`
+
+	// Server-side totals across the tier.
+	ViewRegistrations int64 `json:"view_registrations"`
+	ViewCacheHits     int64 `json:"view_cache_hits"`
+	StaleHandles      int64 `json:"stale_handles"`
+	ViewReads         int64 `json:"view_reads"`
+	ViewWrites        int64 `json:"view_writes"`
+	RawReads          int64 `json:"raw_reads"`
+	RawWrites         int64 `json:"raw_writes"`
+}
+
+// ServerComparison is the full BENCH_server.json payload.
+type ServerComparison struct {
+	P           int   `json:"p"`
+	Blockcount  int64 `json:"n_block"`
+	Blocklen    int64 `json:"s_block"`
+	Reps        int   `json:"reps"`
+	StripeUnit  int64 `json:"stripe_unit_bytes"`
+	Servers     int   `json:"servers"`
+	SparseRuns  int64 `json:"sparse_runs"`
+	SparseBlock int64 `json:"sparse_block_bytes"`
+	SparseReps  int   `json:"sparse_reps"`
+
+	Throughput []ServerPoint `json:"throughput"`
+	View       []ViewPoint   `json:"view_vs_lists"`
+
+	// ViewRoundTripAdvantage is offset-list round-trips per op over
+	// view round-trips per op (> 1 means views win).
+	ViewRoundTripAdvantage float64 `json:"view_round_trip_advantage"`
+}
+
+func serverConfig(s Scale) ServerComparison {
+	sc := ServerComparison{
+		P:           4,
+		Blockcount:  2048,
+		Blocklen:    32,
+		Reps:        4,
+		StripeUnit:  4096,
+		Servers:     3,
+		SparseRuns:  4096,
+		SparseBlock: 8,
+		SparseReps:  5,
+	}
+	if s == Quick {
+		sc.Blockcount = 512
+		sc.Reps = 2
+		sc.SparseRuns = 2048
+		sc.SparseReps = 3
+	}
+	return sc
+}
+
+// startTier launches n in-process stripe servers over Mem backends and
+// returns the aggregate client backend plus a shutdown func.
+func startTier(unit int64, n int) (*ioserver.Striped, func(), error) {
+	geom := storage.StripeGeom{Unit: unit, Count: n}
+	addrs := make([]string, n)
+	servers := make([]*ioserver.Server, n)
+	for i := 0; i < n; i++ {
+		srv, err := ioserver.New(ioserver.Config{Backend: storage.NewMem(), Geom: geom, Index: i})
+		if err != nil {
+			return nil, nil, err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, nil, err
+		}
+		addrs[i] = ln.Addr().String()
+		servers[i] = srv
+		go srv.Serve(ln)
+	}
+	agg, err := ioserver.NewStriped(unit, addrs, ioserver.ClientOptions{})
+	if err != nil {
+		return nil, nil, err
+	}
+	stop := func() {
+		agg.Close()
+		for _, srv := range servers {
+			srv.Close()
+		}
+	}
+	return agg, stop, nil
+}
+
+// runServerPoint measures one throughput cell, best-of-repeats on the
+// write time.
+func runServerPoint(sc ServerComparison, servers, repeats int) (ServerPoint, error) {
+	name := "local"
+	if servers > 0 {
+		name = fmt.Sprintf("%d-server", servers)
+	}
+	pt := ServerPoint{Backend: name, Engine: core.Listless.String()}
+	for rep := 0; rep < repeats; rep++ {
+		var backend storage.Backend = storage.NewMem()
+		var agg *ioserver.Striped
+		if servers > 0 {
+			var stop func()
+			var err error
+			agg, stop, err = startTier(sc.StripeUnit, servers)
+			if err != nil {
+				return ServerPoint{}, err
+			}
+			defer stop()
+			backend = agg
+		}
+		res, err := noncontig.Run(noncontig.Config{
+			P:          sc.P,
+			Blockcount: sc.Blockcount,
+			Blocklen:   sc.Blocklen,
+			Pattern:    noncontig.NcNc,
+			Collective: true,
+			Engine:     core.Listless,
+			Reps:       sc.Reps,
+			Verify:     rep == 0,
+			Backend:    backend,
+			Options: core.Options{
+				CollBufSize: 64 << 10,
+			},
+			StallTimeout: 30 * time.Second,
+		})
+		if err != nil {
+			return ServerPoint{}, fmt.Errorf("server bench (%s): %w", name, err)
+		}
+		if rep == 0 || res.WriteTime < pt.WriteTime {
+			pt.WriteTime = res.WriteTime
+			pt.ReadTime = res.ReadTime
+			pt.WriteMBps = res.WriteBpp
+			pt.ReadMBps = res.ReadBpp
+			if agg != nil {
+				pt.Rounds = agg.Rounds()
+			}
+		}
+	}
+	return pt, nil
+}
+
+// runViewPoint measures one round-trip cell: SparseReps rounds of
+// open + SetView + sparse write + sparse read of a SparseRuns-run
+// vector over a fresh 3-server tier, with server-side view evaluation
+// on or off.  Re-registering the same view every round is what
+// exercises the server's per-connection view cache.
+func runViewPoint(sc ServerComparison, disableViews bool) (ViewPoint, error) {
+	mode := "views"
+	if disableViews {
+		mode = "offset-lists"
+	}
+	agg, stop, err := startTier(sc.StripeUnit, sc.Servers)
+	if err != nil {
+		return ViewPoint{}, err
+	}
+	defer stop()
+
+	ftype, err := datatype.Vector(sc.SparseRuns, sc.SparseBlock, 1024, datatype.Byte)
+	if err != nil {
+		return ViewPoint{}, err
+	}
+	d := sc.SparseRuns * sc.SparseBlock
+	data := make([]byte, d)
+	for i := range data {
+		data[i] = byte(i * 131)
+	}
+
+	sh := core.NewShared(agg)
+	var ops int64
+	for rep := 0; rep < sc.SparseReps; rep++ {
+		_, err := mpi.Run(1, func(p *mpi.Proc) {
+			f, err := core.Open(p, sh, core.Options{
+				Engine:          core.Listless,
+				SieveDensity:    0.25,
+				DisableViewPath: disableViews,
+			})
+			if err != nil {
+				panic(err)
+			}
+			defer f.Close()
+			if err := f.SetView(0, datatype.Byte, ftype); err != nil {
+				panic(err)
+			}
+			if _, err := f.WriteAt(0, d, datatype.Byte, data); err != nil {
+				panic(err)
+			}
+			got := make([]byte, d)
+			if _, err := f.ReadAt(0, d, datatype.Byte, got); err != nil {
+				panic(err)
+			}
+			if !bytes.Equal(got, data) {
+				panic("server bench: sparse read-back mismatch")
+			}
+		})
+		if err != nil {
+			return ViewPoint{}, fmt.Errorf("server bench (%s): %w", mode, err)
+		}
+		ops += 2
+	}
+
+	pt := ViewPoint{Mode: mode, Ops: ops, Rounds: agg.Rounds()}
+	pt.RoundsPerOp = float64(pt.Rounds) / float64(ops)
+	st, err := agg.ServerStats()
+	if err != nil {
+		return ViewPoint{}, err
+	}
+	pt.ViewRegistrations = st.ViewRegistrations
+	pt.ViewCacheHits = st.ViewCacheHits
+	pt.StaleHandles = st.StaleHandles
+	pt.ViewReads = st.ViewReads
+	pt.ViewWrites = st.ViewWrites
+	pt.RawReads = st.RawReads
+	pt.RawWrites = st.RawWrites
+	return pt, nil
+}
+
+// Server runs the I/O-server tier comparison.
+func Server(s Scale) (ServerComparison, error) {
+	sc := serverConfig(s)
+	repeats := 3
+	if s == Quick {
+		repeats = 2
+	}
+	for _, servers := range []int{0, 1, sc.Servers} {
+		pt, err := runServerPoint(sc, servers, repeats)
+		if err != nil {
+			return ServerComparison{}, err
+		}
+		sc.Throughput = append(sc.Throughput, pt)
+	}
+	view, err := runViewPoint(sc, false)
+	if err != nil {
+		return ServerComparison{}, err
+	}
+	lists, err := runViewPoint(sc, true)
+	if err != nil {
+		return ServerComparison{}, err
+	}
+	sc.View = append(sc.View, view, lists)
+	if view.RoundsPerOp > 0 {
+		sc.ViewRoundTripAdvantage = lists.RoundsPerOp / view.RoundsPerOp
+	}
+	return sc, nil
+}
+
+// ServerJSON renders the comparison as indented JSON, the payload of
+// BENCH_server.json.
+func ServerJSON(sc ServerComparison) ([]byte, error) {
+	return json.MarshalIndent(sc, "", "  ")
+}
+
+// FormatServer renders the comparison as text.
+func FormatServer(sc ServerComparison) string {
+	s := fmt.Sprintf("I/O-server tier comparison (P=%d, N_block=%d, S_block=%dB, stripe=%dK, nc-nc collective):\n",
+		sc.P, sc.Blockcount, sc.Blocklen, sc.StripeUnit>>10)
+	for _, pt := range sc.Throughput {
+		s += fmt.Sprintf("  %-10s write %8.2f MB/s  read %8.2f MB/s", pt.Backend, pt.WriteMBps, pt.ReadMBps)
+		if pt.Rounds > 0 {
+			s += fmt.Sprintf("  (%d round-trips)", pt.Rounds)
+		}
+		s += "\n"
+	}
+	s += fmt.Sprintf("Sparse direct access, %d runs x %dB, %d write+read rounds over %d servers:\n",
+		sc.SparseRuns, sc.SparseBlock, sc.SparseReps, sc.Servers)
+	for _, pt := range sc.View {
+		s += fmt.Sprintf("  %-13s %6.1f round-trips/op  (%d ops, %d rounds; server: reg %d, cache hits %d, view %dr/%dw, raw %dr/%dw)\n",
+			pt.Mode, pt.RoundsPerOp, pt.Ops, pt.Rounds,
+			pt.ViewRegistrations, pt.ViewCacheHits, pt.ViewReads, pt.ViewWrites, pt.RawReads, pt.RawWrites)
+	}
+	if sc.ViewRoundTripAdvantage > 0 {
+		s += fmt.Sprintf("  server-side views cost %.2fx fewer round-trips per op than raw offset lists\n",
+			sc.ViewRoundTripAdvantage)
+	}
+	return s
+}

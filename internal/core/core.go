@@ -100,6 +100,11 @@ type Options struct {
 	// pack-buffer chunk into a single vectored ReadAtv/WriteAtv
 	// (ablation of scatter/gather I/O).
 	DisableVectored bool
+	// DisableViewPath makes the sparse direct-access path ship offset
+	// lists even when the backend accepts registered views (ablation of
+	// server-side datatype evaluation: the remote I/O-server tier then
+	// behaves like a plain striped store).
+	DisableViewPath bool
 	// SieveDensity is the paper's §5 outlook item, "the decision on the
 	// trade-off between data sieving and multiple file accesses":
 	// independent non-contiguous accesses whose useful-data fraction in
@@ -153,6 +158,11 @@ type Stats struct {
 	// VectoredReads / VectoredWrites count ReadAtv/WriteAtv batches
 	// issued by the direct-access path.
 	VectoredReads, VectoredWrites int64
+	// ViewRegistrations counts fileviews registered with a
+	// view-capable backend (the remote I/O-server tier); ViewReads /
+	// ViewWrites count the view-addressed transfers that replaced
+	// offset lists on the direct path.
+	ViewRegistrations, ViewReads, ViewWrites int64
 	// BytesRead / BytesWritten are user-data volumes moved.
 	BytesRead, BytesWritten int64
 
@@ -212,6 +222,13 @@ type File struct {
 
 	v   view
 	eng accessEngine
+
+	// viewBE/viewHandle are set when the backend accepts registered
+	// views and the current fileview is registered with it; the sparse
+	// direct path then addresses accesses in view-data bytes instead of
+	// shipping offset lists.
+	viewBE     storage.ViewBackend
+	viewHandle storage.ViewHandle
 
 	ptr    int64 // individual file pointer, in etypes
 	atomic bool  // MPI-IO atomic mode: whole-access locking
@@ -287,6 +304,19 @@ func (f *File) SetView(disp int64, etype, filetype *datatype.Type) error {
 		fext:  filetype.Extent(),
 	}
 	f.ptr = 0
+	f.viewBE, f.viewHandle = nil, 0
+	if vb, ok := storage.AsViewBackend(f.sh.b); ok && !f.opts.DisableViewPath && !filetype.ContiguousTiled() {
+		// Register the fileview with the backend once per SetView — the
+		// storage-tier analogue of the engine's fileview caching.  The
+		// backend deduplicates repeats of the same encoding, so this is
+		// cheap for the common re-register.
+		h, err := vb.RegisterView(disp, filetype)
+		if err != nil {
+			return err
+		}
+		f.viewBE, f.viewHandle = vb, h
+		f.Stats.ViewRegistrations++
+	}
 	return f.eng.setView()
 }
 

@@ -260,7 +260,12 @@ func (f *File) transferDirect(d0, d int64, buf []byte, mem *memState, memContig 
 		chunk = int64(len(pb))
 	}
 
-	vc := f.eng.seekData(d0)
+	var vc viewCursor
+	if f.viewBE == nil {
+		// The view-addressed path needs no local fileview walk at all;
+		// only the offset-list path enumerates runs.
+		vc = f.eng.seekData(d0)
+	}
 
 	var segs []storage.Segment // reused across chunks
 	var ioErr error
@@ -275,6 +280,23 @@ func (f *File) transferDirect(d0, d int64, buf []byte, mem *memState, memContig 
 			if write {
 				f.eng.packUser(cb, buf, mem, m, c)
 			}
+		}
+		if f.viewBE != nil {
+			// View-addressed transfer: the chunk is one constant-size
+			// (handle, offset, count) request; the backend (a remote
+			// I/O-server tier) evaluates the noncontiguous pattern on
+			// its side.
+			if write {
+				ioErr = f.viewBE.ViewWrite(f.viewHandle, cb, d0+m)
+				f.Stats.ViewWrites++
+			} else {
+				ioErr = f.viewBE.ViewRead(f.viewHandle, cb, d0+m)
+				f.Stats.ViewReads++
+			}
+			if ioErr == nil && !memContig && !write {
+				f.eng.unpackUser(buf, cb, mem, m, c)
+			}
+			continue
 		}
 		segs = segs[:0]
 		vc.eachRun(c, func(fileOff, dataOff, ln int64) {

@@ -42,6 +42,9 @@ func (s Stats) String() string {
 	if s.DirectReads != 0 || s.DirectWrites != 0 {
 		fmt.Fprintf(&b, "  direct reads=%d writes=%d", s.DirectReads, s.DirectWrites)
 	}
+	if s.ViewRegistrations != 0 {
+		fmt.Fprintf(&b, "  view regs=%d reads=%d writes=%d", s.ViewRegistrations, s.ViewReads, s.ViewWrites)
+	}
 	b.WriteByte('\n')
 	fmt.Fprintf(&b, "bytes read=%d written=%d\n", s.BytesRead, s.BytesWritten)
 	if s.ExchangeNs != 0 || s.StorageNs != 0 || s.CopyNs != 0 {

@@ -1,0 +1,375 @@
+package ioserver
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/storage"
+	"repro/internal/transport"
+)
+
+// View is the client-side record of one registrable fileview: the
+// displacement plus the datatype.Encode'd filetype tree.  One View is
+// shared across all servers of an aggregate; each Client lazily
+// registers it on its own connection and caches the returned handle.
+type View struct {
+	Disp int64
+	Enc  []byte
+}
+
+// Client is one rank's connection to one I/O server, presented as a
+// storage.Backend over that server's local stripe (offsets are local;
+// the Striped aggregate does the global math).  A broken connection is
+// redialed on the next operation — the failed operation itself reports
+// a transient error, so a storage.Resilient wrapper above rides it out.
+// Safe for concurrent use; round-trips serialize on one mutex.
+type Client struct {
+	addr     string
+	maxFrame int
+	timeout  time.Duration
+
+	mu     sync.Mutex
+	fc     *transport.FrameConn
+	seq    int
+	views  map[*View]uint64 // handle per registered view, this connection
+	rounds atomic.Int64     // request round-trips issued
+}
+
+// ClientOptions tune a client; the zero value is ready to use.
+type ClientOptions struct {
+	// MaxFrame bounds frame payloads (<= 0 selects the transport
+	// default); it must be at least the server's to read large
+	// responses.
+	MaxFrame int
+	// Timeout bounds each dial and each round-trip (default 30s).
+	Timeout time.Duration
+}
+
+// NewClient builds a client for the server at addr.  The connection is
+// established lazily on first use.
+func NewClient(addr string, opts ClientOptions) *Client {
+	if opts.MaxFrame <= 0 {
+		opts.MaxFrame = transport.DefaultMaxFrame
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = 30 * time.Second
+	}
+	return &Client{
+		addr:     addr,
+		maxFrame: opts.MaxFrame,
+		timeout:  opts.Timeout,
+		views:    make(map[*View]uint64),
+	}
+}
+
+// Addr reports the server address this client targets.
+func (c *Client) Addr() string { return c.addr }
+
+// Rounds reports the request round-trips issued so far — the wire-cost
+// metric the registered-view protocol exists to shrink.
+func (c *Client) Rounds() int64 { return c.rounds.Load() }
+
+// Close tears down the connection; a later operation would redial.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.fc == nil {
+		return nil
+	}
+	err := c.fc.Close()
+	c.dropLocked()
+	return err
+}
+
+// dropLocked discards the connection state.  View handles are
+// per-connection server state, so they go too; view operations
+// re-register lazily.
+func (c *Client) dropLocked() {
+	if c.fc != nil {
+		c.fc.Close()
+		c.fc = nil
+	}
+	c.views = make(map[*View]uint64)
+}
+
+// connectLocked ensures a live connection.
+func (c *Client) connectLocked() error {
+	if c.fc != nil {
+		return nil
+	}
+	conn, err := net.DialTimeout("tcp", c.addr, c.timeout)
+	if err != nil {
+		return fmt.Errorf("ioserver %s: dial: %v: %w", c.addr, err, storage.ErrTransient)
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	c.fc = transport.NewFrameConn(conn, c.maxFrame)
+	return nil
+}
+
+// roundTripLocked performs one request/response exchange.  Network and
+// framing failures drop the connection and report transient errors
+// (reconnect-and-reissue heals them); opErr responses are decoded into
+// their class without touching the connection.
+func (c *Client) roundTripLocked(op int, payload []byte) ([]byte, error) {
+	if err := c.connectLocked(); err != nil {
+		return nil, err
+	}
+	c.seq++
+	seq := c.seq
+	c.rounds.Add(1)
+	c.fc.SetDeadline(time.Now().Add(c.timeout))
+	if err := c.fc.WriteFrame(seq, op, payload); err != nil {
+		c.dropLocked()
+		return nil, fmt.Errorf("ioserver %s: send: %v: %w", c.addr, err, storage.ErrTransient)
+	}
+	rseq, tag, resp, err := c.fc.ReadFrame()
+	if err != nil {
+		c.dropLocked()
+		if err == io.EOF {
+			err = errors.New("connection closed by server")
+		}
+		return nil, fmt.Errorf("ioserver %s: receive: %v: %w", c.addr, err, storage.ErrTransient)
+	}
+	if rseq != seq || (tag != op && tag != opErr) {
+		// Desynchronized stream: no way to re-associate responses.
+		c.dropLocked()
+		return nil, fmt.Errorf("ioserver %s: response desync (seq %d/%d, tag %d/%d): %w",
+			c.addr, rseq, seq, tag, op, storage.ErrTransient)
+	}
+	if tag == opErr {
+		class, msg, err := decodeErr(resp)
+		if err != nil {
+			c.dropLocked()
+			return nil, fmt.Errorf("ioserver %s: malformed error frame: %w", c.addr, storage.ErrTransient)
+		}
+		return nil, unwireError(c.addr, class, msg)
+	}
+	return resp, nil
+}
+
+func decodeErr(payload []byte) (class int64, msg string, err error) {
+	class, rest, err := getV(payload)
+	if err != nil {
+		return 0, "", err
+	}
+	return class, string(rest), nil
+}
+
+func (c *Client) roundTrip(op int, payload []byte) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.roundTripLocked(op, payload)
+}
+
+// ReadAt implements io.ReaderAt against the server's stripe.
+func (c *Client) ReadAt(p []byte, off int64) (int, error) {
+	req := putV(nil, off)
+	req = putV(req, int64(len(p)))
+	resp, err := c.roundTrip(opRead, req)
+	if err != nil {
+		return 0, err
+	}
+	if len(resp) < 1 || len(resp)-1 > len(p) {
+		return 0, fmt.Errorf("ioserver %s: read response length %d for %d-byte read: %w",
+			c.addr, len(resp), len(p), storage.ErrPermanent)
+	}
+	n := copy(p, resp[1:])
+	if resp[0] != 0 {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// WriteAt implements io.WriterAt against the server's stripe.
+func (c *Client) WriteAt(p []byte, off int64) (int, error) {
+	req := putV(make([]byte, 0, len(p)+16), off)
+	req = append(req, p...)
+	if _, err := c.roundTrip(opWrite, req); err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}
+
+// ReadAtv implements storage.Vectored: the batch is shipped as offset
+// lists of at most MaxListRuns entries each, so n runs cost
+// ceil(n/MaxListRuns) round-trips.
+func (c *Client) ReadAtv(segs []storage.Segment) error {
+	for len(segs) > 0 {
+		chunk := c.clipList(segs)
+		req := putV(nil, int64(len(chunk)))
+		for _, s := range chunk {
+			req = putV(req, s.Off)
+			req = putV(req, int64(len(s.Buf)))
+		}
+		resp, err := c.roundTrip(opReadv, req)
+		if err != nil {
+			return err
+		}
+		var pos int
+		for _, s := range chunk {
+			pos += copy(s.Buf, resp[pos:])
+		}
+		if pos != len(resp) || pos != totalLen(chunk) {
+			return fmt.Errorf("ioserver %s: vectored read returned %d of %d bytes: %w",
+				c.addr, len(resp), totalLen(chunk), storage.ErrPermanent)
+		}
+		segs = segs[len(chunk):]
+	}
+	return nil
+}
+
+// WriteAtv implements storage.Vectored, chunked like ReadAtv.
+func (c *Client) WriteAtv(segs []storage.Segment) error {
+	for len(segs) > 0 {
+		chunk := c.clipList(segs)
+		req := putV(make([]byte, 0, 16+16*len(chunk)+totalLen(chunk)), int64(len(chunk)))
+		for _, s := range chunk {
+			req = putV(req, s.Off)
+			req = putV(req, int64(len(s.Buf)))
+		}
+		for _, s := range chunk {
+			req = append(req, s.Buf...)
+		}
+		if _, err := c.roundTrip(opWritev, req); err != nil {
+			return err
+		}
+		segs = segs[len(chunk):]
+	}
+	return nil
+}
+
+// clipList takes the longest prefix of segs that fits one request: at
+// most MaxListRuns entries and under the frame payload limit.
+func (c *Client) clipList(segs []storage.Segment) []storage.Segment {
+	n := min(len(segs), MaxListRuns)
+	var bytes int
+	for i := 0; i < n; i++ {
+		bytes += len(segs[i].Buf)
+		if i > 0 && bytes+16*(i+1) > c.maxFrame {
+			return segs[:i]
+		}
+	}
+	return segs[:n]
+}
+
+func totalLen(segs []storage.Segment) int {
+	var n int
+	for _, s := range segs {
+		n += len(s.Buf)
+	}
+	return n
+}
+
+// Size reports the server stripe's local size.
+func (c *Client) Size() int64 {
+	resp, err := c.roundTrip(opSize, nil)
+	if err != nil {
+		return 0
+	}
+	n, _, err := getV(resp)
+	if err != nil || n < 0 {
+		return 0
+	}
+	return n
+}
+
+// Truncate sizes the server's stripe.
+func (c *Client) Truncate(n int64) error {
+	_, err := c.roundTrip(opTruncate, putV(nil, n))
+	return err
+}
+
+// Sync flushes the server's stripe to its stable store.
+func (c *Client) Sync() error {
+	_, err := c.roundTrip(opSync, nil)
+	return err
+}
+
+// ServerStats fetches the server's request counters.
+func (c *Client) ServerStats() (ServerStats, error) {
+	resp, err := c.roundTrip(opStats, nil)
+	if err != nil {
+		return ServerStats{}, err
+	}
+	return decodeStats(resp)
+}
+
+// handleLocked returns the server's handle for v, registering it on
+// this connection if needed.
+func (c *Client) handleLocked(v *View) (uint64, error) {
+	if h, ok := c.views[v]; ok {
+		return h, nil
+	}
+	req := putV(make([]byte, 0, 16+len(v.Enc)), v.Disp)
+	req = append(req, v.Enc...)
+	resp, err := c.roundTripLocked(opRegister, req)
+	if err != nil {
+		return 0, err
+	}
+	h, _, err := getV(resp)
+	if err != nil || h < 0 {
+		return 0, fmt.Errorf("ioserver %s: malformed register response: %w", c.addr, storage.ErrPermanent)
+	}
+	c.views[v] = uint64(h)
+	return uint64(h), nil
+}
+
+// viewOp runs one view-addressed round-trip, transparently
+// (re-)registering the view: on a stale-handle response — the server
+// evicted it from the per-connection LRU — the handle is dropped and
+// the operation reissued once with a fresh registration.
+func (c *Client) viewOp(op int, v *View, d0, d1 int64, data []byte) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		h, err := c.handleLocked(v)
+		if err != nil {
+			return nil, err
+		}
+		req := putV(make([]byte, 0, 32+len(data)), int64(h))
+		req = putV(req, d0)
+		req = putV(req, d1)
+		req = append(req, data...)
+		resp, err := c.roundTripLocked(op, req)
+		if err == nil {
+			return resp, nil
+		}
+		if !errors.Is(err, errStale) {
+			return nil, err
+		}
+		delete(c.views, v)
+		lastErr = err
+	}
+	return nil, fmt.Errorf("ioserver %s: view handle stale after re-registration: %v: %w",
+		c.addr, lastErr, storage.ErrPermanent)
+}
+
+// ViewReadRange fetches this server's bytes of data range [d0, d1) of
+// the view, packed in data order.
+func (c *Client) ViewReadRange(v *View, d0, d1 int64) ([]byte, error) {
+	return c.viewOp(opViewRead, v, d0, d1, nil)
+}
+
+// ViewWriteRange stores data as this server's bytes of data range
+// [d0, d1) of the view, packed in data order.
+func (c *Client) ViewWriteRange(v *View, d0, d1 int64, data []byte) error {
+	_, err := c.viewOp(opViewWrite, v, d0, d1, data)
+	return err
+}
+
+// RegisterEager registers v now (priming the server's cache and
+// validating the encoding server-side) instead of on first use.
+func (c *Client) RegisterEager(v *View) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, err := c.handleLocked(v)
+	return err
+}

@@ -1,0 +1,568 @@
+package ioserver
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/datatype"
+	"repro/internal/storage"
+	"repro/internal/trace"
+	"repro/internal/transport"
+)
+
+// Config describes one I/O server: the backend holding its stripe's
+// bytes, and its place in the global layout.
+type Config struct {
+	// Backend stores this server's stripe (local offsets).
+	Backend storage.Backend
+	// Geom is the global stripe layout; Index is this server's stripe.
+	// Every server of a deployment must be configured with the same
+	// Geom, and the clients with the matching layout — the shared
+	// StripeGeom arithmetic is what keeps them agreeing on ownership.
+	Geom  storage.StripeGeom
+	Index int
+	// MaxFrame bounds request and response payloads (<= 0 selects
+	// transport.DefaultMaxFrame).  Header lengths are validated against
+	// it before any allocation.
+	MaxFrame int
+	// ViewCache is the per-connection registered-view LRU capacity
+	// (<= 0 selects DefaultViewCache).  Evicted handles answer
+	// subsequent view requests with a stale-handle error, which clients
+	// repair by re-registering.
+	ViewCache int
+	// Tracer, when non-nil, records request spans and view-cache
+	// events.
+	Tracer *trace.Tracer
+}
+
+// Server serves one stripe of a file to any number of client
+// connections.
+type Server struct {
+	cfg   Config
+	stats struct {
+		requests, rawReads, rawWrites    atomic.Int64
+		viewReads, viewWrites            atomic.Int64
+		viewRegs, viewHits, staleHandles atomic.Int64
+		bytesRead, bytesWritten          atomic.Int64
+	}
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	done   chan struct{} // closed when Serve returns
+}
+
+// New validates cfg and builds a server (not yet listening).
+func New(cfg Config) (*Server, error) {
+	if cfg.Backend == nil {
+		return nil, errors.New("ioserver: nil backend")
+	}
+	if err := cfg.Geom.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Index < 0 || cfg.Index >= cfg.Geom.Count {
+		return nil, fmt.Errorf("ioserver: stripe index %d out of range [0,%d)", cfg.Index, cfg.Geom.Count)
+	}
+	if cfg.MaxFrame <= 0 {
+		cfg.MaxFrame = transport.DefaultMaxFrame
+	}
+	if cfg.ViewCache <= 0 {
+		cfg.ViewCache = DefaultViewCache
+	}
+	return &Server{
+		cfg:   cfg,
+		conns: make(map[net.Conn]struct{}),
+		done:  make(chan struct{}),
+	}, nil
+}
+
+// Serve accepts connections on ln until Close, handling each on its own
+// goroutine.  It returns nil after a Close-initiated shutdown.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("ioserver: server closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	defer close(s.done)
+
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.handleConn(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// Close stops accepting, closes every live connection, and waits for
+// the handlers and Serve to return.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	if ln == nil {
+		return nil
+	}
+	ln.Close()
+	<-s.done
+	return nil
+}
+
+// Stats snapshots the request counters.
+func (s *Server) Stats() ServerStats {
+	return ServerStats{
+		Requests:          s.stats.requests.Load(),
+		RawReads:          s.stats.rawReads.Load(),
+		RawWrites:         s.stats.rawWrites.Load(),
+		ViewReads:         s.stats.viewReads.Load(),
+		ViewWrites:        s.stats.viewWrites.Load(),
+		ViewRegistrations: s.stats.viewRegs.Load(),
+		ViewCacheHits:     s.stats.viewHits.Load(),
+		StaleHandles:      s.stats.staleHandles.Load(),
+		BytesRead:         s.stats.bytesRead.Load(),
+		BytesWritten:      s.stats.bytesWritten.Load(),
+	}
+}
+
+// serverView is one decoded registration in a connection's cache.
+type serverView struct {
+	key    string // the raw opRegister payload, the cache key
+	handle uint64
+	disp   int64
+	t      *datatype.Type
+}
+
+// connState is the per-connection handler state: the registered-view
+// LRU plus reusable scratch buffers.  It is confined to the
+// connection's goroutine.
+type connState struct {
+	srv *Server
+	fc  *transport.FrameConn
+
+	views  map[uint64]*serverView // live handles
+	byKey  map[string]*serverView // cache index
+	lru    []*serverView          // least recent first
+	nextID uint64
+
+	resp []byte            // response staging buffer, reused
+	segs []storage.Segment // vectored-call staging, reused
+}
+
+// handleConn serves one connection to completion.  Malformed framing
+// tears the connection down (the stream cannot be resynchronized);
+// malformed requests inside a valid frame answer with an opErr frame
+// and keep the connection.
+func (s *Server) handleConn(conn net.Conn) {
+	st := &connState{
+		srv:   s,
+		fc:    transport.NewFrameConn(conn, s.cfg.MaxFrame),
+		views: make(map[uint64]*serverView),
+		byKey: make(map[string]*serverView),
+	}
+	defer st.fc.Close()
+	for {
+		seq, tag, payload, err := st.fc.ReadFrame()
+		if err != nil {
+			// EOF is the client hanging up; anything else is a framing
+			// failure — either way the stream is over.
+			return
+		}
+		s.stats.requests.Add(1)
+		if err := st.handle(seq, tag, payload); err != nil {
+			return // response write failed: connection is gone
+		}
+	}
+}
+
+// handle dispatches one request and writes its response.  The returned
+// error reports only response-write failures.
+func (st *connState) handle(seq, tag int, payload []byte) error {
+	resp, err := st.dispatch(tag, payload)
+	if err != nil {
+		class, msg := wireError(err)
+		if errors.Is(err, errStale) {
+			class = classStale
+		} else if errors.Is(err, errTruncated) || errors.Is(err, errBadRequest) {
+			class = classBad
+		}
+		st.resp = putV(st.resp[:0], class)
+		st.resp = append(st.resp, msg...)
+		return st.fc.WriteFrame(seq, opErr, st.resp)
+	}
+	return st.fc.WriteFrame(seq, tag, resp)
+}
+
+// errBadRequest classifies a structurally valid but unserviceable
+// request (bad lengths, unknown op, oversized response).
+var errBadRequest = errors.New("ioserver: bad request")
+
+func (st *connState) dispatch(tag int, payload []byte) ([]byte, error) {
+	switch tag {
+	case opRead:
+		return st.opRead(payload)
+	case opWrite:
+		return st.opWrite(payload)
+	case opReadv:
+		return st.opReadv(payload)
+	case opWritev:
+		return st.opWritev(payload)
+	case opSize:
+		return putV(st.resp[:0], st.srv.cfg.Backend.Size()), nil
+	case opTruncate:
+		n, _, err := getV(payload)
+		if err != nil {
+			return nil, err
+		}
+		if n < 0 {
+			return nil, fmt.Errorf("%w: negative truncate %d", errBadRequest, n)
+		}
+		return nil, st.srv.cfg.Backend.Truncate(n)
+	case opSync:
+		return nil, st.srv.cfg.Backend.Sync()
+	case opRegister:
+		return st.opRegister(payload)
+	case opViewRead:
+		return st.opView(payload, false)
+	case opViewWrite:
+		return st.opView(payload, true)
+	case opStats:
+		return st.srv.Stats().encode(st.resp[:0]), nil
+	}
+	return nil, fmt.Errorf("%w: unknown op %d", errBadRequest, tag)
+}
+
+// opRead: off, n → eof flag, data.  Plain ReadAt relay, preserving the
+// short-read-plus-EOF shape of the Backend contract.
+func (st *connState) opRead(payload []byte) ([]byte, error) {
+	off, payload, err := getV(payload)
+	if err != nil {
+		return nil, err
+	}
+	n, _, err := getV(payload)
+	if err != nil {
+		return nil, err
+	}
+	if off < 0 || n < 0 || n > int64(st.srv.cfg.MaxFrame)-1 {
+		return nil, fmt.Errorf("%w: read off %d len %d", errBadRequest, off, n)
+	}
+	sp := st.srv.cfg.Tracer.BeginIO(trace.PhaseServerRead, off, n)
+	defer sp.End()
+	st.resp = grow(st.resp[:0], 1+n)
+	st.resp[0] = 0
+	m, err := st.srv.cfg.Backend.ReadAt(st.resp[1:1+n], off)
+	if err == io.EOF {
+		st.resp[0] = 1
+	} else if err != nil {
+		return nil, err
+	}
+	st.srv.stats.rawReads.Add(1)
+	st.srv.stats.bytesRead.Add(int64(m))
+	return st.resp[:1+m], nil
+}
+
+// opWrite: off, data → —.
+func (st *connState) opWrite(payload []byte) ([]byte, error) {
+	off, data, err := getV(payload)
+	if err != nil {
+		return nil, err
+	}
+	if off < 0 {
+		return nil, fmt.Errorf("%w: write off %d", errBadRequest, off)
+	}
+	sp := st.srv.cfg.Tracer.BeginIO(trace.PhaseServerWrite, off, int64(len(data)))
+	defer sp.End()
+	if _, err := st.srv.cfg.Backend.WriteAt(data, off); err != nil {
+		return nil, err
+	}
+	st.srv.stats.rawWrites.Add(1)
+	st.srv.stats.bytesWritten.Add(int64(len(data)))
+	return nil, nil
+}
+
+// opReadv: k, k×(off,n) → concatenated data (ReadFull semantics per
+// entry: bytes past the stripe's EOF read as zeros).
+func (st *connState) opReadv(payload []byte) ([]byte, error) {
+	k, payload, err := getV(payload)
+	if err != nil {
+		return nil, err
+	}
+	if k < 0 || k > MaxListRuns {
+		return nil, fmt.Errorf("%w: list of %d runs (limit %d)", errBadRequest, k, MaxListRuns)
+	}
+	type ent struct{ off, n int64 }
+	ents := make([]ent, 0, k)
+	var total int64
+	for i := int64(0); i < k; i++ {
+		var off, n int64
+		if off, payload, err = getV(payload); err != nil {
+			return nil, err
+		}
+		if n, payload, err = getV(payload); err != nil {
+			return nil, err
+		}
+		if off < 0 || n < 0 || total+n > int64(st.srv.cfg.MaxFrame) {
+			return nil, fmt.Errorf("%w: list entry off %d len %d", errBadRequest, off, n)
+		}
+		ents = append(ents, ent{off, n})
+		total += n
+	}
+	sp := st.srv.cfg.Tracer.BeginIO(trace.PhaseServerRead, 0, total)
+	defer sp.End()
+	st.resp = grow(st.resp[:0], total)
+	st.segs = st.segs[:0]
+	var pos int64
+	for _, e := range ents {
+		st.segs = append(st.segs, storage.Segment{Off: e.off, Buf: st.resp[pos : pos+e.n]})
+		pos += e.n
+	}
+	if err := storage.ReadAtv(st.srv.cfg.Backend, st.segs); err != nil {
+		return nil, err
+	}
+	st.srv.stats.rawReads.Add(1)
+	st.srv.stats.bytesRead.Add(total)
+	return st.resp, nil
+}
+
+// opWritev: k, k×(off,n), concatenated data → —.
+func (st *connState) opWritev(payload []byte) ([]byte, error) {
+	k, payload, err := getV(payload)
+	if err != nil {
+		return nil, err
+	}
+	if k < 0 || k > MaxListRuns {
+		return nil, fmt.Errorf("%w: list of %d runs (limit %d)", errBadRequest, k, MaxListRuns)
+	}
+	st.segs = st.segs[:0]
+	var total int64
+	offs := make([][2]int64, 0, k)
+	for i := int64(0); i < k; i++ {
+		var off, n int64
+		if off, payload, err = getV(payload); err != nil {
+			return nil, err
+		}
+		if n, payload, err = getV(payload); err != nil {
+			return nil, err
+		}
+		if off < 0 || n < 0 || total+n > int64(st.srv.cfg.MaxFrame) {
+			return nil, fmt.Errorf("%w: list entry off %d len %d", errBadRequest, off, n)
+		}
+		offs = append(offs, [2]int64{off, n})
+		total += n
+	}
+	if int64(len(payload)) != total {
+		return nil, fmt.Errorf("%w: write list names %d bytes, payload carries %d", errBadRequest, total, len(payload))
+	}
+	sp := st.srv.cfg.Tracer.BeginIO(trace.PhaseServerWrite, 0, total)
+	defer sp.End()
+	var pos int64
+	for _, e := range offs {
+		st.segs = append(st.segs, storage.Segment{Off: e[0], Buf: payload[pos : pos+e[1]]})
+		pos += e[1]
+	}
+	if err := storage.WriteAtv(st.srv.cfg.Backend, st.segs); err != nil {
+		return nil, err
+	}
+	st.srv.stats.rawWrites.Add(1)
+	st.srv.stats.bytesWritten.Add(total)
+	return nil, nil
+}
+
+// opRegister: disp, encoded filetype → handle.  The whole payload is
+// the cache key, so a repeat registration of the same view — every rank
+// re-opening the same fileview, or a client re-registering after
+// reconnect — is a cache hit that skips the decode.
+func (st *connState) opRegister(payload []byte) ([]byte, error) {
+	if v, ok := st.byKey[string(payload)]; ok {
+		st.srv.stats.viewHits.Add(1)
+		st.srv.cfg.Tracer.Instant(trace.PhaseServerViewHit, int64(v.handle), 0, "")
+		st.touch(v)
+		return putV(st.resp[:0], int64(v.handle)), nil
+	}
+	disp, enc, err := getV(payload)
+	if err != nil {
+		return nil, err
+	}
+	if disp < 0 {
+		return nil, fmt.Errorf("%w: negative displacement %d", errBadRequest, disp)
+	}
+	t, err := datatype.Decode(enc)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", errBadRequest, err)
+	}
+	st.nextID++
+	v := &serverView{key: string(payload), handle: st.nextID, disp: disp, t: t}
+	st.views[v.handle] = v
+	st.byKey[v.key] = v
+	st.lru = append(st.lru, v)
+	if len(st.lru) > st.srv.cfg.ViewCache {
+		old := st.lru[0]
+		st.lru = st.lru[1:]
+		delete(st.views, old.handle)
+		delete(st.byKey, old.key)
+	}
+	st.srv.stats.viewRegs.Add(1)
+	st.srv.cfg.Tracer.Instant(trace.PhaseServerViewReg, int64(v.handle), int64(len(enc)), "")
+	return putV(st.resp[:0], int64(v.handle)), nil
+}
+
+// touch marks v most recently used.
+func (st *connState) touch(v *serverView) {
+	for i, u := range st.lru {
+		if u == v {
+			copy(st.lru[i:], st.lru[i+1:])
+			st.lru[len(st.lru)-1] = v
+			return
+		}
+	}
+}
+
+// opView serves opViewRead / opViewWrite: handle, d0, d1 [, data].  The
+// server walks the registered pattern over [d0, d1), keeps the pieces
+// its stripe owns, and moves them against its local backend in data
+// order — one vectored call per request in the common case, flushed in
+// bounded batches so a hostile many-tiny-runs view cannot force an
+// oversized segment list.
+func (st *connState) opView(payload []byte, write bool) ([]byte, error) {
+	h, payload, err := getV(payload)
+	if err != nil {
+		return nil, err
+	}
+	d0, payload, err := getV(payload)
+	if err != nil {
+		return nil, err
+	}
+	d1, payload, err := getV(payload)
+	if err != nil {
+		return nil, err
+	}
+	if d0 < 0 || d1 < d0 || d1-d0 > int64(st.srv.cfg.MaxFrame) {
+		return nil, fmt.Errorf("%w: view range [%d,%d)", errBadRequest, d0, d1)
+	}
+	v, ok := st.views[uint64(h)]
+	if !ok {
+		st.srv.stats.staleHandles.Add(1)
+		st.srv.cfg.Tracer.Instant(trace.PhaseServerViewStale, h, 0, "")
+		return nil, fmt.Errorf("view handle %d: %w", h, errStale)
+	}
+	cfg := &st.srv.cfg
+
+	// Allocation pass: this stripe's share of the range.
+	var total int64
+	err = walkView(v.t, v.disp, cfg.Geom, d0, d1, func(stripe int, _, _, n int64) error {
+		if stripe == cfg.Index {
+			total += n
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var data []byte
+	ph := trace.PhaseServerViewRead
+	if write {
+		if int64(len(payload)) != total {
+			return nil, fmt.Errorf("%w: view write carries %d bytes, stripe owns %d of [%d,%d)", errBadRequest, len(payload), total, d0, d1)
+		}
+		data = payload
+		ph = trace.PhaseServerViewWrite
+	} else {
+		st.resp = grow(st.resp[:0], total)
+		data = st.resp
+	}
+	sp := cfg.Tracer.BeginIO(ph, d0, total)
+	defer sp.End()
+
+	// Transfer pass: gather the owned pieces into bounded vectored
+	// batches against the local store.
+	const flushAt = 1024
+	st.segs = st.segs[:0]
+	var pos int64
+	flush := func() error {
+		if len(st.segs) == 0 {
+			return nil
+		}
+		var err error
+		if write {
+			err = storage.WriteAtv(cfg.Backend, st.segs)
+		} else {
+			err = storage.ReadAtv(cfg.Backend, st.segs)
+		}
+		st.segs = st.segs[:0]
+		return err
+	}
+	err = walkView(v.t, v.disp, cfg.Geom, d0, d1, func(stripe int, localOff, _, n int64) error {
+		if stripe != cfg.Index {
+			return nil
+		}
+		st.segs = append(st.segs, storage.Segment{Off: localOff, Buf: data[pos : pos+n]})
+		pos += n
+		if len(st.segs) >= flushAt {
+			return flush()
+		}
+		return nil
+	})
+	if err == nil {
+		err = flush()
+	}
+	if err != nil {
+		return nil, err
+	}
+	if write {
+		st.srv.stats.viewWrites.Add(1)
+		st.srv.stats.bytesWritten.Add(total)
+		return nil, nil
+	}
+	st.srv.stats.viewReads.Add(1)
+	st.srv.stats.bytesRead.Add(total)
+	return st.resp, nil
+}
+
+// grow returns buf extended to n bytes, reallocating only when the
+// capacity is short.
+func grow(buf []byte, n int64) []byte {
+	if int64(cap(buf)) >= n {
+		return buf[:n]
+	}
+	return make([]byte, n)
+}

@@ -1,0 +1,61 @@
+package ioserver
+
+import (
+	"fmt"
+
+	"repro/internal/datatype"
+	"repro/internal/fotf"
+	"repro/internal/storage"
+)
+
+// The partition walk both sides of the view protocol share.  The client
+// and each server run the identical enumeration of the registered
+// pattern's contiguous runs (fotf.Runs over the encoded filetype)
+// intersected with the identical stripe layout (storage.StripeGeom), so
+// the per-server byte streams line up without any per-run metadata on
+// the wire: piece k of server s's stream is the k-th piece the walk
+// assigns to stripe s, on both ends.
+
+// walkView enumerates the stripe-partitioned contiguous pieces of data
+// range [d0, d1) of the view (t tiled at displacement disp) in data
+// order.  fn receives the owning stripe, the piece's offset within that
+// stripe's local store, the piece's absolute data offset, and its
+// length.  The walk stops at the first error.
+func walkView(t *datatype.Type, disp int64, g storage.StripeGeom, d0, d1 int64, fn func(stripe int, localOff, dataOff, n int64) error) error {
+	var err error
+	fotf.Runs(t, d0, d1, func(bufOff, dataOff, runLen, stride, n int64) {
+		if err != nil {
+			return
+		}
+		for i := int64(0); i < n; i++ {
+			abs := disp + bufOff + i*stride
+			if abs < 0 {
+				err = fmt.Errorf("ioserver: view places data at negative file offset %d: %w", abs, storage.ErrPermanent)
+				return
+			}
+			dOff := dataOff + i*runLen
+			if e := g.Each(abs, runLen, func(stripe int, localOff, lo, hi int64) error {
+				return fn(stripe, localOff, dOff+lo, hi-lo)
+			}); e != nil {
+				err = e
+				return
+			}
+		}
+	})
+	return err
+}
+
+// stripeLens sums, per stripe, the bytes of data range [d0, d1) each
+// stripe owns under the view — the allocation pass both sides run
+// before moving any data.
+func stripeLens(t *datatype.Type, disp int64, g storage.StripeGeom, d0, d1 int64) ([]int64, error) {
+	lens := make([]int64, g.Count)
+	err := walkView(t, disp, g, d0, d1, func(stripe int, _, _, n int64) error {
+		lens[stripe] += n
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return lens, nil
+}

@@ -10,48 +10,35 @@ import (
 // storage systems the paper's §4.2 points to for scaling accumulated
 // bandwidth with the number of processes.  Combined with Throttled
 // members it lets experiments study how the listless advantage shifts
-// when the file system itself scales.
+// when the file system itself scales.  The offset mapping lives in
+// StripeGeom, shared with the networked I/O-server tier (a Striped over
+// remote stripe clients is that tier's in-process prototype).
 type Striped struct {
 	stripes []Backend
-	unit    int64
+	geom    StripeGeom
 }
 
 // NewStriped stripes over the given backends with the given unit size.
 func NewStriped(unit int64, stripes ...Backend) (*Striped, error) {
-	if unit <= 0 {
-		return nil, fmt.Errorf("storage: stripe unit %d", unit)
+	g := StripeGeom{Unit: unit, Count: len(stripes)}
+	if err := g.Validate(); err != nil {
+		if len(stripes) == 0 {
+			return nil, fmt.Errorf("storage: no stripe backends")
+		}
+		return nil, err
 	}
-	if len(stripes) == 0 {
-		return nil, fmt.Errorf("storage: no stripe backends")
-	}
-	return &Striped{stripes: stripes, unit: unit}, nil
+	return &Striped{stripes: stripes, geom: g}, nil
 }
 
-// locate maps a global offset to (stripe index, offset within that
-// stripe's backing store).
-func (s *Striped) locate(off int64) (int, int64) {
-	unitIdx := off / s.unit
-	within := off - unitIdx*s.unit
-	stripe := int(unitIdx % int64(len(s.stripes)))
-	row := unitIdx / int64(len(s.stripes))
-	return stripe, row*s.unit + within
-}
+// Geom reports the striping layout.
+func (s *Striped) Geom() StripeGeom { return s.geom }
 
 // each splits [off, off+n) into per-stripe contiguous pieces and calls
 // fn for each, stopping at the first error.
 func (s *Striped) each(off, n int64, fn func(b Backend, localOff int64, lo, hi int64) error) error {
-	for pos := off; pos < off+n; {
-		stripe, local := s.locate(pos)
-		end := (pos/s.unit + 1) * s.unit
-		if end > off+n {
-			end = off + n
-		}
-		if err := fn(s.stripes[stripe], local, pos-off, end-off); err != nil {
-			return err
-		}
-		pos = end
-	}
-	return nil
+	return s.geom.Each(off, n, func(stripe int, localOff, lo, hi int64) error {
+		return fn(s.stripes[stripe], localOff, lo, hi)
+	})
 }
 
 // ReadAt implements io.ReaderAt.  Missing bytes in any stripe read as
@@ -99,23 +86,49 @@ func (s *Striped) WriteAt(p []byte, off int64) (int, error) {
 	return len(p), nil
 }
 
+// ReadAtv implements Vectored: the batch is regrouped per stripe and
+// issued as one vectored call per member backend — n noncontiguous runs
+// cost at most Count backend batches, not n accesses.  Per the Vectored
+// contract each piece zero-fills past its stripe's EOF.
+func (s *Striped) ReadAtv(segs []Segment) error {
+	bySrv, err := SplitSegs(s.geom, segs)
+	if err != nil {
+		return err
+	}
+	for i, sub := range bySrv {
+		if len(sub) == 0 {
+			continue
+		}
+		if err := ReadAtv(s.stripes[i], sub); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteAtv implements Vectored, regrouped per stripe like ReadAtv.
+func (s *Striped) WriteAtv(segs []Segment) error {
+	bySrv, err := SplitSegs(s.geom, segs)
+	if err != nil {
+		return err
+	}
+	for i, sub := range bySrv {
+		if len(sub) == 0 {
+			continue
+		}
+		if err := WriteAtv(s.stripes[i], sub); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Size reports the logical size: the maximum global offset any stripe's
 // content reaches.
 func (s *Striped) Size() int64 {
 	var max int64
-	k := int64(len(s.stripes))
 	for i, b := range s.stripes {
-		bs := b.Size()
-		if bs == 0 {
-			continue
-		}
-		// The last byte of stripe i at local offset bs-1 lives at global
-		// offset: row*unit*k + i*unit + within.
-		last := bs - 1
-		row := last / s.unit
-		within := last - row*s.unit
-		global := row*s.unit*k + int64(i)*s.unit + within + 1
-		if global > max {
+		if global := s.geom.GlobalLen(b.Size(), i); global > max {
 			max = global
 		}
 	}
@@ -127,25 +140,8 @@ func (s *Striped) Truncate(n int64) error {
 	if n < 0 {
 		return fmt.Errorf("storage: negative truncate %d", n)
 	}
-	k := int64(len(s.stripes))
 	for i, b := range s.stripes {
-		// Bytes of stripe i within [0, n): count whole rows plus the
-		// partial row.
-		var local int64
-		if n > 0 {
-			last := n - 1
-			row := last / (s.unit * k)
-			rem := last - row*s.unit*k // offset within the last row
-			local = row * s.unit
-			stripeStart := int64(i) * s.unit
-			switch {
-			case rem >= stripeStart+s.unit:
-				local += s.unit
-			case rem >= stripeStart:
-				local += rem - stripeStart + 1
-			}
-		}
-		if err := b.Truncate(local); err != nil {
+		if err := b.Truncate(s.geom.LocalLen(n, i)); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,178 @@
+package storage
+
+import (
+	"errors"
+
+	"repro/internal/datatype"
+	"repro/internal/trace"
+)
+
+// Registered fileviews.  A backend that understands datatypes — the
+// networked I/O-server tier — can accept a fileview (a tiled filetype at
+// a displacement) once and then serve accesses addressed in *data*
+// bytes of that pattern, evaluating the noncontiguous layout on its own
+// side of the wire.  That turns an access touching n scattered blocks
+// from an n-entry offset list into a constant-size (handle, offset,
+// count) request — the wire-level analogue of the paper's listless
+// engine replacing ol-lists with the compact datatype representation.
+
+// ViewHandle names one registered fileview on a ViewBackend.
+type ViewHandle uint64
+
+// ErrNoViews is returned by wrapper backends whose inner backend does
+// not implement ViewBackend when a view method is called anyway.
+var ErrNoViews = errors.New("storage: backend does not support registered views")
+
+// ViewBackend is the optional registered-view extension of Backend.
+//
+// Data byte x of a view (disp, ftype) lives at absolute file offset
+// disp + b, where b is the buffer offset of data byte x in the
+// indefinite tiling of ftype.  ViewRead and ViewWrite follow the
+// Vectored cost contract: ViewRead zero-fills data bytes past the
+// stored size, ViewWrite extends the store as needed.
+type ViewBackend interface {
+	// SupportsViews reports whether view calls can succeed.  Wrapper
+	// backends satisfy ViewBackend statically whenever their inner
+	// backend might; this probe resolves the capability dynamically.
+	SupportsViews() bool
+	// RegisterView registers the tiled filetype at displacement disp
+	// and returns a handle for view-addressed access.  Handles are
+	// valid until the backend is closed.
+	RegisterView(disp int64, ftype *datatype.Type) (ViewHandle, error)
+	// ViewRead reads data bytes [d0, d0+len(p)) of the view into p.
+	ViewRead(h ViewHandle, p []byte, d0 int64) error
+	// ViewWrite writes p as data bytes [d0, d0+len(p)) of the view.
+	ViewWrite(h ViewHandle, p []byte, d0 int64) error
+}
+
+// AsViewBackend reports b's usable view extension, if any.
+func AsViewBackend(b Backend) (ViewBackend, bool) {
+	vb, ok := b.(ViewBackend)
+	if !ok || !vb.SupportsViews() {
+		return nil, false
+	}
+	return vb, true
+}
+
+// View passthrough for the wrapper backends on the remote path:
+// Resilient retries transient view failures (a reconnect-and-reissue
+// repairs a dropped server connection because view operations, like all
+// Backend operations, are idempotent), Traced spans them, Throttled
+// charges them like any other transfer of the same size.
+
+// SupportsViews implements ViewBackend for Resilient.
+func (r *Resilient) SupportsViews() bool {
+	_, ok := AsViewBackend(r.Backend)
+	return ok
+}
+
+// RegisterView implements ViewBackend for Resilient: one retry unit.
+func (r *Resilient) RegisterView(disp int64, ftype *datatype.Type) (ViewHandle, error) {
+	vb, ok := AsViewBackend(r.Backend)
+	if !ok {
+		return 0, ErrNoViews
+	}
+	var h ViewHandle
+	err := r.do(disp, func() error {
+		var e error
+		h, e = vb.RegisterView(disp, ftype)
+		return e
+	})
+	return h, err
+}
+
+// ViewRead implements ViewBackend for Resilient: the whole transfer is
+// the retry unit.
+func (r *Resilient) ViewRead(h ViewHandle, p []byte, d0 int64) error {
+	vb, ok := AsViewBackend(r.Backend)
+	if !ok {
+		return ErrNoViews
+	}
+	return r.do(d0, func() error { return vb.ViewRead(h, p, d0) })
+}
+
+// ViewWrite implements ViewBackend for Resilient.
+func (r *Resilient) ViewWrite(h ViewHandle, p []byte, d0 int64) error {
+	vb, ok := AsViewBackend(r.Backend)
+	if !ok {
+		return ErrNoViews
+	}
+	return r.do(d0, func() error { return vb.ViewWrite(h, p, d0) })
+}
+
+// SupportsViews implements ViewBackend for Traced.
+func (t *Traced) SupportsViews() bool {
+	_, ok := AsViewBackend(t.Backend)
+	return ok
+}
+
+// RegisterView implements ViewBackend for Traced.
+func (t *Traced) RegisterView(disp int64, ftype *datatype.Type) (ViewHandle, error) {
+	vb, ok := AsViewBackend(t.Backend)
+	if !ok {
+		return 0, ErrNoViews
+	}
+	return vb.RegisterView(disp, ftype)
+}
+
+// ViewRead implements ViewBackend for Traced: one span per transfer.
+func (t *Traced) ViewRead(h ViewHandle, p []byte, d0 int64) error {
+	vb, ok := AsViewBackend(t.Backend)
+	if !ok {
+		return ErrNoViews
+	}
+	sp := t.tr.Begin(trace.PhaseStorageViewRead, d0, int64(len(p)))
+	err := vb.ViewRead(h, p, d0)
+	sp.End()
+	return err
+}
+
+// ViewWrite implements ViewBackend for Traced.
+func (t *Traced) ViewWrite(h ViewHandle, p []byte, d0 int64) error {
+	vb, ok := AsViewBackend(t.Backend)
+	if !ok {
+		return ErrNoViews
+	}
+	sp := t.tr.Begin(trace.PhaseStorageViewWrite, d0, int64(len(p)))
+	err := vb.ViewWrite(h, p, d0)
+	sp.End()
+	return err
+}
+
+// SupportsViews implements ViewBackend for Throttled.
+func (t *Throttled) SupportsViews() bool {
+	_, ok := AsViewBackend(t.Backend)
+	return ok
+}
+
+// RegisterView implements ViewBackend for Throttled: registration is
+// metadata, charged only the per-operation latency.
+func (t *Throttled) RegisterView(disp int64, ftype *datatype.Type) (ViewHandle, error) {
+	vb, ok := AsViewBackend(t.Backend)
+	if !ok {
+		return 0, ErrNoViews
+	}
+	t.charge(0, 0)
+	return vb.RegisterView(disp, ftype)
+}
+
+// ViewRead implements ViewBackend for Throttled: one latency charge
+// plus the transferred bytes over the read bandwidth.
+func (t *Throttled) ViewRead(h ViewHandle, p []byte, d0 int64) error {
+	vb, ok := AsViewBackend(t.Backend)
+	if !ok {
+		return ErrNoViews
+	}
+	t.charge(len(p), t.ReadBW)
+	return vb.ViewRead(h, p, d0)
+}
+
+// ViewWrite implements ViewBackend for Throttled.
+func (t *Throttled) ViewWrite(h ViewHandle, p []byte, d0 int64) error {
+	vb, ok := AsViewBackend(t.Backend)
+	if !ok {
+		return ErrNoViews
+	}
+	t.charge(len(p), t.WriteBW)
+	return vb.ViewWrite(h, p, d0)
+}

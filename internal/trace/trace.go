@@ -71,6 +71,18 @@ const (
 	PhaseStorageWrite    Phase = "storage.write"
 	PhaseStorageSync     Phase = "storage.sync"
 	PhaseStorageTruncate Phase = "storage.truncate"
+
+	// Registered-view operations against a ViewBackend (the remote
+	// I/O-server tier): one span per view-addressed data transfer.
+	PhaseStorageViewRead  Phase = "storage.view-read"
+	PhaseStorageViewWrite Phase = "storage.view-write"
+
+	// I/O-server request handling (the ioserver.Server side): one span
+	// per request that moves data.
+	PhaseServerRead      Phase = "server.read"       // raw offset-list read
+	PhaseServerWrite     Phase = "server.write"      // raw offset-list write
+	PhaseServerViewRead  Phase = "server.view-read"  // server-side view evaluation, read
+	PhaseServerViewWrite Phase = "server.view-write" // server-side view evaluation, write
 )
 
 // Instant phases.
@@ -86,6 +98,11 @@ const (
 	PhaseChaosShortRead Phase = "chaos.short-read"
 	PhaseChaosTornWrite Phase = "chaos.torn-write"
 	PhaseChaosSpike     Phase = "chaos.spike"
+
+	// I/O-server view-cache events.
+	PhaseServerViewReg   Phase = "server.view-register" // view decoded and cached
+	PhaseServerViewHit   Phase = "server.view-hit"      // registration served from the LRU cache
+	PhaseServerViewStale Phase = "server.view-stale"    // request named an evicted handle
 )
 
 // Kind distinguishes completed spans from instant events.

@@ -12,24 +12,41 @@ import (
 	"time"
 )
 
-// Launcher: fork one OS process per rank and supervise them.  The
-// parent binds the rendezvous socket itself and passes the listening
-// fd to rank 0 (ExtraFiles → fd 3), so the port is chosen by the
-// kernel yet never raced: every other rank gets the final address on
-// its command line before any child starts.
+// Launcher: fork one OS process per rank — and, optionally, one per
+// I/O server — and supervise them.  The parent binds every listening
+// socket itself and passes each to its child (ExtraFiles → fd 3), so
+// ports are chosen by the kernel yet never raced: rank 0 inherits the
+// rendezvous listener, each I/O server inherits its service listener,
+// and every rank gets the final rendezvous and server addresses on its
+// command line before any child starts.
 
 // LaunchOptions configures one multi-process run.
 type LaunchOptions struct {
 	// Size is the number of ranks (one process each).
 	Size int
-	// Exe is the binary every rank runs.
+	// Exe is the binary every rank and server runs.
 	Exe string
 	// Args builds rank r's argument list.  rendezvous is the bound
 	// rank-0 address; rank 0 should be told to adopt inherited fd
-	// RendezvousFD instead of binding it.
-	Args func(rank int, rendezvous string) []string
+	// RendezvousFD instead of binding it.  serverAddrs lists the bound
+	// I/O-server addresses, in server order (empty when Servers is 0).
+	Args func(rank int, rendezvous string, serverAddrs []string) []string
+	// Servers is the number of I/O-server processes launched alongside
+	// the ranks.  Each server adopts its pre-bound service listener at
+	// fd RendezvousFD.  Servers outlive the ranks: when every rank has
+	// exited cleanly the launcher stops them with an interrupt signal
+	// (so they can flush traces and sync their stripes) and escalates
+	// to a kill after ServerStopTimeout.  A server that dies while
+	// ranks are still running fails the whole run.
+	Servers int
+	// ServerArgs builds server s's argument list (required when
+	// Servers > 0).
+	ServerArgs func(idx int) []string
+	// ServerStopTimeout bounds the graceful server shutdown after the
+	// ranks finish (default 10s).
+	ServerStopTimeout time.Duration
 	// Stdout / Stderr receive the children's output, each line prefixed
-	// "[rank N] ".  Defaults: os.Stdout / os.Stderr.
+	// "[rank N] " or "[srv N] ".  Defaults: os.Stdout / os.Stderr.
 	Stdout, Stderr io.Writer
 	// Timeout kills every rank if the run outlives it (0 = no limit).
 	Timeout time.Duration
@@ -38,7 +55,8 @@ type LaunchOptions struct {
 }
 
 // RendezvousFD is the file descriptor number at which rank 0's child
-// process inherits the pre-bound rendezvous listener (the first
+// process inherits the pre-bound rendezvous listener, and each
+// I/O-server child its pre-bound service listener (the first
 // ExtraFiles slot).
 const RendezvousFD = 3
 
@@ -57,9 +75,26 @@ func ListenerFromFD(fd int) (net.Listener, error) {
 	return ln, nil
 }
 
-// Launch runs Size rank processes to completion.  The first rank to
-// fail (or an overall timeout) kills the rest; the returned error names
-// that first failure.
+// bindInherited binds an ephemeral 127.0.0.1 listener and returns its
+// address plus the dup'd file that keeps the socket alive for a child.
+func bindInherited() (addr string, lf *os.File, err error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	addr = ln.Addr().String()
+	lf, err = ln.(*net.TCPListener).File()
+	ln.Close() // the dup in lf keeps the listening socket alive
+	if err != nil {
+		return "", nil, err
+	}
+	return addr, lf, nil
+}
+
+// Launch runs Size rank processes (plus Servers I/O-server processes)
+// to completion.  The first rank or premature server to fail (or an
+// overall timeout) kills the rest; the returned error names that first
+// failure.
 func Launch(opts LaunchOptions) error {
 	if opts.Size <= 0 {
 		return errors.New("transport: launch needs at least one rank")
@@ -67,32 +102,50 @@ func Launch(opts LaunchOptions) error {
 	if opts.Exe == "" || opts.Args == nil {
 		return errors.New("transport: launch needs Exe and Args")
 	}
+	if opts.Servers > 0 && opts.ServerArgs == nil {
+		return errors.New("transport: launch with Servers needs ServerArgs")
+	}
 	if opts.Stdout == nil {
 		opts.Stdout = os.Stdout
 	}
 	if opts.Stderr == nil {
 		opts.Stderr = os.Stderr
 	}
+	if opts.ServerStopTimeout <= 0 {
+		opts.ServerStopTimeout = 10 * time.Second
+	}
 
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	rendezvous, lf, err := bindInherited()
 	if err != nil {
 		return fmt.Errorf("transport: binding rendezvous: %w", err)
 	}
-	rendezvous := ln.Addr().String()
-	lf, err := ln.(*net.TCPListener).File()
-	ln.Close() // the dup in lf keeps the listening socket alive
-	if err != nil {
-		return fmt.Errorf("transport: dup rendezvous fd: %w", err)
-	}
 	defer lf.Close()
 
+	serverAddrs := make([]string, opts.Servers)
+	serverLfs := make([]*os.File, opts.Servers)
+	for s := range serverLfs {
+		addr, slf, err := bindInherited()
+		if err != nil {
+			return fmt.Errorf("transport: binding server %d listener: %w", s, err)
+		}
+		serverAddrs[s] = addr
+		serverLfs[s] = slf
+		defer slf.Close()
+	}
+
 	var outMu sync.Mutex
-	cmds := make([]*exec.Cmd, opts.Size)
-	writers := make([]*prefixWriter, 0, 2*opts.Size)
+	rankCmds := make([]*exec.Cmd, opts.Size)
+	srvCmds := make([]*exec.Cmd, opts.Servers)
+	writers := make([]*prefixWriter, 0, 2*(opts.Size+opts.Servers))
 	var killOnce sync.Once
 	killAll := func() {
 		killOnce.Do(func() {
-			for _, c := range cmds {
+			for _, c := range rankCmds {
+				if c != nil && c.Process != nil {
+					c.Process.Kill()
+				}
+			}
+			for _, c := range srvCmds {
 				if c != nil && c.Process != nil {
 					c.Process.Kill()
 				}
@@ -100,48 +153,103 @@ func Launch(opts LaunchOptions) error {
 		})
 	}
 
-	type rankExit struct {
-		rank int
-		err  error
-	}
-	exits := make(chan rankExit, opts.Size)
-	started := 0
-	var firstErr error
-	for r := 0; r < opts.Size; r++ {
-		cmd := exec.Command(opts.Exe, opts.Args(r, rendezvous)...)
+	start := func(prefix string, args []string, extra *os.File) (*exec.Cmd, error) {
+		cmd := exec.Command(opts.Exe, args...)
 		if opts.Env != nil {
 			cmd.Env = opts.Env
 		}
-		if r == 0 {
-			cmd.ExtraFiles = []*os.File{lf}
+		if extra != nil {
+			cmd.ExtraFiles = []*os.File{extra}
 		}
-		ow := &prefixWriter{mu: &outMu, w: opts.Stdout, prefix: []byte(fmt.Sprintf("[rank %d] ", r))}
-		ew := &prefixWriter{mu: &outMu, w: opts.Stderr, prefix: []byte(fmt.Sprintf("[rank %d] ", r))}
+		ow := &prefixWriter{mu: &outMu, w: opts.Stdout, prefix: []byte(prefix)}
+		ew := &prefixWriter{mu: &outMu, w: opts.Stderr, prefix: []byte(prefix)}
 		cmd.Stdout, cmd.Stderr = ow, ew
 		writers = append(writers, ow, ew)
-		if err := cmd.Start(); err != nil {
+		return cmd, cmd.Start()
+	}
+
+	type childExit struct {
+		server bool
+		idx    int
+		err    error
+	}
+	exits := make(chan childExit, opts.Size+opts.Servers)
+	var firstErr error
+	srvRunning := 0
+	for s := 0; s < opts.Servers && firstErr == nil; s++ {
+		cmd, err := start(fmt.Sprintf("[srv %d] ", s), opts.ServerArgs(s), serverLfs[s])
+		if err != nil {
+			firstErr = fmt.Errorf("transport: starting server %d: %w", s, err)
+			killAll()
+			break
+		}
+		srvCmds[s] = cmd
+		srvRunning++
+		go func(s int, c *exec.Cmd) { exits <- childExit{true, s, c.Wait()} }(s, cmd)
+	}
+	ranksRunning := 0
+	for r := 0; r < opts.Size && firstErr == nil; r++ {
+		var extra *os.File
+		if r == 0 {
+			extra = lf
+		}
+		cmd, err := start(fmt.Sprintf("[rank %d] ", r), opts.Args(r, rendezvous, serverAddrs), extra)
+		if err != nil {
 			firstErr = fmt.Errorf("transport: starting rank %d: %w", r, err)
 			killAll()
 			break
 		}
-		cmds[r] = cmd
-		started++
-		go func(r int, c *exec.Cmd) { exits <- rankExit{r, c.Wait()} }(r, cmd)
+		rankCmds[r] = cmd
+		ranksRunning++
+		go func(r int, c *exec.Cmd) { exits <- childExit{false, r, c.Wait()} }(r, cmd)
 	}
 
 	var timer <-chan time.Time
 	if opts.Timeout > 0 {
 		timer = time.After(opts.Timeout)
 	}
-	for remaining := started; remaining > 0; {
+	stopping := false // graceful server shutdown initiated
+	stopServers := func() {
+		if stopping {
+			return
+		}
+		stopping = true
+		for _, c := range srvCmds {
+			if c != nil && c.Process != nil {
+				if err := c.Process.Signal(os.Interrupt); err != nil {
+					c.Process.Kill()
+				}
+			}
+		}
+	}
+	var stopTimer <-chan time.Time
+	for ranksRunning > 0 || srvRunning > 0 {
+		if ranksRunning == 0 && !stopping {
+			// Every rank is done: ask the servers to finish up.
+			if firstErr != nil {
+				killAll()
+			}
+			stopServers()
+			stopTimer = time.After(opts.ServerStopTimeout)
+		}
 		select {
 		case e := <-exits:
-			remaining--
-			if e.err != nil {
-				if firstErr == nil {
-					firstErr = fmt.Errorf("transport: rank %d: %w", e.rank, e.err)
+			if e.server {
+				srvRunning--
+				if err := serverExitError(e.idx, e.err, stopping); err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+					killAll()
 				}
-				killAll()
+			} else {
+				ranksRunning--
+				if e.err != nil {
+					if firstErr == nil {
+						firstErr = fmt.Errorf("transport: rank %d: %w", e.idx, e.err)
+					}
+					killAll()
+				}
 			}
 		case <-timer:
 			if firstErr == nil {
@@ -149,12 +257,38 @@ func Launch(opts LaunchOptions) error {
 			}
 			killAll()
 			timer = nil
+		case <-stopTimer:
+			if firstErr == nil {
+				firstErr = fmt.Errorf("transport: servers did not stop within %v", opts.ServerStopTimeout)
+			}
+			killAll()
+			stopTimer = nil
 		}
 	}
 	for _, w := range writers {
 		w.flushTail()
 	}
 	return firstErr
+}
+
+// serverExitError classifies one server's exit.  Before the graceful
+// shutdown any exit is premature death; during it only a real non-zero
+// exit counts (dying to the stop signal or the escalation kill is the
+// expected mechanism, not a failure).
+func serverExitError(idx int, err error, stopping bool) error {
+	if err == nil {
+		if !stopping {
+			return fmt.Errorf("transport: server %d exited before the ranks finished", idx)
+		}
+		return nil
+	}
+	if stopping {
+		var xe *exec.ExitError
+		if errors.As(err, &xe) && xe.ExitCode() == -1 {
+			return nil // signal-terminated during shutdown
+		}
+	}
+	return fmt.Errorf("transport: server %d: %w", idx, err)
 }
 
 // prefixWriter prefixes each complete line of one child stream; the

@@ -1,0 +1,86 @@
+package transport
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"time"
+)
+
+// Request/response framing for protocols layered on the frame codec —
+// the I/O-server tier's wire substrate.  Unlike the rank fabric's
+// tagged mailboxes, a FrameConn is a plain sequential stream: one side
+// writes a request frame and reads the response frame, the other reads
+// requests and writes responses.  The frame envelope is reused with a
+// different meaning: tag carries the protocol operation (drawn from the
+// reserved server-tag range below), src carries a caller-chosen
+// sequence number echoed in the response, so a desynchronized peer is
+// detected instead of silently answering the wrong request.
+//
+// FrameConn is not safe for concurrent use; callers serialize
+// request/response round-trips (internal/ioserver holds one mutex per
+// connection).
+
+// Server-protocol tag space: negative tags in [TagServerLast,
+// TagServerFirst] are reserved for request/response protocols.  They
+// sit below the rendezvous handshake tags (tagHello, tagBook), so a
+// stray server frame on a rank link is rejected as a negative tag, and
+// a stray rank frame on a server connection falls outside the op range.
+const (
+	TagServerFirst = -16
+	TagServerLast  = -63
+)
+
+// ServerTag reports whether tag lies in the reserved server-protocol
+// range.
+func ServerTag(tag int) bool { return tag <= TagServerFirst && tag >= TagServerLast }
+
+// FrameConn frames request/response messages over one net.Conn.
+type FrameConn struct {
+	conn     net.Conn
+	br       *bufio.Reader
+	maxFrame int
+	wbuf     []byte // reused write staging buffer
+}
+
+// NewFrameConn wraps conn.  maxFrame bounds accepted payload lengths
+// (<= 0 selects DefaultMaxFrame); the length is validated before any
+// allocation, so a garbage or hostile header cannot over-allocate.
+func NewFrameConn(conn net.Conn, maxFrame int) *FrameConn {
+	if maxFrame <= 0 {
+		maxFrame = DefaultMaxFrame
+	}
+	return &FrameConn{
+		conn:     conn,
+		br:       bufio.NewReaderSize(conn, readBufSize),
+		maxFrame: maxFrame,
+	}
+}
+
+// WriteFrame sends one frame: seq is echoed by the peer's response, tag
+// the protocol operation.
+func (fc *FrameConn) WriteFrame(seq, tag int, payload []byte) error {
+	if len(payload) > fc.maxFrame {
+		return fmt.Errorf("%w: payload length %d exceeds limit %d", ErrFrame, len(payload), fc.maxFrame)
+	}
+	fc.wbuf = appendFrame(fc.wbuf[:0], seq, tag, payload)
+	_, err := fc.conn.Write(fc.wbuf)
+	return err
+}
+
+// ReadFrame reads one frame.  The payload is freshly allocated (at most
+// maxFrame bytes, validated before allocation); a truncated or garbage
+// header returns an error wrapping ErrFrame.
+func (fc *FrameConn) ReadFrame() (seq, tag int, payload []byte, err error) {
+	return readFrame(fc.br, fc.maxFrame)
+}
+
+// SetDeadline bounds the next read and write on the underlying
+// connection; the zero time clears it.
+func (fc *FrameConn) SetDeadline(t time.Time) error { return fc.conn.SetDeadline(t) }
+
+// RemoteAddr reports the peer's address, for diagnostics.
+func (fc *FrameConn) RemoteAddr() net.Addr { return fc.conn.RemoteAddr() }
+
+// Close closes the underlying connection.
+func (fc *FrameConn) Close() error { return fc.conn.Close() }
