@@ -38,6 +38,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
@@ -88,6 +89,11 @@ func main() {
 		serverAddrs = flag.String("server-addrs", "", "comma-separated I/O-server addresses to mount as the backend (with -net rank; set by launch)")
 		netIndex    = flag.Int("net-index", -1, "this server's stripe index (with -net server; set by launch)")
 		noViews     = flag.Bool("no-views", false, "disable server-side view evaluation: ship raw offset lists to the I/O servers instead")
+
+		noEpochs       = flag.Bool("no-epochs", false, "disable the epoch commit protocol on epoch-capable backends (writes apply in place, crash atomicity off)")
+		serverRestarts = flag.Int("server-restarts", 0, "with -net launch -servers: restart a crashed I/O server up to this many times on its inherited listener")
+		killServer     = flag.Duration("kill-server", 0, "with -net launch -servers: SIGKILL server 0 after this long, to demonstrate supervised recovery (0 = off)")
+		wireChaosSeed  = flag.Int64("wire-chaos-seed", 0, "inject seeded wire faults (drops, dups, header corruption, resets, partitions) on this rank's server connections (0 = off)")
 	)
 	flag.Parse()
 
@@ -125,6 +131,8 @@ func main() {
 			sieveBuf: *sieveBuf, collBuf: *collBuf, ioNodes: *ioNodes, noPipe: *noPipe,
 			noPool: *noPool, noVectored: *noVectored, noViews: *noViews,
 			servers: *servers, stripe: *stripeUnit,
+			noEpochs: *noEpochs, serverRestarts: *serverRestarts,
+			killServer: *killServer, wireChaosSeed: *wireChaosSeed,
 			file: *file, readBW: *readBW, writeBW: *writeBW, latency: *latency,
 			tracePath: *tracePath, stall: stallTimeout, timeout: *netTimeout,
 		})
@@ -146,13 +154,33 @@ func main() {
 			log.Fatalf("-net rank requires -net-rank in [0, %d)", *p)
 		}
 		if *serverAddrs != "" {
-			a, err := ioserver.NewStriped(*stripeUnit, strings.Split(*serverAddrs, ","), ioserver.ClientOptions{})
+			copts := ioserver.ClientOptions{}
+			if *wireChaosSeed != 0 {
+				copts.Timeout = 500 * time.Millisecond // a dropped frame costs one deadline, not 30s
+				copts.WireChaos = &transport.WireChaosConfig{
+					Seed:       *wireChaosSeed,
+					PSpike:     0.02,
+					PDrop:      0.01,
+					PDup:       0.01,
+					PCorrupt:   0.01,
+					PReset:     0.005,
+					PPartition: 0.002,
+				}
+			}
+			a, err := ioserver.NewStriped(*stripeUnit, strings.Split(*serverAddrs, ","), copts)
 			if err != nil {
 				log.Fatal(err)
 			}
 			defer a.Close()
 			agg = a
-			backend = a
+			// The remote tier rides behind the retry policy: a server
+			// bounce or an injected wire fault surfaces as a transient,
+			// and the client's reconnect + stage-log replay heals it.
+			backend = storage.NewResilient(a, storage.ResilientConfig{
+				MaxRetries:  30,
+				BaseBackoff: 2 * time.Millisecond,
+				MaxBackoff:  200 * time.Millisecond,
+			})
 		} else {
 			if *file == "" {
 				log.Fatal("-net rank requires -file (the shared data file) or -server-addrs")
@@ -221,6 +249,7 @@ func main() {
 			DisablePool:         *noPool,
 			DisableVectored:     *noVectored,
 			DisableViewPath:     *noViews,
+			DisableEpochs:       *noEpochs,
 		},
 		Trace:        collector,
 		StallTimeout: stallTimeout,
@@ -333,6 +362,10 @@ type launchFlags struct {
 	noViews           bool
 	servers           int
 	stripe            int64
+	noEpochs          bool
+	serverRestarts    int
+	killServer        time.Duration
+	wireChaosSeed     int64
 	file              string
 	readBW, writeBW   int64
 	latency           time.Duration
@@ -351,6 +384,12 @@ func netLaunch(p int, pat noncontig.Pattern, eng core.Engine, lf launchFlags) {
 			t = 1
 		}
 		reps = autoReps(t * lf.nblock * lf.sblock)
+	}
+	if lf.servers == 0 && (lf.serverRestarts > 0 || lf.killServer > 0 || lf.wireChaosSeed != 0) {
+		log.Fatal("-server-restarts, -kill-server, and -wire-chaos-seed require -servers")
+	}
+	if lf.killServer > 0 && lf.serverRestarts == 0 {
+		log.Fatal("-kill-server needs -server-restarts > 0, or the killed server stays dead and the run fails")
 	}
 	// With an I/O-server tier the ranks mount the servers instead of a
 	// shared local file; -file then names optional per-server stripe
@@ -391,8 +430,16 @@ func netLaunch(p int, pat noncontig.Pattern, eng core.Engine, lf launchFlags) {
 			a = append(a,
 				"-server-addrs", strings.Join(serverAddrs, ","),
 				"-stripe", fmt.Sprint(lf.stripe))
+			if lf.wireChaosSeed != 0 {
+				// Distinct per-rank seeds: identical fault schedules on
+				// every rank would synchronize the injected faults.
+				a = append(a, "-wire-chaos-seed", fmt.Sprint(lf.wireChaosSeed+int64(rank)))
+			}
 		} else {
 			a = append(a, "-file", path)
+		}
+		if lf.noEpochs {
+			a = append(a, "-no-epochs")
 		}
 		if lf.sieveBuf > 0 {
 			a = append(a, "-sievebuf", fmt.Sprint(lf.sieveBuf))
@@ -452,6 +499,8 @@ func netLaunch(p int, pat noncontig.Pattern, eng core.Engine, lf launchFlags) {
 	if err := transport.Launch(transport.LaunchOptions{
 		Size: p, Exe: exe, Args: args, Timeout: lf.timeout,
 		Servers: lf.servers, ServerArgs: serverArgs,
+		ServerRestarts:  lf.serverRestarts,
+		KillServerAfter: lf.killServer,
 	}); err != nil {
 		log.Fatal(err)
 	}
@@ -459,18 +508,35 @@ func netLaunch(p int, pat noncontig.Pattern, eng core.Engine, lf launchFlags) {
 
 // runServer is the -net server role: adopt the pre-bound listener the
 // launcher passed at fd 3, serve this stripe until interrupted, then
-// sync, report, and flush the trace.
+// sync, report, and flush the trace.  A file-backed stripe keeps its
+// intent journal at <file>.journal: recovery replays committed epochs
+// and discards uncommitted ones before serving, so a supervised restart
+// after a crash (or SIGKILL) resumes from the last commit point.
 func runServer(index, count int, stripe int64, filePath, tracePath string) {
 	if count <= 0 || index < 0 || index >= count {
 		log.Fatalf("-net server requires -net-index in [0, %d)", count)
 	}
 	var backend storage.Backend = storage.NewMem()
+	var journal *ioserver.Journal
 	if filePath != "" {
 		fb, err := storage.OpenFile(filePath)
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer fb.Close()
+		jb, err := storage.OpenFile(filePath + ".journal")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer jb.Close()
+		j, info, err := ioserver.RecoverJournal(jb, fb)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if info.AppliedEpochs > 0 || info.DiscardedEpochs > 0 || info.TornTail {
+			fmt.Printf("server %d recovery: %s\n", index, info)
+		}
+		journal = j
 		backend = fb
 	}
 	var collector *trace.Collector
@@ -483,6 +549,7 @@ func runServer(index, count int, stripe int64, filePath, tracePath string) {
 		Backend: backend,
 		Geom:    storage.StripeGeom{Unit: stripe, Count: count},
 		Index:   index,
+		Journal: journal,
 		Tracer:  collector.Storage(),
 	})
 	if err != nil {
@@ -493,11 +560,15 @@ func runServer(index, count int, stripe int64, filePath, tracePath string) {
 		log.Fatal(err)
 	}
 
+	// SIGINT and SIGTERM both mean graceful shutdown (seal the journal,
+	// sync the stripe, drop connections); Close is idempotent, so repeat
+	// signals are harmless.
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	go func() {
-		<-sig
-		srv.Close()
+		for range sig {
+			srv.Close()
+		}
 	}()
 
 	if err := srv.Serve(ln); err != nil {

@@ -79,6 +79,16 @@ func (f *File) transferCollective(d0, d int64, memtype *datatype.Type, count int
 		return nil
 	}
 
+	// Crash-consistent write: when the backend supports epochs, the IOP
+	// write-backs below stage under this id instead of applying, and
+	// epochFinish commits them after the error vote.  The plan (hence
+	// `any`) is deterministic across ranks, so every rank agrees on
+	// whether an epoch exists and on its id.
+	var epochID uint64
+	if write && f.epochBE != nil {
+		epochID = f.epochBegin()
+	}
+
 	// ---- AP phase 1: engine-specific access description (the
 	// list-based engine builds and sends per-IOP ol-lists). ----
 	asp := f.tr.Begin(trace.PhaseAPSetup, d0, 0)
@@ -101,11 +111,27 @@ func (f *File) transferCollective(d0, d int64, memtype *datatype.Type, count int
 	// rank-attributed error.  This must precede the read-side exchange:
 	// an AP must not block receiving from an IOP that failed. ----
 	if err := f.agreeCollective(fault); err != nil {
+		if epochID != 0 {
+			f.epochAbandon(epochID)
+		}
 		if f.tr.Enabled() {
 			f.tr.Instant(trace.PhaseFault, d0, 0, err.Error())
 		}
 		f.p.Barrier() // keep the next collective's sends behind the drain
 		return err
+	}
+
+	// ---- Epoch commit: seal the staged write-backs everywhere, vote,
+	// and let rank 0 broadcast the commit.  Collective, like the error
+	// agreement above. ----
+	if epochID != 0 {
+		if err := f.epochFinish(epochID); err != nil {
+			if f.tr.Enabled() {
+				f.tr.Instant(trace.PhaseFault, d0, 0, err.Error())
+			}
+			f.p.Barrier()
+			return err
+		}
 	}
 
 	// ---- AP phase 2 (read): receive and unpack data. ----

@@ -27,7 +27,12 @@ const (
 	// PhaseIOPWindow is the IOP window loop over the file domain
 	// (pre-reads, exchanges, write-backs).
 	PhaseIOPWindow = "iop-window"
-	phaseUnknown   = "unknown"
+	// PhaseEpochSeal is the pre-commit seal round of the epoch protocol
+	// (every rank verifying its staged writes on every server).
+	PhaseEpochSeal = "epoch-seal"
+	// PhaseEpochCommit is rank 0's commit fan-out of the epoch protocol.
+	PhaseEpochCommit = "epoch-commit"
+	phaseUnknown     = "unknown"
 )
 
 // CollectiveError is the agreed outcome of a failed collective access.
@@ -99,6 +104,8 @@ func (f *File) agreeCollective(local *CollectiveError) error {
 const (
 	faultPhaseSetup  = 1
 	faultPhaseWindow = 2
+	faultPhaseSeal   = 3
+	faultPhaseCommit = 4
 
 	faultClassTransient = 1
 	faultClassPermanent = 2
@@ -111,6 +118,10 @@ func encodeCollFault(ce *CollectiveError) []byte {
 		phase = faultPhaseSetup
 	case PhaseIOPWindow:
 		phase = faultPhaseWindow
+	case PhaseEpochSeal:
+		phase = faultPhaseSeal
+	case PhaseEpochCommit:
+		phase = faultPhaseCommit
 	}
 	class := byte(faultClassPermanent)
 	if storage.IsTransient(ce.Err) {
@@ -135,6 +146,10 @@ func decodeCollFault(buf []byte) (phase string, cause error) {
 		phase = PhaseIOPSetup
 	case faultPhaseWindow:
 		phase = PhaseIOPWindow
+	case faultPhaseSeal:
+		phase = PhaseEpochSeal
+	case faultPhaseCommit:
+		phase = PhaseEpochCommit
 	default:
 		phase = phaseUnknown
 	}

@@ -105,6 +105,10 @@ type Options struct {
 	// server-side datatype evaluation: the remote I/O-server tier then
 	// behaves like a plain striped store).
 	DisableViewPath bool
+	// DisableEpochs makes collective writes apply directly even when the
+	// backend supports the epoch commit protocol (crash consistency off:
+	// a server crash mid-collective may leave torn multi-stripe state).
+	DisableEpochs bool
 	// SieveDensity is the paper's §5 outlook item, "the decision on the
 	// trade-off between data sieving and multiple file accesses":
 	// independent non-contiguous accesses whose useful-data fraction in
@@ -177,6 +181,11 @@ type Stats struct {
 	// or copy work of a neighboring window in the pipelined window
 	// loop.
 	WindowsOverlapped int64
+
+	// EpochsCommitted counts collective writes committed through the
+	// epoch crash-consistency protocol; EpochRetries counts seal or
+	// commit rounds that were retried after a server bounce.
+	EpochsCommitted, EpochRetries int64
 }
 
 // Shared is the per-world state of one file: the storage backend plus
@@ -188,6 +197,13 @@ type Shared struct {
 
 	spMu sync.Mutex
 	sp   int64 // shared file pointer, in etypes
+
+	// epochMu/epochHi track the highest epoch id any handle on this
+	// world has used, so sequentially opened handles never reuse ids
+	// (uncommitted leftovers of a dead handle must not alias a live
+	// epoch).
+	epochMu sync.Mutex
+	epochHi uint64
 }
 
 // NewShared wraps a backend for opening from multiple ranks.
@@ -197,6 +213,24 @@ func NewShared(b storage.Backend) *Shared {
 
 // Backend returns the underlying storage backend.
 func (s *Shared) Backend() storage.Backend { return s.b }
+
+// epochMark reports the current epoch high-water mark, the base a newly
+// opened handle allocates its epoch ids above.  Every rank opens handles
+// in the same order, so the marks agree across the world.
+func (s *Shared) epochMark() uint64 {
+	s.epochMu.Lock()
+	defer s.epochMu.Unlock()
+	return s.epochHi
+}
+
+// noteEpoch raises the epoch high-water mark.
+func (s *Shared) noteEpoch(id uint64) {
+	s.epochMu.Lock()
+	defer s.epochMu.Unlock()
+	if id > s.epochHi {
+		s.epochHi = id
+	}
+}
 
 // view is one process's fileview in engine-neutral form; the engines
 // keep their own representations (ol-list view, cached remote views).
@@ -230,6 +264,14 @@ type File struct {
 	viewBE     storage.ViewBackend
 	viewHandle storage.ViewHandle
 
+	// epochBE is set when the backend supports the epoch commit protocol
+	// and epochs are enabled: collective writes then stage under an epoch
+	// id and commit via epochFinish.  Ids run from epochBase (the world's
+	// high-water mark at Open) in lockstep across ranks.
+	epochBE   storage.EpochBackend
+	epochBase uint64
+	epochSeq  uint64
+
 	ptr    int64 // individual file pointer, in etypes
 	atomic bool  // MPI-IO atomic mode: whole-access locking
 
@@ -255,6 +297,12 @@ func Open(p *mpi.Proc, sh *Shared, opts Options) (*File, error) {
 			f.bp = opts.Pool
 		} else {
 			f.bp = pool.Global
+		}
+	}
+	if !opts.DisableEpochs {
+		if eb, ok := storage.AsEpochBackend(sh.b); ok {
+			f.epochBE = eb
+			f.epochBase = sh.epochMark()
 		}
 	}
 	f.eng = newEngine(f)

@@ -21,12 +21,19 @@ func (s Stats) Sub(prev Stats) Stats {
 		PreReadsSkipped:   s.PreReadsSkipped - prev.PreReadsSkipped,
 		DirectReads:       s.DirectReads - prev.DirectReads,
 		DirectWrites:      s.DirectWrites - prev.DirectWrites,
+		VectoredReads:     s.VectoredReads - prev.VectoredReads,
+		VectoredWrites:    s.VectoredWrites - prev.VectoredWrites,
+		ViewRegistrations: s.ViewRegistrations - prev.ViewRegistrations,
+		ViewReads:         s.ViewReads - prev.ViewReads,
+		ViewWrites:        s.ViewWrites - prev.ViewWrites,
 		BytesRead:         s.BytesRead - prev.BytesRead,
 		BytesWritten:      s.BytesWritten - prev.BytesWritten,
 		ExchangeNs:        s.ExchangeNs - prev.ExchangeNs,
 		StorageNs:         s.StorageNs - prev.StorageNs,
 		CopyNs:            s.CopyNs - prev.CopyNs,
 		WindowsOverlapped: s.WindowsOverlapped - prev.WindowsOverlapped,
+		EpochsCommitted:   s.EpochsCommitted - prev.EpochsCommitted,
+		EpochRetries:      s.EpochRetries - prev.EpochRetries,
 	}
 }
 
@@ -44,6 +51,9 @@ func (s Stats) String() string {
 	}
 	if s.ViewRegistrations != 0 {
 		fmt.Fprintf(&b, "  view regs=%d reads=%d writes=%d", s.ViewRegistrations, s.ViewReads, s.ViewWrites)
+	}
+	if s.EpochsCommitted != 0 || s.EpochRetries != 0 {
+		fmt.Fprintf(&b, "  epochs committed=%d retries=%d", s.EpochsCommitted, s.EpochRetries)
 	}
 	b.WriteByte('\n')
 	fmt.Fprintf(&b, "bytes read=%d written=%d\n", s.BytesRead, s.BytesWritten)

@@ -29,15 +29,40 @@ type View struct {
 // a transient error, so a storage.Resilient wrapper above rides it out.
 // Safe for concurrent use; round-trips serialize on one mutex.
 type Client struct {
-	addr     string
-	maxFrame int
-	timeout  time.Duration
+	addr      string
+	maxFrame  int
+	timeout   time.Duration
+	wireChaos *transport.WireChaosConfig
 
-	mu     sync.Mutex
-	fc     *transport.FrameConn
-	seq    int
-	views  map[*View]uint64 // handle per registered view, this connection
-	rounds atomic.Int64     // request round-trips issued
+	mu       sync.Mutex
+	fc       *transport.FrameConn
+	seq      int
+	views    map[*View]uint64 // handle per registered view, this connection
+	rounds   atomic.Int64     // request round-trips issued
+	lastSize atomic.Int64     // last size observed from the server, Size's fault fallback
+
+	// Epoch staging state.  While epoch != 0, writes go out as staged
+	// ops and are logged in stage; a reconnect replays the log before
+	// the next request, so a server that bounced mid-epoch (discarding
+	// its uncommitted staged state on recovery) is transparently
+	// re-staged.  The tally mirrors the server's per-connection count so
+	// SealEpoch can detect a bounce that the replay machinery missed.
+	epoch                  uint64
+	stage                  []stagedReq
+	tallyCount, tallyBytes int64
+	sealedInc              int64  // server incarnation observed at last seal
+	lastCommit             uint64 // most recently committed epoch id
+	fresh                  bool   // connection newly dialed: replay before next op
+	replaying              bool
+}
+
+// stagedReq is one acknowledged staged write, kept for replay.
+type stagedReq struct {
+	op      int    // opStageWrite / opStageWritev: payload replayed verbatim
+	payload []byte // includes the epoch prefix
+	v       *View  // opStageViewWrite: payload rebuilt per replay (fresh handle)
+	d0, d1  int64
+	data    []byte
 }
 
 // ClientOptions tune a client; the zero value is ready to use.
@@ -48,6 +73,11 @@ type ClientOptions struct {
 	MaxFrame int
 	// Timeout bounds each dial and each round-trip (default 30s).
 	Timeout time.Duration
+	// WireChaos, when enabled, wraps every dialed connection in a
+	// fault-injecting transport.ChaosConn — the client side of the wire
+	// only, so server responses stay canonical while requests suffer
+	// drops, duplicates, header corruption, resets, and partitions.
+	WireChaos *transport.WireChaosConfig
 }
 
 // NewClient builds a client for the server at addr.  The connection is
@@ -60,10 +90,11 @@ func NewClient(addr string, opts ClientOptions) *Client {
 		opts.Timeout = 30 * time.Second
 	}
 	return &Client{
-		addr:     addr,
-		maxFrame: opts.MaxFrame,
-		timeout:  opts.Timeout,
-		views:    make(map[*View]uint64),
+		addr:      addr,
+		maxFrame:  opts.MaxFrame,
+		timeout:   opts.Timeout,
+		wireChaos: opts.WireChaos,
+		views:     make(map[*View]uint64),
 	}
 }
 
@@ -97,7 +128,9 @@ func (c *Client) dropLocked() {
 	c.views = make(map[*View]uint64)
 }
 
-// connectLocked ensures a live connection.
+// connectLocked ensures a live connection.  A fresh dial arms the
+// stage-log replay: the server behind this address may be a restarted
+// instance whose recovery discarded our uncommitted epoch.
 func (c *Client) connectLocked() error {
 	if c.fc != nil {
 		return nil
@@ -109,7 +142,12 @@ func (c *Client) connectLocked() error {
 	if tc, ok := conn.(*net.TCPConn); ok {
 		tc.SetNoDelay(true)
 	}
-	c.fc = transport.NewFrameConn(conn, c.maxFrame)
+	var wc net.Conn = conn
+	if c.wireChaos.Enabled() {
+		wc = transport.NewChaosConn(conn, c.wireChaos, "client-"+c.addr)
+	}
+	c.fc = transport.NewFrameConn(wc, c.maxFrame)
+	c.fresh = true
 	return nil
 }
 
@@ -120,6 +158,17 @@ func (c *Client) connectLocked() error {
 func (c *Client) roundTripLocked(op int, payload []byte) ([]byte, error) {
 	if err := c.connectLocked(); err != nil {
 		return nil, err
+	}
+	if c.fresh && !c.replaying {
+		c.fresh = false
+		if len(c.stage) > 0 {
+			c.replaying = true
+			err := c.replayLocked()
+			c.replaying = false
+			if err != nil {
+				return nil, err
+			}
+		}
 	}
 	c.seq++
 	seq := c.seq
@@ -187,14 +236,36 @@ func (c *Client) ReadAt(p []byte, off int64) (int, error) {
 	return n, nil
 }
 
-// WriteAt implements io.WriterAt against the server's stripe.
+// WriteAt implements io.WriterAt against the server's stripe.  Inside
+// an epoch the write is staged (journaled server-side, invisible to
+// reads until commit) and logged for replay.
 func (c *Client) WriteAt(p []byte, off int64) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.epoch != 0 {
+		req := putV(make([]byte, 0, len(p)+24), int64(c.epoch))
+		req = putV(req, off)
+		req = append(req, p...)
+		if _, err := c.roundTripLocked(opStageWrite, req); err != nil {
+			return 0, err
+		}
+		c.logStagedLocked(stagedReq{op: opStageWrite, payload: req}, int64(len(p)))
+		return len(p), nil
+	}
 	req := putV(make([]byte, 0, len(p)+16), off)
 	req = append(req, p...)
-	if _, err := c.roundTrip(opWrite, req); err != nil {
+	if _, err := c.roundTripLocked(opWrite, req); err != nil {
 		return 0, err
 	}
 	return len(p), nil
+}
+
+// logStagedLocked records one acknowledged staged request for replay
+// and advances the tally mirrored by the server's per-connection count.
+func (c *Client) logStagedLocked(r stagedReq, bytes int64) {
+	c.stage = append(c.stage, r)
+	c.tallyCount++
+	c.tallyBytes += bytes
 }
 
 // ReadAtv implements storage.Vectored: the batch is shipped as offset
@@ -225,11 +296,21 @@ func (c *Client) ReadAtv(segs []storage.Segment) error {
 	return nil
 }
 
-// WriteAtv implements storage.Vectored, chunked like ReadAtv.
+// WriteAtv implements storage.Vectored, chunked like ReadAtv; inside an
+// epoch each chunk is staged and logged for replay.
 func (c *Client) WriteAtv(segs []storage.Segment) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	for len(segs) > 0 {
 		chunk := c.clipList(segs)
-		req := putV(make([]byte, 0, 16+16*len(chunk)+totalLen(chunk)), int64(len(chunk)))
+		staged := c.epoch != 0
+		op := opWritev
+		req := make([]byte, 0, 24+16*len(chunk)+totalLen(chunk))
+		if staged {
+			op = opStageWritev
+			req = putV(req, int64(c.epoch))
+		}
+		req = putV(req, int64(len(chunk)))
 		for _, s := range chunk {
 			req = putV(req, s.Off)
 			req = putV(req, int64(len(s.Buf)))
@@ -237,8 +318,11 @@ func (c *Client) WriteAtv(segs []storage.Segment) error {
 		for _, s := range chunk {
 			req = append(req, s.Buf...)
 		}
-		if _, err := c.roundTrip(opWritev, req); err != nil {
+		if _, err := c.roundTripLocked(op, req); err != nil {
 			return err
+		}
+		if staged {
+			c.logStagedLocked(stagedReq{op: op, payload: req}, int64(totalLen(chunk)))
 		}
 		segs = segs[len(chunk):]
 	}
@@ -268,21 +352,39 @@ func totalLen(segs []storage.Segment) int {
 }
 
 // Size reports the server stripe's local size.
+// sizeAttempts bounds Size's internal retry loop.  Backend.Size cannot
+// report an error, and callers clamp reads against it — so a transient
+// wire fault must not masquerade as a zero-length stripe, or every read
+// of the file silently truncates to zeros.  Transients are retried
+// here; if the budget runs out, the last successfully observed size is
+// returned (stale beats absurd).
+const sizeAttempts = 8
+
 func (c *Client) Size() int64 {
-	resp, err := c.roundTrip(opSize, nil)
-	if err != nil {
-		return 0
+	for attempt := 0; ; attempt++ {
+		resp, err := c.roundTrip(opSize, nil)
+		if err != nil {
+			if attempt+1 < sizeAttempts && storage.IsTransient(err) {
+				time.Sleep(time.Duration(attempt+1) * time.Millisecond)
+				continue
+			}
+			return c.lastSize.Load()
+		}
+		n, _, err := getV(resp)
+		if err != nil || n < 0 {
+			return c.lastSize.Load()
+		}
+		c.lastSize.Store(n)
+		return n
 	}
-	n, _, err := getV(resp)
-	if err != nil || n < 0 {
-		return 0
-	}
-	return n
 }
 
 // Truncate sizes the server's stripe.
 func (c *Client) Truncate(n int64) error {
 	_, err := c.roundTrip(opTruncate, putV(nil, n))
+	if err == nil {
+		c.lastSize.Store(n)
+	}
 	return err
 }
 
@@ -321,20 +423,23 @@ func (c *Client) handleLocked(v *View) (uint64, error) {
 	return uint64(h), nil
 }
 
-// viewOp runs one view-addressed round-trip, transparently
+// viewOpLocked runs one view-addressed round-trip, transparently
 // (re-)registering the view: on a stale-handle response — the server
 // evicted it from the per-connection LRU — the handle is dropped and
-// the operation reissued once with a fresh registration.
-func (c *Client) viewOp(op int, v *View, d0, d1 int64, data []byte) ([]byte, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+// the operation reissued once with a fresh registration.  For the
+// staged op the request carries the epoch prefix.
+func (c *Client) viewOpLocked(op int, v *View, d0, d1 int64, data []byte) ([]byte, error) {
 	var lastErr error
 	for attempt := 0; attempt < 2; attempt++ {
 		h, err := c.handleLocked(v)
 		if err != nil {
 			return nil, err
 		}
-		req := putV(make([]byte, 0, 32+len(data)), int64(h))
+		req := make([]byte, 0, 40+len(data))
+		if op == opStageViewWrite {
+			req = putV(req, int64(c.epoch))
+		}
+		req = putV(req, int64(h))
 		req = putV(req, d0)
 		req = putV(req, d1)
 		req = append(req, data...)
@@ -355,14 +460,172 @@ func (c *Client) viewOp(op int, v *View, d0, d1 int64, data []byte) ([]byte, err
 // ViewReadRange fetches this server's bytes of data range [d0, d1) of
 // the view, packed in data order.
 func (c *Client) ViewReadRange(v *View, d0, d1 int64) ([]byte, error) {
-	return c.viewOp(opViewRead, v, d0, d1, nil)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.viewOpLocked(opViewRead, v, d0, d1, nil)
 }
 
 // ViewWriteRange stores data as this server's bytes of data range
-// [d0, d1) of the view, packed in data order.
+// [d0, d1) of the view, packed in data order.  Inside an epoch the
+// write is staged; the replay log keeps the view reference (the handle
+// is re-registered on replay) and aliases data, whose buffer the
+// Striped caller allocates per call and does not reuse.
 func (c *Client) ViewWriteRange(v *View, d0, d1 int64, data []byte) error {
-	_, err := c.viewOp(opViewWrite, v, d0, d1, data)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.epoch != 0 {
+		if _, err := c.viewOpLocked(opStageViewWrite, v, d0, d1, data); err != nil {
+			return err
+		}
+		c.logStagedLocked(stagedReq{v: v, d0: d0, d1: d1, data: data}, int64(len(data)))
+		return nil
+	}
+	_, err := c.viewOpLocked(opViewWrite, v, d0, d1, data)
 	return err
+}
+
+// replayLocked re-stages the epoch's logged writes on a fresh
+// connection — the healing path after a server bounce (recovery threw
+// the uncommitted epoch away) or a dropped connection (the server kept
+// it; re-staging is idempotent: same offsets, same bytes, and the fresh
+// connection's tally restarts with the replay).
+func (c *Client) replayLocked() error {
+	for i := range c.stage {
+		r := &c.stage[i]
+		if r.v == nil {
+			if _, err := c.roundTripLocked(r.op, r.payload); err != nil {
+				return err
+			}
+			continue
+		}
+		for attempt := 0; ; attempt++ {
+			h, err := c.handleLocked(r.v)
+			if err != nil {
+				return err
+			}
+			req := putV(make([]byte, 0, 40+len(r.data)), int64(c.epoch))
+			req = putV(req, int64(h))
+			req = putV(req, r.d0)
+			req = putV(req, r.d1)
+			req = append(req, r.data...)
+			if _, err = c.roundTripLocked(opStageViewWrite, req); err == nil {
+				break
+			} else if !errors.Is(err, errStale) || attempt > 0 {
+				return err
+			}
+			delete(c.views, r.v)
+		}
+	}
+	return nil
+}
+
+// BeginEpoch enters staging mode for epoch id.  Local bookkeeping only
+// (nothing crosses the wire until the first staged write), idempotent
+// for the active id so every rank of an in-process world sharing this
+// client may call it.
+func (c *Client) BeginEpoch(id uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.epoch == id {
+		return
+	}
+	c.epoch = id
+	c.stage = c.stage[:0]
+	c.tallyCount, c.tallyBytes = 0, 0
+	c.sealedInc = 0
+}
+
+// SealEpoch verifies that everything this client staged under id is
+// present on the server: the server echoes its incarnation and this
+// connection's staging tally, which must match the local log.  A
+// mismatch means staged state was silently lost (typically a server
+// bounce whose redial replayed into a different tally than the log, or
+// a wire fault that double-staged) — the connection is dropped and the
+// error is transient, so a retry reconnects and replays the log, after
+// which the tally matches.
+func (c *Client) SealEpoch(id uint64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	resp, err := c.roundTripLocked(opEpochSeal, putV(nil, int64(id)))
+	if err != nil {
+		return err
+	}
+	inc, rest, err := getV(resp)
+	if err != nil {
+		return fmt.Errorf("ioserver %s: malformed seal response: %w", c.addr, storage.ErrPermanent)
+	}
+	count, rest, err := getV(rest)
+	if err != nil {
+		return fmt.Errorf("ioserver %s: malformed seal response: %w", c.addr, storage.ErrPermanent)
+	}
+	bytes, _, err := getV(rest)
+	if err != nil {
+		return fmt.Errorf("ioserver %s: malformed seal response: %w", c.addr, storage.ErrPermanent)
+	}
+	if count != c.tallyCount || bytes != c.tallyBytes {
+		c.dropLocked()
+		return fmt.Errorf("ioserver %s: seal tally mismatch for epoch %d (server holds %d reqs/%dB, log says %d/%dB): %w",
+			c.addr, id, count, bytes, c.tallyCount, c.tallyBytes, storage.ErrTransient)
+	}
+	c.sealedInc = inc
+	return nil
+}
+
+// CommitEpoch asks the server to apply epoch id, naming the incarnation
+// observed at seal time: a server that restarted in between answers
+// storage.ErrEpochRetry (its recovery discarded the staged state), and
+// the caller must re-seal before re-committing.
+//
+// Idempotent for the last committed id: a striped commit fans out over
+// several clients, and when one of them fails transiently the driver
+// retries the whole fan-out — clients that already committed must
+// acknowledge the repeat rather than reject it as an unsealed commit.
+func (c *Client) CommitEpoch(id uint64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.sealedInc == 0 {
+		if id == c.lastCommit && id != 0 {
+			return nil // duplicate commit after success (retried fan-out)
+		}
+		return fmt.Errorf("ioserver %s: commit of epoch %d without a seal: %w", c.addr, id, storage.ErrPermanent)
+	}
+	req := putV(nil, int64(id))
+	req = putV(req, c.sealedInc)
+	if _, err := c.roundTripLocked(opEpochCommit, req); err != nil {
+		return err
+	}
+	c.lastCommit = id
+	c.endEpochLocked()
+	return nil
+}
+
+// AbortEpoch discards epoch id's staged state, server-side (best
+// effort) and local.
+func (c *Client) AbortEpoch(id uint64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// Don't let the replay machinery re-stage the epoch we're discarding.
+	c.stage = c.stage[:0]
+	_, err := c.roundTripLocked(opEpochAbort, putV(nil, int64(id)))
+	c.endEpochLocked()
+	return err
+}
+
+// EndEpoch leaves staging mode without touching staged state — the
+// non-committing participants' counterpart of CommitEpoch.  Idempotent.
+func (c *Client) EndEpoch(id uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.epoch == id {
+		c.endEpochLocked()
+	}
+}
+
+func (c *Client) endEpochLocked() {
+	c.epoch = 0
+	c.stage = nil
+	c.tallyCount, c.tallyBytes = 0, 0
+	c.sealedInc = 0
 }
 
 // RegisterEager registers v now (priming the server's cache and

@@ -1,0 +1,226 @@
+package ioserver
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+// memBytes reads a Mem backend's full contents.
+func memBytes(t *testing.T, m *storage.Mem) []byte {
+	t.Helper()
+	return m.Bytes()
+}
+
+// TestJournalCrashPoints simulates a server crash at every interesting
+// instant of the stage→commit→apply sequence by constructing the
+// on-disk journal state that crash would leave, then requires recovery
+// to land the stripe in the one correct state: committed epochs
+// applied, uncommitted epochs gone, prior contents untouched.
+func TestJournalCrashPoints(t *testing.T) {
+	prior := []byte("................") // 16 bytes of pre-epoch stripe state
+	stageA := []storage.Segment{
+		{Off: 0, Buf: []byte("AAAA")},
+		{Off: 8, Buf: []byte("BBBB")},
+	}
+	withA := []byte("AAAA....BBBB....")
+
+	cases := []struct {
+		name    string
+		journal func(t *testing.T, j *Journal)
+		stripe  []byte // stripe contents at crash time
+		want    []byte
+		applied int
+		discard int
+		torn    bool
+		sealed  bool
+	}{
+		{
+			name:    "crash before any staging",
+			journal: func(t *testing.T, j *Journal) {},
+			stripe:  prior,
+			want:    prior,
+		},
+		{
+			name: "crash between stage and commit",
+			journal: func(t *testing.T, j *Journal) {
+				for _, s := range stageA {
+					if err := j.AppendStage(7, s.Off, s.Buf); err != nil {
+						t.Fatal(err)
+					}
+				}
+			},
+			stripe:  prior,
+			want:    prior, // the epoch never happened
+			discard: 1,
+		},
+		{
+			name: "crash after commit record, before apply",
+			journal: func(t *testing.T, j *Journal) {
+				for _, s := range stageA {
+					if err := j.AppendStage(7, s.Off, s.Buf); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if err := j.AppendCommit(7); err != nil {
+					t.Fatal(err)
+				}
+			},
+			stripe:  prior,
+			want:    withA,
+			applied: 1,
+		},
+		{
+			name: "crash mid-apply (first segment landed)",
+			journal: func(t *testing.T, j *Journal) {
+				for _, s := range stageA {
+					if err := j.AppendStage(7, s.Off, s.Buf); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if err := j.AppendCommit(7); err != nil {
+					t.Fatal(err)
+				}
+			},
+			stripe:  []byte("AAAA............"), // partial apply is idempotent to redo
+			want:    withA,
+			applied: 1,
+		},
+		{
+			name: "committed epoch followed by uncommitted epoch",
+			journal: func(t *testing.T, j *Journal) {
+				for _, s := range stageA {
+					if err := j.AppendStage(7, s.Off, s.Buf); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if err := j.AppendCommit(7); err != nil {
+					t.Fatal(err)
+				}
+				if err := j.AppendStage(8, 4, []byte("XXXX")); err != nil {
+					t.Fatal(err)
+				}
+			},
+			stripe:  prior,
+			want:    withA, // epoch 8 discarded
+			applied: 1,
+			discard: 1,
+		},
+		{
+			name: "torn tail mid-record",
+			journal: func(t *testing.T, j *Journal) {
+				for _, s := range stageA {
+					if err := j.AppendStage(7, s.Off, s.Buf); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if err := j.AppendCommit(7); err != nil {
+					t.Fatal(err)
+				}
+				// A crash mid-append leaves a truncated record: write a
+				// valid header with no CRC behind the good records.
+				if _, err := j.b.WriteAt([]byte{recStage, 0x09}, j.Len()); err != nil {
+					t.Fatal(err)
+				}
+			},
+			stripe:  prior,
+			want:    withA,
+			applied: 1,
+			torn:    true,
+		},
+		{
+			name: "clean shutdown seal",
+			journal: func(t *testing.T, j *Journal) {
+				if err := j.AppendSeal(); err != nil {
+					t.Fatal(err)
+				}
+			},
+			stripe: prior,
+			want:   prior,
+			sealed: true,
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			jb := storage.NewMem()
+			tc.journal(t, NewJournal(jb))
+			stripe := storage.NewMem()
+			if _, err := stripe.WriteAt(tc.stripe, 0); err != nil {
+				t.Fatal(err)
+			}
+
+			j, info, err := RecoverJournal(jb, stripe)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := memBytes(t, stripe); !bytes.Equal(got, tc.want) {
+				t.Errorf("stripe after recovery = %q, want %q", got, tc.want)
+			}
+			if info.AppliedEpochs != tc.applied || info.DiscardedEpochs != tc.discard ||
+				info.TornTail != tc.torn || info.Sealed != tc.sealed {
+				t.Errorf("info = %+v, want applied=%d discarded=%d torn=%t sealed=%t",
+					info, tc.applied, tc.discard, tc.torn, tc.sealed)
+			}
+			if j.Len() != 0 || jb.Size() != 0 {
+				t.Errorf("journal not truncated after recovery: len=%d size=%d", j.Len(), jb.Size())
+			}
+
+			// A second recovery (crash during the first) is a no-op.
+			before := memBytes(t, stripe)
+			_, info2, err := RecoverJournal(jb, stripe)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if info2.AppliedEpochs != 0 || info2.DiscardedEpochs != 0 {
+				t.Errorf("second recovery applied work: %+v", info2)
+			}
+			if got := memBytes(t, stripe); !bytes.Equal(got, before) {
+				t.Error("second recovery changed the stripe")
+			}
+		})
+	}
+}
+
+// FuzzJournalRecover feeds arbitrary bytes as journal contents: recovery
+// must never panic or error (journal contents can be any garbage after
+// a crash), must truncate the journal, and must only ever *extend or
+// overwrite* the stripe via committed records — never fail.
+func FuzzJournalRecover(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{recSeal, 0, 0, 0, 0})
+	f.Add([]byte{recStage, 1, 2, 3, 0xff})
+	// A well-formed stage+commit pair, as a valid-prefix seed.
+	{
+		jb := storage.NewMem()
+		j := NewJournal(jb)
+		j.AppendStage(3, 0, []byte("data"))
+		j.AppendCommit(3)
+		f.Add(jb.Bytes())
+	}
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		jb := storage.NewMem()
+		if _, err := jb.WriteAt(raw, 0); err != nil {
+			t.Fatal(err)
+		}
+		stripe := storage.NewMem()
+		j, _, err := RecoverJournal(jb, stripe)
+		if err != nil {
+			t.Fatalf("recovery failed on arbitrary journal bytes: %v", err)
+		}
+		if j.Len() != 0 || jb.Size() != 0 {
+			t.Fatal("journal not truncated")
+		}
+		// The recovered journal must be immediately usable.
+		if err := j.AppendStage(1, 0, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+		if err := j.AppendCommit(1); err != nil {
+			t.Fatal(err)
+		}
+		if _, info, err := RecoverJournal(jb, stripe); err != nil || info.AppliedEpochs != 1 {
+			t.Fatalf("post-recovery journal unusable: %v %+v", err, info)
+		}
+	})
+}

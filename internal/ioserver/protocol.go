@@ -44,6 +44,17 @@ const (
 	opViewWrite                                   // handle, d0, d1, data → —
 	opStats                                       // — → counters
 	opErr                                         // response only: class, message
+
+	// Epoch commit protocol (crash-consistent collective writes): writes
+	// staged under an epoch id are journaled, invisible to reads, and
+	// applied atomically by opEpochCommit; a server restart discards
+	// anything unsealed by a commit record.
+	opStageWrite     // epoch, off, data → — (staged opWrite)
+	opStageWritev    // epoch, k, k×(off,n), data → — (staged opWritev)
+	opStageViewWrite // epoch, handle, d0, d1, data → — (staged opViewWrite)
+	opEpochSeal      // epoch → incarnation, staged count, staged bytes (this connection)
+	opEpochCommit    // epoch, incarnation → — (journal commit + apply + sync)
+	opEpochAbort     // epoch → — (discard staged state)
 )
 
 // MaxListRuns bounds the (offset, length) entries of one opReadv /
@@ -61,10 +72,11 @@ const DefaultViewCache = 64
 // client-side storage.Resilient retries exactly what it would have
 // retried locally.
 const (
-	classTransient = 1 // retryable: maps to storage.ErrTransient
-	classPermanent = 2 // not retryable: maps to storage.ErrPermanent
-	classStale     = 3 // view handle unknown or evicted: re-register
-	classBad       = 4 // malformed request: permanent, names the defect
+	classTransient  = 1 // retryable: maps to storage.ErrTransient
+	classPermanent  = 2 // not retryable: maps to storage.ErrPermanent
+	classStale      = 3 // view handle unknown or evicted: re-register
+	classBad        = 4 // malformed request: permanent, names the defect
+	classEpochRetry = 5 // commit raced a server restart: maps to storage.ErrEpochRetry
 )
 
 // errStale is the client-side sentinel for classStale; view operations
@@ -89,12 +101,17 @@ type ServerStats struct {
 	// BytesRead / BytesWritten are data bytes moved to/from clients.
 	BytesRead    int64
 	BytesWritten int64
+	// StagedWrites counts epoch-staged write requests (all three staged
+	// ops); EpochsCommitted counts applied commits.
+	StagedWrites    int64
+	EpochsCommitted int64
 }
 
 func (st ServerStats) String() string {
-	return fmt.Sprintf("requests %d: raw %dr/%dw, view %dr/%dw (reg %d, cache hits %d, stale %d), %dB out, %dB in",
+	return fmt.Sprintf("requests %d: raw %dr/%dw, view %dr/%dw (reg %d, cache hits %d, stale %d), %d staged/%d epochs, %dB out, %dB in",
 		st.Requests, st.RawReads, st.RawWrites, st.ViewReads, st.ViewWrites,
-		st.ViewRegistrations, st.ViewCacheHits, st.StaleHandles, st.BytesRead, st.BytesWritten)
+		st.ViewRegistrations, st.ViewCacheHits, st.StaleHandles,
+		st.StagedWrites, st.EpochsCommitted, st.BytesRead, st.BytesWritten)
 }
 
 // add accumulates other into st, for aggregating across servers.
@@ -109,11 +126,14 @@ func (st *ServerStats) add(other ServerStats) {
 	st.StaleHandles += other.StaleHandles
 	st.BytesRead += other.BytesRead
 	st.BytesWritten += other.BytesWritten
+	st.StagedWrites += other.StagedWrites
+	st.EpochsCommitted += other.EpochsCommitted
 }
 
 func (st ServerStats) encode(buf []byte) []byte {
 	for _, v := range []int64{st.Requests, st.RawReads, st.RawWrites, st.ViewReads, st.ViewWrites,
-		st.ViewRegistrations, st.ViewCacheHits, st.StaleHandles, st.BytesRead, st.BytesWritten} {
+		st.ViewRegistrations, st.ViewCacheHits, st.StaleHandles, st.BytesRead, st.BytesWritten,
+		st.StagedWrites, st.EpochsCommitted} {
 		buf = putV(buf, v)
 	}
 	return buf
@@ -123,7 +143,8 @@ func decodeStats(buf []byte) (ServerStats, error) {
 	var st ServerStats
 	var err error
 	for _, p := range []*int64{&st.Requests, &st.RawReads, &st.RawWrites, &st.ViewReads, &st.ViewWrites,
-		&st.ViewRegistrations, &st.ViewCacheHits, &st.StaleHandles, &st.BytesRead, &st.BytesWritten} {
+		&st.ViewRegistrations, &st.ViewCacheHits, &st.StaleHandles, &st.BytesRead, &st.BytesWritten,
+		&st.StagedWrites, &st.EpochsCommitted} {
 		if *p, buf, err = getV(buf); err != nil {
 			return ServerStats{}, err
 		}
@@ -148,6 +169,8 @@ func getV(buf []byte) (int64, []byte, error) {
 // opErr frame, preserving the storage taxonomy.
 func wireError(err error) (int64, string) {
 	switch {
+	case storage.IsEpochRetry(err):
+		return classEpochRetry, err.Error()
 	case storage.IsTransient(err):
 		return classTransient, err.Error()
 	default:
@@ -163,6 +186,8 @@ func unwireError(addr string, class int64, msg string) error {
 		return fmt.Errorf("ioserver %s: %s: %w", addr, msg, storage.ErrTransient)
 	case classStale:
 		return fmt.Errorf("ioserver %s: %s: %w", addr, msg, errStale)
+	case classEpochRetry:
+		return fmt.Errorf("ioserver %s: %s: %w", addr, msg, storage.ErrEpochRetry)
 	case classBad, classPermanent:
 		return fmt.Errorf("ioserver %s: %s: %w", addr, msg, storage.ErrPermanent)
 	}

@@ -7,6 +7,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/datatype"
 	"repro/internal/storage"
@@ -37,18 +38,34 @@ type Config struct {
 	// Tracer, when non-nil, records request spans and view-cache
 	// events.
 	Tracer *trace.Tracer
+	// Journal is the intent journal backing the epoch commit protocol.
+	// File-backed deployments recover one with RecoverJournal (replaying
+	// committed epochs into Backend first) and pass it here; when nil,
+	// New builds a volatile in-memory journal, which still gives staged
+	// writes commit atomicity against everything but a server crash.
+	Journal *Journal
 }
 
 // Server serves one stripe of a file to any number of client
 // connections.
 type Server struct {
-	cfg   Config
-	stats struct {
+	cfg         Config
+	journal     *Journal
+	incarnation int64 // instance id, fresh per process start
+	stats       struct {
 		requests, rawReads, rawWrites    atomic.Int64
 		viewReads, viewWrites            atomic.Int64
 		viewRegs, viewHits, staleHandles atomic.Int64
 		bytesRead, bytesWritten          atomic.Int64
+		stagedWrites, epochsCommitted    atomic.Int64
 	}
+
+	// Epoch commit state: staged holds each in-flight epoch's parked
+	// segments (applied to Backend only at commit), lastCommitted the
+	// highest epoch this instance has applied.
+	epochMu       sync.Mutex
+	staged        map[uint64][]storage.Segment
+	lastCommitted uint64
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -74,10 +91,17 @@ func New(cfg Config) (*Server, error) {
 	if cfg.ViewCache <= 0 {
 		cfg.ViewCache = DefaultViewCache
 	}
+	j := cfg.Journal
+	if j == nil {
+		j = NewJournal(storage.NewMem())
+	}
 	return &Server{
-		cfg:   cfg,
-		conns: make(map[net.Conn]struct{}),
-		done:  make(chan struct{}),
+		cfg:         cfg,
+		journal:     j,
+		incarnation: time.Now().UnixNano(),
+		staged:      make(map[uint64][]storage.Segment),
+		conns:       make(map[net.Conn]struct{}),
+		done:        make(chan struct{}),
 	}, nil
 }
 
@@ -126,8 +150,10 @@ func (s *Server) Serve(ln net.Listener) error {
 	}
 }
 
-// Close stops accepting, closes every live connection, and waits for
-// the handlers and Serve to return.
+// Close stops accepting, seals the journal and syncs the stripe (so a
+// graceful shutdown is distinguishable from a crash on recovery), closes
+// every live connection, and waits for the handlers and Serve to return.
+// Close is idempotent.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -136,16 +162,29 @@ func (s *Server) Close() error {
 	}
 	s.closed = true
 	ln := s.ln
+	s.mu.Unlock()
+
+	// Graceful-shutdown seal: fsync the stripe and mark the journal
+	// before dropping connections.  Failures are reported but do not
+	// abort the shutdown.
+	s.epochMu.Lock()
+	err := s.journal.AppendSeal()
+	if serr := s.cfg.Backend.Sync(); err == nil {
+		err = serr
+	}
+	s.epochMu.Unlock()
+
+	s.mu.Lock()
 	for conn := range s.conns {
 		conn.Close()
 	}
 	s.mu.Unlock()
 	if ln == nil {
-		return nil
+		return err
 	}
 	ln.Close()
 	<-s.done
-	return nil
+	return err
 }
 
 // Stats snapshots the request counters.
@@ -161,6 +200,8 @@ func (s *Server) Stats() ServerStats {
 		StaleHandles:      s.stats.staleHandles.Load(),
 		BytesRead:         s.stats.bytesRead.Load(),
 		BytesWritten:      s.stats.bytesWritten.Load(),
+		StagedWrites:      s.stats.stagedWrites.Load(),
+		EpochsCommitted:   s.stats.epochsCommitted.Load(),
 	}
 }
 
@@ -186,6 +227,12 @@ type connState struct {
 
 	resp []byte            // response staging buffer, reused
 	segs []storage.Segment // vectored-call staging, reused
+
+	// Staging tally for the connection's in-flight epoch, echoed by
+	// opEpochSeal so the client can verify nothing staged was lost to a
+	// silent restart.
+	tallyEpoch             uint64
+	tallyCount, tallyBytes int64
 }
 
 // handleConn serves one connection to completion.  Malformed framing
@@ -267,6 +314,18 @@ func (st *connState) dispatch(tag int, payload []byte) ([]byte, error) {
 		return st.opView(payload, true)
 	case opStats:
 		return st.srv.Stats().encode(st.resp[:0]), nil
+	case opStageWrite:
+		return st.opStageWrite(payload)
+	case opStageWritev:
+		return st.opStageWritev(payload)
+	case opStageViewWrite:
+		return st.opStageViewWrite(payload)
+	case opEpochSeal:
+		return st.opEpochSeal(payload)
+	case opEpochCommit:
+		return st.opEpochCommit(payload)
+	case opEpochAbort:
+		return st.opEpochAbort(payload)
 	}
 	return nil, fmt.Errorf("%w: unknown op %d", errBadRequest, tag)
 }

@@ -1,0 +1,303 @@
+package ioserver
+
+import (
+	"fmt"
+
+	"repro/internal/storage"
+	"repro/internal/trace"
+)
+
+// Server side of the epoch commit protocol.  Staged writes are journaled
+// and parked in memory, invisible to reads; opEpochCommit journals the
+// commit decision (the durability point), applies the staged segments to
+// the stripe, syncs, and clears.  The protocol tolerates every crash
+// instant (journal recovery re-applies or discards) and every duplicate
+// (re-staging and re-committing an epoch writes the same bytes to the
+// same offsets).
+//
+// Seal is the liveness check: it echoes the server's incarnation plus
+// this connection's staging tally, so a client can detect that a server
+// bounced mid-epoch (empty tally where its stage log says otherwise) and
+// that the incarnation it sealed against is the one the commit reaches.
+
+// stageEpoch parks segs under epoch, journaling each segment first.  The
+// data is copied: request payloads are reused per frame.
+func (s *Server) stageEpoch(epoch uint64, segs []storage.Segment) error {
+	s.epochMu.Lock()
+	defer s.epochMu.Unlock()
+	var total int
+	for _, sg := range segs {
+		total += len(sg.Buf)
+	}
+	buf := make([]byte, 0, total)
+	for _, sg := range segs {
+		if err := s.journal.AppendStage(epoch, sg.Off, sg.Buf); err != nil {
+			return err
+		}
+		start := len(buf)
+		buf = append(buf, sg.Buf...)
+		s.staged[epoch] = append(s.staged[epoch], storage.Segment{Off: sg.Off, Buf: buf[start:]})
+	}
+	s.stats.stagedWrites.Add(1)
+	s.stats.bytesWritten.Add(int64(total))
+	return nil
+}
+
+// commitEpoch makes epoch durable: commit record → journal sync → apply
+// → stripe sync → clear.  Exactly one epoch is in flight at a time, so a
+// commit also discards any abandoned staged state from earlier epochs,
+// which is what lets the journal reset to empty.
+func (s *Server) commitEpoch(epoch uint64, incarnation int64) error {
+	if incarnation != s.incarnation {
+		return fmt.Errorf("ioserver: commit for incarnation %d, server restarted as %d: %w",
+			incarnation, s.incarnation, storage.ErrEpochRetry)
+	}
+	s.epochMu.Lock()
+	defer s.epochMu.Unlock()
+	segs := s.staged[epoch]
+	if len(segs) == 0 && epoch == s.lastCommitted {
+		return nil // duplicate commit retry: already applied
+	}
+	var total int64
+	for _, sg := range segs {
+		total += int64(len(sg.Buf))
+	}
+	sp := s.cfg.Tracer.BeginIO(trace.PhaseServerCommit, int64(epoch), total)
+	defer sp.End()
+	if err := s.journal.AppendCommit(epoch); err != nil {
+		return err
+	}
+	if len(segs) > 0 {
+		if err := storage.WriteAtv(s.cfg.Backend, segs); err != nil {
+			return err
+		}
+	}
+	if err := s.cfg.Backend.Sync(); err != nil {
+		return err
+	}
+	if epoch > s.lastCommitted {
+		s.lastCommitted = epoch
+	}
+	s.staged = make(map[uint64][]storage.Segment)
+	s.stats.epochsCommitted.Add(1)
+	return s.journal.Reset()
+}
+
+// abortEpoch discards epoch's staged state.
+func (s *Server) abortEpoch(epoch uint64) error {
+	s.epochMu.Lock()
+	defer s.epochMu.Unlock()
+	delete(s.staged, epoch)
+	if len(s.staged) == 0 {
+		return s.journal.Reset()
+	}
+	return nil
+}
+
+// Incarnation reports the server instance id (changes on restart).
+func (s *Server) Incarnation() int64 { return s.incarnation }
+
+// LastCommitted reports the highest epoch committed by this instance.
+func (s *Server) LastCommitted() uint64 {
+	s.epochMu.Lock()
+	defer s.epochMu.Unlock()
+	return s.lastCommitted
+}
+
+// tally records one staged request on this connection.  One epoch is in
+// flight per connection at a time, so a new epoch resets the counters.
+func (st *connState) tally(epoch uint64, bytes int64) {
+	if st.tallyEpoch != epoch {
+		st.tallyEpoch, st.tallyCount, st.tallyBytes = epoch, 0, 0
+	}
+	st.tallyCount++
+	st.tallyBytes += bytes
+}
+
+// getEpoch decodes and validates a leading epoch id.
+func getEpoch(payload []byte) (uint64, []byte, error) {
+	e, rest, err := getV(payload)
+	if err != nil {
+		return 0, nil, err
+	}
+	if e <= 0 {
+		return 0, nil, fmt.Errorf("%w: epoch id %d", errBadRequest, e)
+	}
+	return uint64(e), rest, nil
+}
+
+// opStageWrite: epoch, off, data → — (the staged twin of opWrite).
+func (st *connState) opStageWrite(payload []byte) ([]byte, error) {
+	epoch, payload, err := getEpoch(payload)
+	if err != nil {
+		return nil, err
+	}
+	off, data, err := getV(payload)
+	if err != nil {
+		return nil, err
+	}
+	if off < 0 {
+		return nil, fmt.Errorf("%w: stage off %d", errBadRequest, off)
+	}
+	sp := st.srv.cfg.Tracer.BeginIO(trace.PhaseServerStage, off, int64(len(data)))
+	defer sp.End()
+	if err := st.srv.stageEpoch(epoch, []storage.Segment{{Off: off, Buf: data}}); err != nil {
+		return nil, err
+	}
+	st.tally(epoch, int64(len(data)))
+	return nil, nil
+}
+
+// opStageWritev: epoch, k, k×(off,n), data → — (staged opWritev).
+func (st *connState) opStageWritev(payload []byte) ([]byte, error) {
+	epoch, payload, err := getEpoch(payload)
+	if err != nil {
+		return nil, err
+	}
+	k, payload, err := getV(payload)
+	if err != nil {
+		return nil, err
+	}
+	if k < 0 || k > MaxListRuns {
+		return nil, fmt.Errorf("%w: list of %d runs (limit %d)", errBadRequest, k, MaxListRuns)
+	}
+	st.segs = st.segs[:0]
+	var total int64
+	offs := make([][2]int64, 0, k)
+	for i := int64(0); i < k; i++ {
+		var off, n int64
+		if off, payload, err = getV(payload); err != nil {
+			return nil, err
+		}
+		if n, payload, err = getV(payload); err != nil {
+			return nil, err
+		}
+		if off < 0 || n < 0 || total+n > int64(st.srv.cfg.MaxFrame) {
+			return nil, fmt.Errorf("%w: list entry off %d len %d", errBadRequest, off, n)
+		}
+		offs = append(offs, [2]int64{off, n})
+		total += n
+	}
+	if int64(len(payload)) != total {
+		return nil, fmt.Errorf("%w: stage list names %d bytes, payload carries %d", errBadRequest, total, len(payload))
+	}
+	sp := st.srv.cfg.Tracer.BeginIO(trace.PhaseServerStage, 0, total)
+	defer sp.End()
+	var pos int64
+	for _, e := range offs {
+		st.segs = append(st.segs, storage.Segment{Off: e[0], Buf: payload[pos : pos+e[1]]})
+		pos += e[1]
+	}
+	if err := st.srv.stageEpoch(epoch, st.segs); err != nil {
+		return nil, err
+	}
+	st.tally(epoch, total)
+	return nil, nil
+}
+
+// opStageViewWrite: epoch, handle, d0, d1, data → — (staged
+// opViewWrite): the server walks the registered pattern like opView but
+// stages the owned pieces instead of writing them.
+func (st *connState) opStageViewWrite(payload []byte) ([]byte, error) {
+	epoch, payload, err := getEpoch(payload)
+	if err != nil {
+		return nil, err
+	}
+	h, payload, err := getV(payload)
+	if err != nil {
+		return nil, err
+	}
+	d0, payload, err := getV(payload)
+	if err != nil {
+		return nil, err
+	}
+	d1, payload, err := getV(payload)
+	if err != nil {
+		return nil, err
+	}
+	if d0 < 0 || d1 < d0 || d1-d0 > int64(st.srv.cfg.MaxFrame) {
+		return nil, fmt.Errorf("%w: view range [%d,%d)", errBadRequest, d0, d1)
+	}
+	v, ok := st.views[uint64(h)]
+	if !ok {
+		st.srv.stats.staleHandles.Add(1)
+		st.srv.cfg.Tracer.Instant(trace.PhaseServerViewStale, h, 0, "")
+		return nil, fmt.Errorf("view handle %d: %w", h, errStale)
+	}
+	cfg := &st.srv.cfg
+
+	var total int64
+	err = walkView(v.t, v.disp, cfg.Geom, d0, d1, func(stripe int, _, _, n int64) error {
+		if stripe == cfg.Index {
+			total += n
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(payload)) != total {
+		return nil, fmt.Errorf("%w: staged view write carries %d bytes, stripe owns %d of [%d,%d)",
+			errBadRequest, len(payload), total, d0, d1)
+	}
+	sp := cfg.Tracer.BeginIO(trace.PhaseServerStage, d0, total)
+	defer sp.End()
+	st.segs = st.segs[:0]
+	var pos int64
+	err = walkView(v.t, v.disp, cfg.Geom, d0, d1, func(stripe int, localOff, _, n int64) error {
+		if stripe != cfg.Index {
+			return nil
+		}
+		st.segs = append(st.segs, storage.Segment{Off: localOff, Buf: payload[pos : pos+n]})
+		pos += n
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := st.srv.stageEpoch(epoch, st.segs); err != nil {
+		return nil, err
+	}
+	st.tally(epoch, total)
+	return nil, nil
+}
+
+// opEpochSeal: epoch → incarnation, staged count, staged bytes (this
+// connection's tally).
+func (st *connState) opEpochSeal(payload []byte) ([]byte, error) {
+	epoch, _, err := getEpoch(payload)
+	if err != nil {
+		return nil, err
+	}
+	var count, bytes int64
+	if st.tallyEpoch == epoch {
+		count, bytes = st.tallyCount, st.tallyBytes
+	}
+	resp := putV(st.resp[:0], st.srv.incarnation)
+	resp = putV(resp, count)
+	resp = putV(resp, bytes)
+	st.resp = resp
+	return resp, nil
+}
+
+// opEpochCommit: epoch, incarnation → —.
+func (st *connState) opEpochCommit(payload []byte) ([]byte, error) {
+	epoch, payload, err := getEpoch(payload)
+	if err != nil {
+		return nil, err
+	}
+	inc, _, err := getV(payload)
+	if err != nil {
+		return nil, err
+	}
+	return nil, st.srv.commitEpoch(epoch, inc)
+}
+
+// opEpochAbort: epoch → —.
+func (st *connState) opEpochAbort(payload []byte) ([]byte, error) {
+	epoch, _, err := getEpoch(payload)
+	if err != nil {
+		return nil, err
+	}
+	return nil, st.srv.abortEpoch(epoch)
+}

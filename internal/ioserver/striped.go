@@ -260,3 +260,52 @@ func (s *Striped) ViewWrite(h storage.ViewHandle, p []byte, d0 int64) error {
 		func(i int) bool { return lens[i] == 0 },
 		func(i int) error { return s.clients[i].ViewWriteRange(av.v, d0, d1, outs[i]) })
 }
+
+// Epoch commit protocol: the aggregate implements storage.EpochBackend
+// by fanning out to every server's client.  Begin/End are local
+// bookkeeping (idempotent, every rank of a shared world calls them);
+// Seal is every rank's pre-commit liveness check; Commit — issued by
+// exactly one rank — applies the epoch on every server, and a commit
+// against a restarted server surfaces storage.ErrEpochRetry for the
+// driver's re-seal loop.
+
+// SupportsEpochs implements storage.EpochBackend.
+func (s *Striped) SupportsEpochs() bool { return true }
+
+// EpochBegin implements storage.EpochBackend.
+func (s *Striped) EpochBegin(id uint64) {
+	for _, c := range s.clients {
+		c.BeginEpoch(id)
+	}
+}
+
+// EpochSeal implements storage.EpochBackend: every server must confirm
+// it holds exactly what this rank staged.
+func (s *Striped) EpochSeal(id uint64) error {
+	return s.fanOut(len(s.clients),
+		func(int) bool { return false },
+		func(i int) error { return s.clients[i].SealEpoch(id) })
+}
+
+// EpochCommit implements storage.EpochBackend.  Commit is idempotent
+// per server, so a partial fan-out failure retried by the driver
+// converges: already-committed servers acknowledge, the rest apply.
+func (s *Striped) EpochCommit(id uint64) error {
+	return s.fanOut(len(s.clients),
+		func(int) bool { return false },
+		func(i int) error { return s.clients[i].CommitEpoch(id) })
+}
+
+// EpochAbort implements storage.EpochBackend.
+func (s *Striped) EpochAbort(id uint64) error {
+	return s.fanOut(len(s.clients),
+		func(int) bool { return false },
+		func(i int) error { return s.clients[i].AbortEpoch(id) })
+}
+
+// EpochEnd implements storage.EpochBackend.
+func (s *Striped) EpochEnd(id uint64) {
+	for _, c := range s.clients {
+		c.EndEpoch(id)
+	}
+}

@@ -1,0 +1,114 @@
+package storage
+
+import (
+	"fmt"
+
+	"repro/internal/datatype"
+	"repro/internal/trace"
+)
+
+// Fault injection on registered-view operations.  The direct sparse
+// path of the remote tier moves most of its bytes through ViewRead /
+// ViewWrite rather than ReadAt / WriteAt, so the chaos harness must
+// inject there too or the dominant traffic class escapes testing.
+// View transfers are all-or-nothing on the wire (no partial-result
+// contract like short reads or torn writes), so only spikes and
+// transient/permanent failures apply; registration is control traffic
+// and passes through untouched.
+
+// SupportsViews implements ViewBackend for Chaos.
+func (c *Chaos) SupportsViews() bool {
+	_, ok := AsViewBackend(c.Backend)
+	return ok
+}
+
+// RegisterView implements ViewBackend for Chaos: delegation.
+func (c *Chaos) RegisterView(disp int64, ftype *datatype.Type) (ViewHandle, error) {
+	vb, ok := AsViewBackend(c.Backend)
+	if !ok {
+		return 0, ErrNoViews
+	}
+	return vb.RegisterView(disp, ftype)
+}
+
+// ViewRead implements ViewBackend for Chaos with fault injection; the
+// offset reported on faults is the view-data offset d0.
+func (c *Chaos) ViewRead(h ViewHandle, p []byte, d0 int64) error {
+	vb, ok := AsViewBackend(c.Backend)
+	if !ok {
+		return ErrNoViews
+	}
+	c.maybeSpike(d0)
+	if c.hit(c.cfg.PermanentRead) {
+		c.permanents.Add(1)
+		c.instant(trace.PhaseChaosViewOp, d0, len(p), "view read fault (permanent)")
+		return fmt.Errorf("storage: chaos view read fault at data offset %d: %w", d0, ErrPermanent)
+	}
+	if c.hit(c.cfg.TransientRead) {
+		c.transients.Add(1)
+		c.instant(trace.PhaseChaosViewOp, d0, len(p), "view read fault (transient)")
+		return fmt.Errorf("storage: chaos view read fault at data offset %d: %w", d0, ErrTransient)
+	}
+	return vb.ViewRead(h, p, d0)
+}
+
+// ViewWrite implements ViewBackend for Chaos with fault injection.
+func (c *Chaos) ViewWrite(h ViewHandle, p []byte, d0 int64) error {
+	vb, ok := AsViewBackend(c.Backend)
+	if !ok {
+		return ErrNoViews
+	}
+	c.maybeSpike(d0)
+	if c.hit(c.cfg.PermanentWrite) {
+		c.permanents.Add(1)
+		c.instant(trace.PhaseChaosViewOp, d0, len(p), "view write fault (permanent)")
+		return fmt.Errorf("storage: chaos view write fault at data offset %d: %w", d0, ErrPermanent)
+	}
+	if c.hit(c.cfg.TransientWrite) {
+		c.transients.Add(1)
+		c.instant(trace.PhaseChaosViewOp, d0, len(p), "view write fault (transient)")
+		return fmt.Errorf("storage: chaos view write fault at data offset %d: %w", d0, ErrTransient)
+	}
+	return vb.ViewWrite(h, p, d0)
+}
+
+// SupportsViews implements ViewBackend for Faulty.
+func (f *Faulty) SupportsViews() bool {
+	_, ok := AsViewBackend(f.Backend)
+	return ok
+}
+
+// RegisterView implements ViewBackend for Faulty: delegation.
+func (f *Faulty) RegisterView(disp int64, ftype *datatype.Type) (ViewHandle, error) {
+	vb, ok := AsViewBackend(f.Backend)
+	if !ok {
+		return 0, ErrNoViews
+	}
+	return vb.RegisterView(disp, ftype)
+}
+
+// ViewRead implements ViewBackend for Faulty.  The read arm trips on
+// view-data offsets: FailReadRange targets data bytes of the view, not
+// absolute file offsets (a view access has no single file offset).
+func (f *Faulty) ViewRead(h ViewHandle, p []byte, d0 int64) error {
+	vb, ok := AsViewBackend(f.Backend)
+	if !ok {
+		return ErrNoViews
+	}
+	if f.reads.trip(d0, int64(len(p))) {
+		return ErrInjected
+	}
+	return vb.ViewRead(h, p, d0)
+}
+
+// ViewWrite implements ViewBackend for Faulty, tripping like ViewRead.
+func (f *Faulty) ViewWrite(h ViewHandle, p []byte, d0 int64) error {
+	vb, ok := AsViewBackend(f.Backend)
+	if !ok {
+		return ErrNoViews
+	}
+	if f.writes.trip(d0, int64(len(p))) {
+		return ErrInjected
+	}
+	return vb.ViewWrite(h, p, d0)
+}

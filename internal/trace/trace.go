@@ -83,6 +83,12 @@ const (
 	PhaseServerWrite     Phase = "server.write"      // raw offset-list write
 	PhaseServerViewRead  Phase = "server.view-read"  // server-side view evaluation, read
 	PhaseServerViewWrite Phase = "server.view-write" // server-side view evaluation, write
+
+	// Epoch commit protocol (crash-consistent collective writes).
+	PhaseEpochSeal    Phase = "epoch.seal"    // per-rank seal round before commit
+	PhaseEpochCommit  Phase = "epoch.commit"  // rank 0's commit broadcast to the servers
+	PhaseServerStage  Phase = "server.stage"  // one staged (journaled) write request
+	PhaseServerCommit Phase = "server.commit" // one server applying a committed epoch
 )
 
 // Instant phases.
@@ -103,6 +109,19 @@ const (
 	PhaseServerViewReg   Phase = "server.view-register" // view decoded and cached
 	PhaseServerViewHit   Phase = "server.view-hit"      // registration served from the LRU cache
 	PhaseServerViewStale Phase = "server.view-stale"    // request named an evicted handle
+
+	// Epoch commit protocol events.
+	PhaseEpochRetry    Phase = "epoch.retry"    // seal/commit round retried after a server bounce
+	PhaseServerRecover Phase = "server.recover" // journal recovery at server start
+	PhaseChaosViewOp   Phase = "chaos.view-op"  // injected fault on a registered-view operation
+
+	// Wire-level fault injection (transport.ChaosConn).
+	PhaseWireChaosSpike     Phase = "wire.chaos-spike"     // injected latency
+	PhaseWireChaosDrop      Phase = "wire.chaos-drop"      // frame silently dropped
+	PhaseWireChaosDup       Phase = "wire.chaos-duplicate" // frame sent twice
+	PhaseWireChaosCorrupt   Phase = "wire.chaos-corrupt"   // byte flipped in flight
+	PhaseWireChaosReset     Phase = "wire.chaos-reset"     // mid-message connection reset
+	PhaseWireChaosPartition Phase = "wire.chaos-partition" // one-directional stall
 )
 
 // Kind distinguishes completed spans from instant events.

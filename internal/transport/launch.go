@@ -37,11 +37,23 @@ type LaunchOptions struct {
 	// exited cleanly the launcher stops them with an interrupt signal
 	// (so they can flush traces and sync their stripes) and escalates
 	// to a kill after ServerStopTimeout.  A server that dies while
-	// ranks are still running fails the whole run.
+	// ranks are still running is restarted on its inherited listener
+	// when ServerRestarts allows, and fails the whole run otherwise.
 	Servers int
 	// ServerArgs builds server s's argument list (required when
 	// Servers > 0).
 	ServerArgs func(idx int) []string
+	// ServerRestarts bounds automatic restarts per crashed server (0 =
+	// no supervision: any premature server death fails the run).
+	ServerRestarts int
+	// ServerRestartBackoff delays the first restart of a server,
+	// doubling per consecutive restart (default 50ms).
+	ServerRestartBackoff time.Duration
+	// KillServerAfter, when positive, SIGKILLs server KillServerIdx
+	// that long after launch — the fault-injection hook of the
+	// kill-and-restart harness.
+	KillServerAfter time.Duration
+	KillServerIdx   int
 	// ServerStopTimeout bounds the graceful server shutdown after the
 	// ranks finish (default 10s).
 	ServerStopTimeout time.Duration
@@ -135,23 +147,8 @@ func Launch(opts LaunchOptions) error {
 
 	var outMu sync.Mutex
 	rankCmds := make([]*exec.Cmd, opts.Size)
-	srvCmds := make([]*exec.Cmd, opts.Servers)
+	var wMu sync.Mutex // server restarts append from supervision goroutines
 	writers := make([]*prefixWriter, 0, 2*(opts.Size+opts.Servers))
-	var killOnce sync.Once
-	killAll := func() {
-		killOnce.Do(func() {
-			for _, c := range rankCmds {
-				if c != nil && c.Process != nil {
-					c.Process.Kill()
-				}
-			}
-			for _, c := range srvCmds {
-				if c != nil && c.Process != nil {
-					c.Process.Kill()
-				}
-			}
-		})
-	}
 
 	start := func(prefix string, args []string, extra *os.File) (*exec.Cmd, error) {
 		cmd := exec.Command(opts.Exe, args...)
@@ -164,29 +161,49 @@ func Launch(opts LaunchOptions) error {
 		ow := &prefixWriter{mu: &outMu, w: opts.Stdout, prefix: []byte(prefix)}
 		ew := &prefixWriter{mu: &outMu, w: opts.Stderr, prefix: []byte(prefix)}
 		cmd.Stdout, cmd.Stderr = ow, ew
+		wMu.Lock()
 		writers = append(writers, ow, ew)
+		wMu.Unlock()
 		return cmd, cmd.Start()
 	}
 
-	type childExit struct {
-		server bool
-		idx    int
-		err    error
-	}
-	exits := make(chan childExit, opts.Size+opts.Servers)
-	var firstErr error
-	srvRunning := 0
-	for s := 0; s < opts.Servers && firstErr == nil; s++ {
-		cmd, err := start(fmt.Sprintf("[srv %d] ", s), opts.ServerArgs(s), serverLfs[s])
+	// The servers run under a supervised pool: premature deaths restart
+	// (within ServerRestarts) on the inherited listeners, so a crashed
+	// server comes back at the same address mid-run.
+	var pool *ServerPool
+	if opts.Servers > 0 {
+		pool, err = StartServerPool(ServerPoolOptions{
+			Listeners:      serverLfs,
+			MaxRestarts:    opts.ServerRestarts,
+			RestartBackoff: opts.ServerRestartBackoff,
+			StartProc: func(idx int, listener *os.File) (*exec.Cmd, error) {
+				return start(fmt.Sprintf("[srv %d] ", idx), opts.ServerArgs(idx), listener)
+			},
+		})
 		if err != nil {
-			firstErr = fmt.Errorf("transport: starting server %d: %w", s, err)
-			killAll()
-			break
+			return err
 		}
-		srvCmds[s] = cmd
-		srvRunning++
-		go func(s int, c *exec.Cmd) { exits <- childExit{true, s, c.Wait()} }(s, cmd)
 	}
+	var killOnce sync.Once
+	killAll := func() {
+		killOnce.Do(func() {
+			for _, c := range rankCmds {
+				if c != nil && c.Process != nil {
+					c.Process.Kill()
+				}
+			}
+			if pool != nil {
+				pool.Stop(false)
+			}
+		})
+	}
+
+	type childExit struct {
+		idx int
+		err error
+	}
+	exits := make(chan childExit, opts.Size)
+	var firstErr error
 	ranksRunning := 0
 	for r := 0; r < opts.Size && firstErr == nil; r++ {
 		var extra *os.File
@@ -201,56 +218,59 @@ func Launch(opts LaunchOptions) error {
 		}
 		rankCmds[r] = cmd
 		ranksRunning++
-		go func(r int, c *exec.Cmd) { exits <- childExit{false, r, c.Wait()} }(r, cmd)
+		go func(r int, c *exec.Cmd) { exits <- childExit{r, c.Wait()} }(r, cmd)
 	}
 
 	var timer <-chan time.Time
 	if opts.Timeout > 0 {
 		timer = time.After(opts.Timeout)
 	}
-	stopping := false // graceful server shutdown initiated
-	stopServers := func() {
-		if stopping {
-			return
+	var poolFailures <-chan error
+	var chaosTimer <-chan time.Time
+	poolDone := make(chan struct{})
+	if pool != nil {
+		poolFailures = pool.Failures()
+		go func() { pool.Wait(); close(poolDone) }()
+		if opts.KillServerAfter > 0 {
+			chaosTimer = time.After(opts.KillServerAfter)
 		}
-		stopping = true
-		for _, c := range srvCmds {
-			if c != nil && c.Process != nil {
-				if err := c.Process.Signal(os.Interrupt); err != nil {
-					c.Process.Kill()
-				}
-			}
-		}
+	} else {
+		close(poolDone)
 	}
+	stopping := false // graceful server shutdown initiated
+	srvDone := pool == nil
 	var stopTimer <-chan time.Time
-	for ranksRunning > 0 || srvRunning > 0 {
+	for ranksRunning > 0 || !srvDone {
 		if ranksRunning == 0 && !stopping {
 			// Every rank is done: ask the servers to finish up.
+			stopping = true
 			if firstErr != nil {
 				killAll()
+			} else if pool != nil {
+				pool.Stop(true)
+				stopTimer = time.After(opts.ServerStopTimeout)
 			}
-			stopServers()
-			stopTimer = time.After(opts.ServerStopTimeout)
 		}
 		select {
 		case e := <-exits:
-			if e.server {
-				srvRunning--
-				if err := serverExitError(e.idx, e.err, stopping); err != nil {
-					if firstErr == nil {
-						firstErr = err
-					}
-					killAll()
+			ranksRunning--
+			if e.err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("transport: rank %d: %w", e.idx, e.err)
 				}
-			} else {
-				ranksRunning--
-				if e.err != nil {
-					if firstErr == nil {
-						firstErr = fmt.Errorf("transport: rank %d: %w", e.idx, e.err)
-					}
-					killAll()
-				}
+				killAll()
 			}
+		case err := <-poolFailures:
+			if firstErr == nil {
+				firstErr = err
+			}
+			killAll()
+		case <-poolDone:
+			srvDone = true
+			poolDone = nil // a nil channel never fires again
+		case <-chaosTimer:
+			pool.Kill(opts.KillServerIdx)
+			chaosTimer = nil
 		case <-timer:
 			if firstErr == nil {
 				firstErr = fmt.Errorf("transport: launch timed out after %v", opts.Timeout)
@@ -263,6 +283,14 @@ func Launch(opts LaunchOptions) error {
 			}
 			killAll()
 			stopTimer = nil
+		}
+	}
+	// Drain any shutdown-phase pool failure that raced the loop exit.
+	if poolFailures != nil && firstErr == nil {
+		select {
+		case err := <-poolFailures:
+			firstErr = err
+		default:
 		}
 	}
 	for _, w := range writers {

@@ -2,7 +2,10 @@ package transport
 
 import (
 	"bufio"
+	"encoding/binary"
 	"fmt"
+	"hash/crc32"
+	"io"
 	"net"
 	"time"
 )
@@ -16,6 +19,16 @@ import (
 // reserved server-tag range below), src carries a caller-chosen
 // sequence number echoed in the response, so a desynchronized peer is
 // detected instead of silently answering the wrong request.
+//
+// Unlike the rank fabric's raw frames, FrameConn headers carry a
+// trailing CRC32-C over the (length, seq, tag) fields.  The header is
+// the protocol's only self-describing region: a flipped bit in the tag
+// executes the wrong operation, and a flipped bit in the length can
+// swallow the following frame while still producing a response whose
+// seq and tag match — silent corruption the seq echo cannot catch.
+// With the checksum, any header damage is a framing error that kills
+// the connection; the client reconnects, replays its stage log, and
+// reissues, so corruption costs a transient instead of wrong bytes.
 //
 // FrameConn is not safe for concurrent use; callers serialize
 // request/response round-trips (internal/ioserver holds one mutex per
@@ -34,6 +47,12 @@ const (
 // ServerTag reports whether tag lies in the reserved server-protocol
 // range.
 func ServerTag(tag int) bool { return tag <= TagServerFirst && tag >= TagServerLast }
+
+// rpcHeaderSize is FrameConn's extended header: the frame header plus
+// the CRC32-C of its bytes.
+const rpcHeaderSize = FrameHeaderSize + 4
+
+var rpcCRCTable = crc32.MakeTable(crc32.Castagnoli)
 
 // FrameConn frames request/response messages over one net.Conn.
 type FrameConn struct {
@@ -63,16 +82,43 @@ func (fc *FrameConn) WriteFrame(seq, tag int, payload []byte) error {
 	if len(payload) > fc.maxFrame {
 		return fmt.Errorf("%w: payload length %d exceeds limit %d", ErrFrame, len(payload), fc.maxFrame)
 	}
-	fc.wbuf = appendFrame(fc.wbuf[:0], seq, tag, payload)
+	var hdr [rpcHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(int32(seq)))
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(int32(tag)))
+	binary.LittleEndian.PutUint32(hdr[12:16], crc32.Checksum(hdr[:FrameHeaderSize], rpcCRCTable))
+	fc.wbuf = append(fc.wbuf[:0], hdr[:]...)
+	fc.wbuf = append(fc.wbuf, payload...)
 	_, err := fc.conn.Write(fc.wbuf)
 	return err
 }
 
 // ReadFrame reads one frame.  The payload is freshly allocated (at most
-// maxFrame bytes, validated before allocation); a truncated or garbage
-// header returns an error wrapping ErrFrame.
+// maxFrame bytes, validated before allocation); a truncated header, a
+// header checksum mismatch, or an oversized length returns an error
+// wrapping ErrFrame.
 func (fc *FrameConn) ReadFrame() (seq, tag int, payload []byte, err error) {
-	return readFrame(fc.br, fc.maxFrame)
+	var hdr [rpcHeaderSize]byte
+	if _, err := io.ReadFull(fc.br, hdr[:]); err != nil {
+		return 0, 0, nil, err // EOF between frames is a link event, not a frame error
+	}
+	if got, want := crc32.Checksum(hdr[:FrameHeaderSize], rpcCRCTable), binary.LittleEndian.Uint32(hdr[12:16]); got != want {
+		return 0, 0, nil, fmt.Errorf("%w: header checksum mismatch (%#x vs %#x)", ErrFrame, got, want)
+	}
+	n := binary.LittleEndian.Uint32(hdr[0:4])
+	if n > uint32(fc.maxFrame) {
+		return 0, 0, nil, fmt.Errorf("%w: payload length %d exceeds limit %d", ErrFrame, n, fc.maxFrame)
+	}
+	seq = int(int32(binary.LittleEndian.Uint32(hdr[4:8])))
+	tag = int(int32(binary.LittleEndian.Uint32(hdr[8:12])))
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(fc.br, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, 0, nil, fmt.Errorf("%w: truncated payload: %v", ErrFrame, err)
+	}
+	return seq, tag, payload, nil
 }
 
 // SetDeadline bounds the next read and write on the underlying

@@ -71,6 +71,12 @@ type TCPConfig struct {
 	// DisablePool makes the endpoint allocate every payload and drop
 	// every sent one — the unpooled ablation.
 	DisablePool bool
+	// WireChaos, when enabled, wraps every pair link (after the
+	// handshake) in a fault-injecting ChaosConn.  The mailbox links
+	// assume reliable delivery, so anything beyond latency spikes
+	// (WireChaosConfig.SpikeOnly) will eventually fail the endpoint —
+	// which is itself a legitimate thing for a test to watch.
+	WireChaos *WireChaosConfig
 }
 
 const (
@@ -449,6 +455,9 @@ type link struct {
 }
 
 func newLink(t *TCP, peer int, conn net.Conn) *link {
+	if t.cfg.WireChaos.Enabled() {
+		conn = NewChaosConn(conn, t.cfg.WireChaos, fmt.Sprintf("rank%d-rank%d", t.cfg.Rank, peer))
+	}
 	l := &link{t: t, peer: peer, conn: conn}
 	l.cond = sync.NewCond(&l.mu)
 	return l
