@@ -38,6 +38,7 @@ func main() {
 		transp   = flag.String("transport", "", "run the in-process-vs-TCP exchange comparison and write its JSON to this path (e.g. BENCH_transport.json)")
 		alloc    = flag.String("alloc", "", "run the pooled-vs-unpooled allocation comparison and write its JSON to this path (e.g. BENCH_alloc.json)")
 		server   = flag.String("server", "", "run the I/O-server tier comparison (local vs striped servers; views vs offset lists) and write its JSON to this path (e.g. BENCH_server.json)")
+		obsF     = flag.String("obs", "", "run the metrics-instrumentation overhead comparison (registry on vs -no-metrics) and write its JSON to this path (e.g. BENCH_obs.json)")
 		phases   = flag.Bool("phases", false, "run one traced collective per engine and print the per-phase imbalance breakdown")
 		scaleS   = flag.String("scale", "full", "experiment scale: full or quick")
 		csvDir   = flag.String("csv", "", "directory to write per-figure CSV files")
@@ -59,7 +60,7 @@ func main() {
 		figs = multiFlag{"5", "6", "7", "8"}
 		tables = multiFlag{"1", "2", "3"}
 	}
-	if len(figs) == 0 && len(tables) == 0 && *pipeline == "" && *transp == "" && *alloc == "" && *server == "" && !*phases {
+	if len(figs) == 0 && len(tables) == 0 && *pipeline == "" && *transp == "" && *alloc == "" && *server == "" && *obsF == "" && !*phases {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -144,6 +145,24 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("wrote %s\n\n", *server)
+	}
+
+	if *obsF != "" {
+		t0 := time.Now()
+		oc, err := bench.Obs(scale)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(bench.FormatObs(oc))
+		fmt.Printf("(measured at scale %s in %v)\n\n", scale, time.Since(t0).Round(time.Millisecond))
+		data, err := bench.ObsJSON(oc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*obsF, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n\n", *obsF)
 	}
 
 	figRunners := map[string]func(bench.Scale) (bench.Figure, error){

@@ -35,8 +35,10 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -44,6 +46,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/ioserver"
 	"repro/internal/noncontig"
+	"repro/internal/obs"
 	"repro/internal/storage"
 	"repro/internal/trace"
 	"repro/internal/transport"
@@ -94,6 +97,13 @@ func main() {
 		serverRestarts = flag.Int("server-restarts", 0, "with -net launch -servers: restart a crashed I/O server up to this many times on its inherited listener")
 		killServer     = flag.Duration("kill-server", 0, "with -net launch -servers: SIGKILL server 0 after this long, to demonstrate supervised recovery (0 = off)")
 		wireChaosSeed  = flag.Int64("wire-chaos-seed", 0, "inject seeded wire faults (drops, dups, header corruption, resets, partitions) on this rank's server connections (0 = off)")
+
+		metricsAddr = flag.String("metrics-addr", "", "serve a Prometheus /metrics endpoint on this address (e.g. 127.0.0.1:0; the bound address is printed as \"metrics <proc> <addr>\")")
+		metricsFD   = flag.Int("metrics-fd", 0, "inherited metrics listener fd (set by launch)")
+		metricsPush = flag.String("metrics-push", "", "push the final metrics snapshot to this launcher collector address on clean exit (set by launch)")
+		noMetrics   = flag.Bool("no-metrics", false, "disable the metrics registry entirely (the overhead-measurement baseline)")
+		traceSplit  = flag.Bool("trace-split", false, "with -net launch -trace: keep the per-process trace files next to the merged one")
+		flight      = flag.String("flight", "", "flight recorder: periodically persist recent spans and metrics to this path, dumped on SIGQUIT, collective fault, or watchdog stall and surviving SIGKILL (with -net launch: a directory, one dump per process)")
 	)
 	flag.Parse()
 
@@ -135,10 +145,17 @@ func main() {
 			killServer: *killServer, wireChaosSeed: *wireChaosSeed,
 			file: *file, readBW: *readBW, writeBW: *writeBW, latency: *latency,
 			tracePath: *tracePath, stall: stallTimeout, timeout: *netTimeout,
+			traceSplit: *traceSplit, flight: *flight, noMetrics: *noMetrics,
 		})
 		return
 	case "server":
-		runServer(*netIndex, *servers, *stripeUnit, *file, *tracePath)
+		runServer(serverConfig{
+			index: *netIndex, count: *servers, stripe: *stripeUnit,
+			file: *file, tracePath: *tracePath,
+			metricsAddr: *metricsAddr, metricsFD: *metricsFD,
+			metricsPush: *metricsPush,
+			noMetrics:   *noMetrics, flight: *flight,
+		})
 		return
 	case "rank":
 		// handled below: same config assembly, different backend + runner
@@ -147,6 +164,14 @@ func main() {
 	}
 
 	isRank := *netMode == "rank"
+	proc := "local"
+	if isRank {
+		proc = fmt.Sprintf("rank%d", *netRank)
+	}
+	var reg *obs.Registry
+	if !*noMetrics {
+		reg = obs.NewRegistry()
+	}
 	var backend storage.Backend
 	var agg *ioserver.Striped
 	if isRank {
@@ -154,7 +179,7 @@ func main() {
 			log.Fatalf("-net rank requires -net-rank in [0, %d)", *p)
 		}
 		if *serverAddrs != "" {
-			copts := ioserver.ClientOptions{}
+			copts := ioserver.ClientOptions{Metrics: reg}
 			if *wireChaosSeed != 0 {
 				copts.Timeout = 500 * time.Millisecond // a dropped frame costs one deadline, not 30s
 				copts.WireChaos = &transport.WireChaosConfig{
@@ -210,6 +235,22 @@ func main() {
 	var collector *trace.Collector
 	if *tracePath != "" || *traceSumm {
 		collector = trace.NewCollector(trace.DefaultBufSize)
+	} else if *flight != "" {
+		// Flight-only runs keep a small always-on ring: enough recent
+		// spans for a post-mortem without full-trace memory.
+		collector = trace.NewCollector(obs.RecorderBufSize)
+	}
+	serveMetrics(reg, *metricsAddr, *metricsFD, proc)
+	// A clean exit pushes the final snapshot to the launcher, so a rank
+	// that finishes between two scrape ticks still lands in the merged
+	// run report (a crashed rank is covered by its last-good scrape).
+	defer obs.Push(*metricsPush, proc, reg)
+	var rec *obs.Recorder
+	if *flight != "" {
+		rec = obs.NewRecorder(*flight, proc, reg, collector)
+		rec.Start(0)
+		defer rec.Stop()
+		defer rec.Dump("clean exit")
 	}
 
 	// Chaos goes outermost on the storage side so every injected fault
@@ -252,7 +293,9 @@ func main() {
 			DisableEpochs:       *noEpochs,
 		},
 		Trace:        collector,
+		Metrics:      reg,
 		StallTimeout: stallTimeout,
+		OnStall:      func(diag string) { rec.Dump("watchdog stall: " + diag) },
 	}
 	if cfg.Reps == 0 {
 		cfg.Reps = autoReps(cfg.DataPerProc())
@@ -285,6 +328,7 @@ func main() {
 		res, err = noncontig.Run(cfg)
 	}
 	if err != nil {
+		rec.Dump("collective fault: " + err.Error())
 		if collector != nil {
 			fmt.Fprintf(os.Stderr, "trace forensics (last events per rank):\n%s", collector.Forensics(8))
 		}
@@ -372,6 +416,9 @@ type launchFlags struct {
 	tracePath         string
 	stall             time.Duration
 	timeout           time.Duration
+	traceSplit        bool
+	flight            string
+	noMetrics         bool
 }
 
 // netLaunch forks one rank process per rank against a shared file and
@@ -405,6 +452,11 @@ func netLaunch(p int, pat noncontig.Pattern, eng core.Engine, lf launchFlags) {
 			tmp.Close()
 		}
 		defer os.Remove(path)
+	}
+	if lf.flight != "" {
+		if err := os.MkdirAll(lf.flight, 0o755); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	exe, err := os.Executable()
@@ -474,6 +526,12 @@ func netLaunch(p int, pat noncontig.Pattern, eng core.Engine, lf launchFlags) {
 		if lf.tracePath != "" {
 			a = append(a, "-trace", fmt.Sprintf("%s.rank%d", lf.tracePath, rank))
 		}
+		if lf.noMetrics {
+			a = append(a, "-no-metrics")
+		}
+		if lf.flight != "" {
+			a = append(a, "-flight", filepath.Join(lf.flight, fmt.Sprintf("rank%d.flight", rank)))
+		}
 		if rank == 0 {
 			a = append(a, "-net-fd", fmt.Sprint(transport.RendezvousFD))
 		} else {
@@ -494,16 +552,104 @@ func netLaunch(p int, pat noncontig.Pattern, eng core.Engine, lf launchFlags) {
 		if lf.tracePath != "" {
 			a = append(a, "-trace", fmt.Sprintf("%s.srv%d", lf.tracePath, idx))
 		}
+		if lf.noMetrics {
+			a = append(a, "-no-metrics")
+		}
+		if lf.flight != "" {
+			a = append(a, "-flight", filepath.Join(lf.flight, fmt.Sprintf("srv%d.flight", idx)))
+		}
 		return a
 	}
-	if err := transport.Launch(transport.LaunchOptions{
+	lo := transport.LaunchOptions{
 		Size: p, Exe: exe, Args: args, Timeout: lf.timeout,
 		Servers: lf.servers, ServerArgs: serverArgs,
 		ServerRestarts:  lf.serverRestarts,
 		KillServerAfter: lf.killServer,
-	}); err != nil {
+	}
+	if !lf.noMetrics {
+		// The launcher hands every child a pre-bound metrics listener,
+		// announces the addresses ("metrics <proc> <addr>" — CI curls
+		// them mid-run), scrapes everyone, and prints the merged run
+		// report on exit.
+		lo.Metrics = &transport.MetricsOptions{Announce: os.Stdout, Report: os.Stdout}
+	}
+	if lf.flight != "" {
+		// Preserve a crashed server's dying breath: the supervised
+		// restart would let the replacement overwrite its flight dump.
+		lo.OnServerRestart = func(idx, attempt int) {
+			dump := filepath.Join(lf.flight, fmt.Sprintf("srv%d.flight", idx))
+			os.Rename(dump, fmt.Sprintf("%s.crash%d", dump, attempt))
+		}
+	}
+	err = transport.Launch(lo)
+	if lf.tracePath != "" {
+		// Merge the per-process traces into one file spanning every rank
+		// and server (best effort on a failed run: the survivors still
+		// merge; a crashed process may have no trace to contribute).
+		mergeTraces(lf.tracePath, p, lf.servers, lf.traceSplit)
+	}
+	if err != nil {
 		log.Fatal(err)
 	}
+}
+
+// mergeTraces folds the launcher's per-process Chrome traces
+// (<path>.rankN, <path>.srvK) into one file at path with one track per
+// process; -trace-split keeps the parts.
+func mergeTraces(path string, ranks, servers int, split bool) {
+	var ins []trace.MergeInput
+	for r := 0; r < ranks; r++ {
+		ins = append(ins, trace.MergeInput{Path: fmt.Sprintf("%s.rank%d", path, r), Proc: fmt.Sprintf("rank %d", r)})
+	}
+	for s := 0; s < servers; s++ {
+		ins = append(ins, trace.MergeInput{Path: fmt.Sprintf("%s.srv%d", path, s), Proc: fmt.Sprintf("srv %d", s)})
+	}
+	n, err := trace.MergeChromeFiles(path, ins)
+	if err != nil {
+		log.Printf("trace merge: %v", err)
+		return
+	}
+	fmt.Printf("  trace: %s (%d of %d process traces merged; load in chrome://tracing or Perfetto)\n", path, n, len(ins))
+	if !split {
+		for _, in := range ins {
+			os.Remove(in.Path)
+		}
+	}
+}
+
+// serveMetrics exposes reg's /metrics and /metrics.bin endpoints on the
+// launcher-inherited listener (fd) or a locally bound one (addr),
+// announcing the bound address in the greppable "metrics <proc> <addr>"
+// form.  No listener or no registry: no server.
+func serveMetrics(reg *obs.Registry, addr string, fd int, proc string) {
+	if reg == nil || (addr == "" && fd <= 0) {
+		return
+	}
+	var ln net.Listener
+	var err error
+	if fd > 0 {
+		ln, err = transport.ListenerFromFD(fd)
+	} else {
+		ln, err = net.Listen("tcp", addr)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("metrics %s %s\n", proc, ln.Addr())
+	obs.Serve(ln, reg, proc)
+}
+
+// serverConfig carries the -net server role's flags.
+type serverConfig struct {
+	index, count int
+	stripe       int64
+	file         string
+	tracePath    string
+	metricsAddr  string
+	metricsFD    int
+	metricsPush  string
+	noMetrics    bool
+	flight       string
 }
 
 // runServer is the -net server role: adopt the pre-bound listener the
@@ -512,19 +658,25 @@ func netLaunch(p int, pat noncontig.Pattern, eng core.Engine, lf launchFlags) {
 // intent journal at <file>.journal: recovery replays committed epochs
 // and discards uncommitted ones before serving, so a supervised restart
 // after a crash (or SIGKILL) resumes from the last commit point.
-func runServer(index, count int, stripe int64, filePath, tracePath string) {
-	if count <= 0 || index < 0 || index >= count {
-		log.Fatalf("-net server requires -net-index in [0, %d)", count)
+func runServer(sc serverConfig) {
+	if sc.count <= 0 || sc.index < 0 || sc.index >= sc.count {
+		log.Fatalf("-net server requires -net-index in [0, %d)", sc.count)
+	}
+	proc := fmt.Sprintf("srv%d", sc.index)
+	var reg *obs.Registry
+	if !sc.noMetrics {
+		reg = obs.NewRegistry()
 	}
 	var backend storage.Backend = storage.NewMem()
 	var journal *ioserver.Journal
-	if filePath != "" {
-		fb, err := storage.OpenFile(filePath)
+	var recov ioserver.RecoveryInfo
+	if sc.file != "" {
+		fb, err := storage.OpenFile(sc.file)
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer fb.Close()
-		jb, err := storage.OpenFile(filePath + ".journal")
+		jb, err := storage.OpenFile(sc.file + ".journal")
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -534,23 +686,37 @@ func runServer(index, count int, stripe int64, filePath, tracePath string) {
 			log.Fatal(err)
 		}
 		if info.AppliedEpochs > 0 || info.DiscardedEpochs > 0 || info.TornTail {
-			fmt.Printf("server %d recovery: %s\n", index, info)
+			fmt.Printf("server %d recovery: %s\n", sc.index, info)
 		}
 		journal = j
+		recov = info
 		backend = fb
 	}
 	var collector *trace.Collector
-	if tracePath != "" {
+	if sc.tracePath != "" {
 		collector = trace.NewCollector(trace.DefaultBufSize)
+	} else if sc.flight != "" {
+		collector = trace.NewCollector(obs.RecorderBufSize)
+	}
+	if collector != nil {
 		backend = storage.NewTraced(backend, collector.Storage())
+	}
+	serveMetrics(reg, sc.metricsAddr, sc.metricsFD, proc)
+	var rec *obs.Recorder
+	if sc.flight != "" {
+		rec = obs.NewRecorder(sc.flight, proc, reg, collector)
+		rec.Start(0)
 	}
 
 	srv, err := ioserver.New(ioserver.Config{
-		Backend: backend,
-		Geom:    storage.StripeGeom{Unit: stripe, Count: count},
-		Index:   index,
-		Journal: journal,
-		Tracer:  collector.Storage(),
+		Backend:  backend,
+		Geom:     storage.StripeGeom{Unit: sc.stripe, Count: sc.count},
+		Index:    sc.index,
+		Journal:  journal,
+		Tracer:   collector.Storage(),
+		Metrics:  reg,
+		Proc:     proc,
+		Recovery: recov,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -577,8 +743,11 @@ func runServer(index, count int, stripe int64, filePath, tracePath string) {
 	if err := backend.Sync(); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("server %d/%d (stripe %s): %s\n", index, count, humanBytes(stripe), srv.Stats())
-	writeTrace(tracePath, collector)
+	rec.Dump("shutdown")
+	rec.Stop()
+	obs.Push(sc.metricsPush, proc, reg)
+	fmt.Printf("server %d/%d (stripe %s): %s\n", sc.index, sc.count, humanBytes(sc.stripe), srv.Stats())
+	writeTrace(sc.tracePath, collector)
 }
 
 func writeTrace(path string, collector *trace.Collector) {

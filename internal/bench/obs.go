@@ -1,0 +1,200 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/noncontig"
+	"repro/internal/obs"
+	"repro/internal/storage"
+)
+
+// Instrumentation-overhead comparison: the same nc-nc collective
+// workload with the metrics registry live versus absent (-no-metrics).
+// Every hot-path metrics site is a single atomic add on a handle
+// registered at setup, so the instrumented run must match the baseline
+// in steady-state allocations exactly — the delta is the headline
+// number and its acceptance bar is zero.  Wall-clock overhead is
+// measured with the same repetition-delta method as the allocation
+// suite (the per-collective setup both modes share cancels in the
+// subtraction) and the minimum over several trials, since a single
+// per-op time at this scale is scheduler noise.
+
+// ObsPoint is one (metrics on/off) cell of the comparison.
+type ObsPoint struct {
+	Metrics bool `json:"metrics"`
+
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	OpMs        float64 `json:"op_ms"` // one collective write + read, min over trials
+
+	WriteMBps float64 `json:"write_mbps_per_proc"`
+	ReadMBps  float64 `json:"read_mbps_per_proc"`
+}
+
+// ObsComparison is the full instrumented-vs-baseline measurement, the
+// payload of BENCH_obs.json.
+type ObsComparison struct {
+	P           int   `json:"p"`
+	Blockcount  int64 `json:"n_block"`
+	Blocklen    int64 `json:"s_block"`
+	CollBufSize int   `json:"coll_buf_bytes"`
+	RepsLow     int   `json:"reps_low"`
+	RepsHigh    int   `json:"reps_high"`
+	Trials      int   `json:"trials"`
+
+	Points []ObsPoint `json:"points"`
+
+	// AllocsPerOpDelta is instrumented minus baseline allocations per
+	// op; the zero-overhead discipline requires it to be 0.
+	AllocsPerOpDelta float64 `json:"allocs_per_op_delta"`
+	// OverheadPct is the instrumented wall-clock cost per op relative
+	// to the baseline, in percent (negative values are noise).
+	OverheadPct float64 `json:"overhead_pct"`
+}
+
+func obsConfig(s Scale) ObsComparison {
+	// A wide repetition gap (dr = 20 ops) keeps the wall-clock delta an
+	// order of magnitude above per-run jitter.
+	oc := ObsComparison{
+		P:           4,
+		Blockcount:  8192,
+		Blocklen:    32,
+		CollBufSize: 8 << 10,
+		RepsLow:     5,
+		RepsHigh:    25,
+		Trials:      7,
+	}
+	if s == Quick {
+		oc.Blockcount = 4096
+		oc.RepsLow = 2
+		oc.RepsHigh = 10
+		oc.Trials = 3
+	}
+	return oc
+}
+
+// obsRun runs the workload once and returns the memory tallies and the
+// elapsed wall clock.  A fresh registry per run keeps the GaugeFunc
+// closures from outliving the world they read.
+func obsRun(oc ObsComparison, metrics bool, reps int) (mallocs, bytes uint64, elapsed time.Duration, res noncontig.Result, err error) {
+	var reg *obs.Registry
+	if metrics {
+		reg = obs.NewRegistry()
+	}
+	cfg := noncontig.Config{
+		P:          oc.P,
+		Blockcount: oc.Blockcount,
+		Blocklen:   oc.Blocklen,
+		Pattern:    noncontig.NcNc,
+		Collective: true,
+		Engine:     core.Listless,
+		Reps:       reps,
+		Backend:    storage.NewMem(),
+		Options: core.Options{
+			CollBufSize: oc.CollBufSize,
+		},
+		Metrics:      reg,
+		StallTimeout: 30 * time.Second,
+	}
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	t0 := time.Now()
+	res, err = noncontig.Run(cfg)
+	elapsed = time.Since(t0)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		return 0, 0, 0, res, fmt.Errorf("obs bench (metrics=%v reps=%d): %w", metrics, reps, err)
+	}
+	return after.Mallocs - before.Mallocs, after.TotalAlloc - before.TotalAlloc, elapsed, res, nil
+}
+
+// obsTrial measures one low/high repetition pair for one mode.
+func obsTrial(oc ObsComparison, metrics bool) (ObsPoint, error) {
+	pt := ObsPoint{Metrics: metrics}
+	mLow, bLow, tLow, _, err := obsRun(oc, metrics, oc.RepsLow)
+	if err != nil {
+		return pt, err
+	}
+	mHigh, bHigh, tHigh, res, err := obsRun(oc, metrics, oc.RepsHigh)
+	if err != nil {
+		return pt, err
+	}
+	dr := float64(oc.RepsHigh - oc.RepsLow)
+	pt.OpMs = float64(tHigh-tLow) / dr / float64(time.Millisecond)
+	pt.AllocsPerOp = float64(mHigh-mLow) / dr
+	pt.BytesPerOp = float64(bHigh-bLow) / dr
+	pt.WriteMBps = res.WriteBpp
+	pt.ReadMBps = res.ReadBpp
+	return pt, nil
+}
+
+// Obs runs the instrumented-vs-baseline comparison.  The two modes
+// alternate within each trial (so heap growth or machine drift cannot
+// systematically favor one) and the per-op time is the minimum over the
+// trials.  GC is disabled so sync.Pool contents survive between the
+// paired runs; an explicit collection between pairs keeps the heap from
+// compounding across them.
+func Obs(s Scale) (ObsComparison, error) {
+	oc := obsConfig(s)
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	for _, m := range []bool{true, false} { // warm both modes
+		if _, _, _, _, err := obsRun(oc, m, 1); err != nil {
+			return ObsComparison{}, err
+		}
+	}
+	var on, off ObsPoint
+	for trial := 0; trial < oc.Trials; trial++ {
+		order := []bool{true, false}
+		if trial%2 == 1 {
+			order[0], order[1] = order[1], order[0]
+		}
+		for _, m := range order {
+			runtime.GC()
+			pt, err := obsTrial(oc, m)
+			if err != nil {
+				return ObsComparison{}, err
+			}
+			best := &off
+			if m {
+				best = &on
+			}
+			if best.OpMs == 0 || pt.OpMs < best.OpMs {
+				*best = pt
+			}
+		}
+	}
+	oc.Points = append(oc.Points, on, off)
+	oc.AllocsPerOpDelta = on.AllocsPerOp - off.AllocsPerOp
+	if off.OpMs > 0 {
+		oc.OverheadPct = 100 * (on.OpMs - off.OpMs) / off.OpMs
+	}
+	return oc, nil
+}
+
+// ObsJSON renders the comparison as indented JSON, the payload of
+// BENCH_obs.json.
+func ObsJSON(oc ObsComparison) ([]byte, error) {
+	return json.MarshalIndent(oc, "", "  ")
+}
+
+// FormatObs renders the comparison as text.
+func FormatObs(oc ObsComparison) string {
+	s := fmt.Sprintf("Metrics-instrumentation overhead (P=%d, N_block=%d, S_block=%dB, collbuf=%dK, nc-nc collective):\n",
+		oc.P, oc.Blockcount, oc.Blocklen, oc.CollBufSize>>10)
+	for _, pt := range oc.Points {
+		mode := "baseline (-no-metrics)"
+		if pt.Metrics {
+			mode = "instrumented"
+		}
+		s += fmt.Sprintf("  %-22s %9.0f allocs/op  %11.0f B/op  %8.2f ms/op  write %7.2f MB/s  read %7.2f MB/s\n",
+			mode, pt.AllocsPerOp, pt.BytesPerOp, pt.OpMs, pt.WriteMBps, pt.ReadMBps)
+	}
+	s += fmt.Sprintf("  allocation delta: %+.0f allocs/op (bar: 0)   wall-clock overhead: %+.1f%%\n",
+		oc.AllocsPerOpDelta, oc.OverheadPct)
+	return s
+}

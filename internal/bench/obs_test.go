@@ -1,0 +1,55 @@
+package bench
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// TestObsZeroAllocDelta checks the headline claim of the observability
+// plane: turning the metrics registry on adds no steady-state
+// allocations.  Wall-clock overhead is noise-bound and not asserted
+// here (the per-window zero-allocation discipline is pinned exactly by
+// the core allocation-regression suite); the repetition-delta
+// allocation count can wobble by a few allocs from runtime internals,
+// so a run outside the small tolerance is retried before failing.
+func TestObsZeroAllocDelta(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock benchmark")
+	}
+	const tolerance = 3.0
+	var worst float64
+	for attempt := 0; attempt < 3; attempt++ {
+		oc, err := Obs(Quick)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := math.Abs(oc.AllocsPerOpDelta)
+		if d <= tolerance {
+			return
+		}
+		if d > worst {
+			worst = d
+		}
+		t.Logf("attempt %d: allocation delta %+.1f allocs/op outside ±%.0f, retrying", attempt, oc.AllocsPerOpDelta, tolerance)
+	}
+	t.Errorf("instrumented-vs-baseline allocation delta %.1f allocs/op, want |delta| <= %.0f", worst, tolerance)
+}
+
+// TestObsJSON checks the BENCH_obs.json payload round-trips.
+func TestObsJSON(t *testing.T) {
+	oc := obsConfig(Quick)
+	oc.OverheadPct = 1.25
+	oc.Points = []ObsPoint{{Metrics: true, OpMs: 2}, {Metrics: false, OpMs: 1.9}}
+	data, err := ObsJSON(oc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ObsComparison
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if back.OverheadPct != oc.OverheadPct || back.P != oc.P || len(back.Points) != 2 || !back.Points[0].Metrics {
+		t.Fatalf("round trip mismatch: %+v", back)
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/datatype"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 	"repro/internal/storage"
 	"repro/internal/testutil"
 )
@@ -55,7 +56,7 @@ func measureCollective(t *testing.T, f *File, buf []byte, d int64, write bool) f
 	})
 }
 
-func testWindowAllocFree(t *testing.T, engine Engine, write bool, wantPerWindow float64) {
+func testWindowAllocFree(t *testing.T, engine Engine, write, metrics bool, wantPerWindow float64) {
 	if testutil.RaceEnabled {
 		t.Skip("race-detector instrumentation allocates")
 	}
@@ -67,9 +68,13 @@ func testWindowAllocFree(t *testing.T, engine Engine, write bool, wantPerWindow 
 	const dLarge = int64(16 * allocWinSize / 2) // 16 windows
 	const winSmall, winLarge = 4, 16
 
+	var reg *obs.Registry
+	if metrics {
+		reg = obs.NewRegistry()
+	}
 	_, err := mpi.Run(1, func(p *mpi.Proc) {
 		sh := NewShared(storage.NewMem())
-		f, err := Open(p, sh, Options{Engine: engine, CollBufSize: allocWinSize})
+		f, err := Open(p, sh, Options{Engine: engine, CollBufSize: allocWinSize, Metrics: reg})
 		if err != nil {
 			panic(err)
 		}
@@ -107,7 +112,17 @@ func testWindowAllocFree(t *testing.T, engine Engine, write bool, wantPerWindow 
 // per window, for both the pipelined and the sequential loop.
 func TestListlessWindowZeroAlloc(t *testing.T) {
 	for _, write := range []bool{true, false} {
-		testWindowAllocFree(t, Listless, write, 0)
+		testWindowAllocFree(t, Listless, write, false, 0)
+	}
+}
+
+// TestListlessWindowZeroAllocMetricsOn: instrumentation must be free in
+// the steady state.  Every hot-path increment is a single atomic add on
+// a handle registered at Open, so turning the metrics registry on may
+// not reintroduce per-window allocations.
+func TestListlessWindowZeroAllocMetricsOn(t *testing.T) {
+	for _, write := range []bool{true, false} {
+		testWindowAllocFree(t, Listless, write, true, 0)
 	}
 }
 

@@ -29,6 +29,8 @@ func (f *File) WriteAtAll(off int64, count int64, memtype *datatype.Type, buf []
 		return 0, err
 	}
 	f.Stats.BytesWritten += d
+	f.om.collWrites.Inc()
+	f.om.writeBytes.Add(d)
 	return d, nil
 }
 
@@ -43,6 +45,8 @@ func (f *File) ReadAtAll(off int64, count int64, memtype *datatype.Type, buf []b
 		return 0, err
 	}
 	f.Stats.BytesRead += d
+	f.om.collReads.Inc()
+	f.om.readBytes.Add(d)
 	return d, nil
 }
 

@@ -82,8 +82,11 @@ func (f *File) iopExchangeWrite(iw iopWindow, w []byte, winLo int64) {
 		iw.copyIn(w, r, chunk)
 		csp.End()
 		f.bp.Put(chunk)
-		f.Stats.ExchangeNs += t1.Sub(t0).Nanoseconds()
-		f.Stats.CopyNs += time.Since(t1).Nanoseconds()
+		en, cn := t1.Sub(t0).Nanoseconds(), time.Since(t1).Nanoseconds()
+		f.Stats.ExchangeNs += en
+		f.Stats.CopyNs += cn
+		f.om.exchangeNs.Add(en)
+		f.om.copyNs.Add(cn)
 	}
 }
 
@@ -106,8 +109,11 @@ func (f *File) iopExchangeRead(iw iopWindow, w []byte, winLo int64) {
 		esp := f.tr.Begin(trace.PhaseExchange, winLo, n)
 		f.p.SendNoCopy(r, tagCollData, chunk)
 		esp.End()
-		f.Stats.CopyNs += t1.Sub(t0).Nanoseconds()
-		f.Stats.ExchangeNs += time.Since(t1).Nanoseconds()
+		cn, en := t1.Sub(t0).Nanoseconds(), time.Since(t1).Nanoseconds()
+		f.Stats.CopyNs += cn
+		f.Stats.ExchangeNs += en
+		f.om.copyNs.Add(cn)
+		f.om.exchangeNs.Add(en)
 	}
 }
 
@@ -128,12 +134,15 @@ func (f *File) iopSequential(iop iopState, domLo, domHi, winSize int64, write bo
 			covered := !f.opts.DisableMergeCheck && iw.covered()
 			if covered {
 				f.Stats.PreReadsSkipped++
+				f.om.preSkipped.Inc()
 			} else {
 				rsp := f.tr.Begin(trace.PhasePreRead, winLo, int64(len(w)))
 				t0 := time.Now()
 				err := storage.ReadFull(f.sh.b, w, winLo)
 				rsp.End()
-				f.Stats.StorageNs += time.Since(t0).Nanoseconds()
+				sn := time.Since(t0).Nanoseconds()
+				f.Stats.StorageNs += sn
+				f.om.storageNs.Add(sn)
 				if err != nil {
 					wsp.End()
 					iw.release()
@@ -145,28 +154,35 @@ func (f *File) iopSequential(iop iopState, domLo, domHi, winSize int64, write bo
 			t0 := time.Now()
 			_, err := f.sh.b.WriteAt(w, winLo)
 			bsp.End()
-			f.Stats.StorageNs += time.Since(t0).Nanoseconds()
+			sn := time.Since(t0).Nanoseconds()
+			f.Stats.StorageNs += sn
+			f.om.storageNs.Add(sn)
 			if err != nil {
 				wsp.End()
 				iw.release()
 				return err
 			}
 			f.Stats.SieveWrites++
+			f.om.sieveWrites.Inc()
 		} else {
 			rsp := f.tr.Begin(trace.PhasePreRead, winLo, int64(len(w)))
 			t0 := time.Now()
 			err := storage.ReadFull(f.sh.b, w, winLo)
 			rsp.End()
-			f.Stats.StorageNs += time.Since(t0).Nanoseconds()
+			sn := time.Since(t0).Nanoseconds()
+			f.Stats.StorageNs += sn
+			f.om.storageNs.Add(sn)
 			if err != nil {
 				wsp.End()
 				iw.release()
 				return err
 			}
 			f.Stats.SieveReads++
+			f.om.sieveReads.Inc()
 			f.iopExchangeRead(iw, w, winLo)
 		}
 		wsp.End()
+		f.om.windows.Inc()
 		iw.release()
 	}
 	return nil
@@ -300,12 +316,14 @@ func (f *File) iopPipelined(iop iopState, domLo, domHi, winSize int64, write boo
 		nxt, nok := mk()
 		if nok {
 			f.Stats.WindowsOverlapped++
+			f.om.overlapped.Inc()
 		}
 
 		psp := f.tr.Begin(trace.PhasePipelineWait, cur.lo, 0)
 		t := <-cur.slot.done
 		psp.End()
 		f.Stats.StorageNs += t.ns
+		f.om.storageNs.Add(t.ns)
 		if t.err != nil {
 			// Unwind quiescently: consume nxt's prep reply if one was
 			// issued (its slot's prior write-back folds into it), then
@@ -316,6 +334,7 @@ func (f *File) iopPipelined(iop iopState, domLo, domHi, winSize int64, write boo
 			if nok {
 				t2 := <-nxt.slot.done
 				f.Stats.StorageNs += t2.ns
+				f.om.storageNs.Add(t2.ns)
 				nxt.iw.release()
 			}
 			cur.iw.release()
@@ -327,15 +346,19 @@ func (f *File) iopPipelined(iop iopState, domLo, domHi, winSize int64, write boo
 		if write {
 			if cur.covered {
 				f.Stats.PreReadsSkipped++
+				f.om.preSkipped.Inc()
 			}
 			f.iopExchangeWrite(cur.iw, w, cur.lo)
 			f.Stats.SieveWrites++
+			f.om.sieveWrites.Inc()
 			cur.slot.req <- pipeReq{lo: cur.lo, hi: cur.hi, kind: pipeWrite}
 		} else {
 			f.Stats.SieveReads++
+			f.om.sieveReads.Inc()
 			f.iopExchangeRead(cur.iw, w, cur.lo)
 		}
 		wsp.End()
+		f.om.windows.Inc()
 		cur.iw.release()
 		cur, ok = nxt, nok
 	}
@@ -349,6 +372,7 @@ func (f *File) iopPipelined(iop iopState, domLo, domHi, winSize int64, write boo
 	for _, s := range slots {
 		t := <-s.fin
 		f.Stats.StorageNs += t.ns
+		f.om.storageNs.Add(t.ns)
 		if t.err != nil && err == nil {
 			err = t.err
 		}

@@ -31,6 +31,7 @@ import (
 
 	"repro/internal/datatype"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 	"repro/internal/pool"
 	"repro/internal/storage"
 	"repro/internal/trace"
@@ -121,6 +122,10 @@ type Options struct {
 	// (plan, exchange, window storage I/O, copies) into the collector;
 	// nil disables tracing at the cost of one pointer check per site.
 	Trace *trace.Collector
+	// Metrics, when non-nil, registers this file's live counters (per
+	// phase, window, and epoch) on the registry for the /metrics scrape
+	// plane; nil disables them at the cost of one nil check per site.
+	Metrics *obs.Registry
 }
 
 func (o *Options) fill() {
@@ -277,6 +282,10 @@ type File struct {
 
 	// Stats accumulates the work counters of this handle.
 	Stats Stats
+	// om holds this handle's live metric handles (all nil with
+	// Options.Metrics unset — every site no-ops through the nil
+	// receivers).
+	om fileMetrics
 }
 
 // Open opens the shared backend collectively and installs the trivial
@@ -291,6 +300,7 @@ func Open(p *mpi.Proc, sh *Shared, opts Options) (*File, error) {
 		sh:   sh,
 		opts: opts,
 		tr:   opts.Trace.Tracer(p.Rank()),
+		om:   newFileMetrics(opts.Metrics),
 	}
 	if !opts.DisablePool {
 		if opts.Pool != nil {

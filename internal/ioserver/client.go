@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/storage"
 	"repro/internal/transport"
 )
@@ -33,6 +34,8 @@ type Client struct {
 	maxFrame  int
 	timeout   time.Duration
 	wireChaos *transport.WireChaosConfig
+	redials   *obs.Counter // dials after the first: the connection was lost
+	dialed    bool         // guarded by mu
 
 	mu       sync.Mutex
 	fc       *transport.FrameConn
@@ -78,6 +81,10 @@ type ClientOptions struct {
 	// only, so server responses stay canonical while requests suffer
 	// drops, duplicates, header corruption, resets, and partitions.
 	WireChaos *transport.WireChaosConfig
+	// Metrics, when non-nil, registers a per-server redial counter —
+	// each dial after the first means a connection was lost to a fault
+	// or a server bounce.
+	Metrics *obs.Registry
 }
 
 // NewClient builds a client for the server at addr.  The connection is
@@ -94,7 +101,10 @@ func NewClient(addr string, opts ClientOptions) *Client {
 		maxFrame:  opts.MaxFrame,
 		timeout:   opts.Timeout,
 		wireChaos: opts.WireChaos,
-		views:     make(map[*View]uint64),
+		redials: opts.Metrics.Counter("ioserver_client_redials_total",
+			"Reconnections to an I/O server after a lost connection.",
+			obs.Label{Key: "server", Value: addr}),
+		views: make(map[*View]uint64),
 	}
 }
 
@@ -148,6 +158,10 @@ func (c *Client) connectLocked() error {
 	}
 	c.fc = transport.NewFrameConn(wc, c.maxFrame)
 	c.fresh = true
+	if c.dialed {
+		c.redials.Inc()
+	}
+	c.dialed = true
 	return nil
 }
 
@@ -401,6 +415,17 @@ func (c *Client) ServerStats() (ServerStats, error) {
 		return ServerStats{}, err
 	}
 	return decodeStats(resp)
+}
+
+// Metrics fetches the server's metrics snapshot in-band (op=metrics).
+// A server built without a registry answers with a valid empty
+// snapshot.
+func (c *Client) Metrics() (*obs.Snapshot, error) {
+	resp, err := c.roundTrip(opMetrics, nil)
+	if err != nil {
+		return nil, err
+	}
+	return obs.DecodeSnapshot(resp)
 }
 
 // handleLocked returns the server's handle for v, registering it on

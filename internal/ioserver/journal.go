@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/storage"
 )
@@ -46,10 +47,11 @@ var crcTab = crc32.MakeTable(crc32.Castagnoli)
 // Obtain one with NewJournal (fresh/volatile) or RecoverJournal (replays
 // and truncates existing contents first).  Safe for concurrent use.
 type Journal struct {
-	mu  sync.Mutex
-	b   storage.Backend
-	end int64
-	buf []byte // record staging, reused
+	mu     sync.Mutex
+	b      storage.Backend
+	end    int64
+	buf    []byte       // record staging, reused
+	fsyncs atomic.Int64 // journal syncs performed (commit/seal/reset points)
 }
 
 // NewJournal wraps an empty (or expendable) backend as a journal.  Any
@@ -93,7 +95,7 @@ func (j *Journal) AppendCommit(epoch uint64) error {
 	if err := j.appendRec(j.buf); err != nil {
 		return err
 	}
-	return j.b.Sync()
+	return j.sync()
 }
 
 // AppendSeal journals a clean-shutdown marker and syncs.
@@ -104,8 +106,20 @@ func (j *Journal) AppendSeal() error {
 	if err := j.appendRec(j.buf); err != nil {
 		return err
 	}
-	return j.b.Sync()
+	return j.sync()
 }
+
+// sync flushes the journal store and counts the durability point.
+func (j *Journal) sync() error {
+	if err := j.b.Sync(); err != nil {
+		return err
+	}
+	j.fsyncs.Add(1)
+	return nil
+}
+
+// Fsyncs reports the journal syncs performed so far.
+func (j *Journal) Fsyncs() int64 { return j.fsyncs.Load() }
 
 // Reset empties the journal after a committed epoch has been applied and
 // the stripe synced: everything in it is now redundant.
@@ -116,7 +130,7 @@ func (j *Journal) Reset() error {
 	if err := j.b.Truncate(0); err != nil {
 		return err
 	}
-	return j.b.Sync()
+	return j.sync()
 }
 
 // Len reports the journal's current byte length, for tests.

@@ -55,6 +55,13 @@ const (
 	opEpochSeal      // epoch → incarnation, staged count, staged bytes (this connection)
 	opEpochCommit    // epoch, incarnation → — (journal commit + apply + sync)
 	opEpochAbort     // epoch → — (discard staged state)
+
+	// opMetrics fetches the server's obs.Registry snapshot (binary
+	// encoding, internal/obs) so the launcher and ranks can pull live
+	// metrics in-band without an HTTP round-trip.  Appended last: op
+	// values descend from TagServerFirst, so new ops must not shift the
+	// existing assignments.
+	opMetrics // — → obs snapshot bytes
 )
 
 // MaxListRuns bounds the (offset, length) entries of one opReadv /
@@ -105,13 +112,27 @@ type ServerStats struct {
 	// ops); EpochsCommitted counts applied commits.
 	StagedWrites    int64
 	EpochsCommitted int64
+	// Crash-consistency activity: seals and aborts observed live,
+	// commits journaled to disk (JournalFsyncs counts the fsync calls
+	// that made them durable), and what restart recovery found —
+	// epochs replayed, epochs discarded as uncommitted, and torn
+	// journal tails truncated.
+	EpochsSealed    int64
+	EpochsAborted   int64
+	JournalFsyncs   int64
+	EpochsRecovered int64
+	EpochsDiscarded int64
+	TornTails       int64
 }
 
 func (st ServerStats) String() string {
-	return fmt.Sprintf("requests %d: raw %dr/%dw, view %dr/%dw (reg %d, cache hits %d, stale %d), %d staged/%d epochs, %dB out, %dB in",
+	return fmt.Sprintf("requests %d: raw %dr/%dw, view %dr/%dw (reg %d, cache hits %d, stale %d), %d staged/%d epochs (sealed %d, aborted %d, fsyncs %d, recovered %d, discarded %d, torn %d), %dB out, %dB in",
 		st.Requests, st.RawReads, st.RawWrites, st.ViewReads, st.ViewWrites,
 		st.ViewRegistrations, st.ViewCacheHits, st.StaleHandles,
-		st.StagedWrites, st.EpochsCommitted, st.BytesRead, st.BytesWritten)
+		st.StagedWrites, st.EpochsCommitted,
+		st.EpochsSealed, st.EpochsAborted, st.JournalFsyncs,
+		st.EpochsRecovered, st.EpochsDiscarded, st.TornTails,
+		st.BytesRead, st.BytesWritten)
 }
 
 // add accumulates other into st, for aggregating across servers.
@@ -128,12 +149,20 @@ func (st *ServerStats) add(other ServerStats) {
 	st.BytesWritten += other.BytesWritten
 	st.StagedWrites += other.StagedWrites
 	st.EpochsCommitted += other.EpochsCommitted
+	st.EpochsSealed += other.EpochsSealed
+	st.EpochsAborted += other.EpochsAborted
+	st.JournalFsyncs += other.JournalFsyncs
+	st.EpochsRecovered += other.EpochsRecovered
+	st.EpochsDiscarded += other.EpochsDiscarded
+	st.TornTails += other.TornTails
 }
 
 func (st ServerStats) encode(buf []byte) []byte {
 	for _, v := range []int64{st.Requests, st.RawReads, st.RawWrites, st.ViewReads, st.ViewWrites,
 		st.ViewRegistrations, st.ViewCacheHits, st.StaleHandles, st.BytesRead, st.BytesWritten,
-		st.StagedWrites, st.EpochsCommitted} {
+		st.StagedWrites, st.EpochsCommitted,
+		st.EpochsSealed, st.EpochsAborted, st.JournalFsyncs,
+		st.EpochsRecovered, st.EpochsDiscarded, st.TornTails} {
 		buf = putV(buf, v)
 	}
 	return buf
@@ -144,7 +173,9 @@ func decodeStats(buf []byte) (ServerStats, error) {
 	var err error
 	for _, p := range []*int64{&st.Requests, &st.RawReads, &st.RawWrites, &st.ViewReads, &st.ViewWrites,
 		&st.ViewRegistrations, &st.ViewCacheHits, &st.StaleHandles, &st.BytesRead, &st.BytesWritten,
-		&st.StagedWrites, &st.EpochsCommitted} {
+		&st.StagedWrites, &st.EpochsCommitted,
+		&st.EpochsSealed, &st.EpochsAborted, &st.JournalFsyncs,
+		&st.EpochsRecovered, &st.EpochsDiscarded, &st.TornTails} {
 		if *p, buf, err = getV(buf); err != nil {
 			return ServerStats{}, err
 		}

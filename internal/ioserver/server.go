@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/datatype"
+	"repro/internal/obs"
 	"repro/internal/storage"
 	"repro/internal/trace"
 	"repro/internal/transport"
@@ -44,6 +45,16 @@ type Config struct {
 	// New builds a volatile in-memory journal, which still gives staged
 	// writes commit atomicity against everything but a server crash.
 	Journal *Journal
+	// Recovery, when the journal came from RecoverJournal, carries what
+	// recovery found; its counts fold into Stats so op=stats and the
+	// metrics plane reflect crash-consistency activity across restarts.
+	Recovery RecoveryInfo
+	// Metrics, when non-nil, registers the server's request counters and
+	// per-op latency histograms; opMetrics serves its snapshot in-band.
+	Metrics *obs.Registry
+	// Proc names this process in metrics snapshots (default
+	// "srv<Index>").
+	Proc string
 }
 
 // Server serves one stripe of a file to any number of client
@@ -58,7 +69,9 @@ type Server struct {
 		viewRegs, viewHits, staleHandles atomic.Int64
 		bytesRead, bytesWritten          atomic.Int64
 		stagedWrites, epochsCommitted    atomic.Int64
+		epochsSealed, epochsAborted      atomic.Int64
 	}
+	opNs map[int]*obs.Hist // per-op handling latency, when Metrics is set
 
 	// Epoch commit state: staged holds each in-flight epoch's parked
 	// segments (applied to Backend only at commit), lastCommitted the
@@ -95,14 +108,105 @@ func New(cfg Config) (*Server, error) {
 	if j == nil {
 		j = NewJournal(storage.NewMem())
 	}
-	return &Server{
+	if cfg.Proc == "" {
+		cfg.Proc = fmt.Sprintf("srv%d", cfg.Index)
+	}
+	s := &Server{
 		cfg:         cfg,
 		journal:     j,
 		incarnation: time.Now().UnixNano(),
 		staged:      make(map[uint64][]storage.Segment),
 		conns:       make(map[net.Conn]struct{}),
 		done:        make(chan struct{}),
-	}, nil
+	}
+	s.registerMetrics(cfg.Metrics)
+	return s, nil
+}
+
+// registerMetrics joins the server's counters to the metrics plane: the
+// op tallies as zero-hot-path-cost gauge callbacks over the existing
+// atomics, plus one latency histogram per protocol op.
+func (s *Server) registerMetrics(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	r.GaugeFunc("ioserver_requests_total", "Requests handled, all ops.", s.stats.requests.Load)
+	r.GaugeFunc("ioserver_raw_reads_total", "opRead and opReadv requests served.", s.stats.rawReads.Load)
+	r.GaugeFunc("ioserver_raw_writes_total", "opWrite and opWritev requests served.", s.stats.rawWrites.Load)
+	r.GaugeFunc("ioserver_view_reads_total", "opViewRead requests served.", s.stats.viewReads.Load)
+	r.GaugeFunc("ioserver_view_writes_total", "opViewWrite requests served.", s.stats.viewWrites.Load)
+	r.GaugeFunc("ioserver_view_registrations_total", "opRegister requests that decoded a new view.", s.stats.viewRegs.Load)
+	r.GaugeFunc("ioserver_view_cache_hits_total", "opRegister requests answered from the view LRU.", s.stats.viewHits.Load)
+	r.GaugeFunc("ioserver_view_stale_handles_total", "View requests naming an evicted or unknown handle.", s.stats.staleHandles.Load)
+	r.GaugeFunc("ioserver_read_bytes_total", "Data bytes sent to clients.", s.stats.bytesRead.Load)
+	r.GaugeFunc("ioserver_written_bytes_total", "Data bytes received from clients.", s.stats.bytesWritten.Load)
+	r.GaugeFunc("ioserver_staged_writes_total", "Epoch-staged write requests.", s.stats.stagedWrites.Load)
+	r.GaugeFunc("ioserver_epochs_committed_total", "Epoch commits applied.", s.stats.epochsCommitted.Load)
+	r.GaugeFunc("ioserver_epochs_sealed_total", "Epoch seal requests answered.", s.stats.epochsSealed.Load)
+	r.GaugeFunc("ioserver_epochs_aborted_total", "Epochs whose staged state was discarded by abort.", s.stats.epochsAborted.Load)
+	r.GaugeFunc("ioserver_journal_fsyncs_total", "Journal syncs (commit, seal, and reset durability points).", s.journal.Fsyncs)
+	r.GaugeFunc("ioserver_epochs_recovered_total", "Committed epochs re-applied by journal recovery at start.",
+		func() int64 { return int64(s.cfg.Recovery.AppliedEpochs) })
+	r.GaugeFunc("ioserver_epochs_discarded_total", "Staged-but-uncommitted epochs discarded by recovery.",
+		func() int64 { return int64(s.cfg.Recovery.DiscardedEpochs) })
+	r.GaugeFunc("ioserver_journal_torn_tails_total", "Torn journal tails truncated by recovery.",
+		func() int64 {
+			if s.cfg.Recovery.TornTail {
+				return 1
+			}
+			return 0
+		})
+	s.opNs = make(map[int]*obs.Hist)
+	for _, tag := range []int{opRead, opWrite, opReadv, opWritev, opSize, opTruncate, opSync,
+		opRegister, opViewRead, opViewWrite, opStats,
+		opStageWrite, opStageWritev, opStageViewWrite,
+		opEpochSeal, opEpochCommit, opEpochAbort, opMetrics} {
+		s.opNs[tag] = r.Hist("ioserver_op_ns", "Server-side request handling latency by op.",
+			obs.Label{Key: "op", Value: opName(tag)})
+	}
+}
+
+// opName labels a protocol op for metrics.
+func opName(tag int) string {
+	switch tag {
+	case opRead:
+		return "read"
+	case opWrite:
+		return "write"
+	case opReadv:
+		return "readv"
+	case opWritev:
+		return "writev"
+	case opSize:
+		return "size"
+	case opTruncate:
+		return "truncate"
+	case opSync:
+		return "sync"
+	case opRegister:
+		return "register"
+	case opViewRead:
+		return "view_read"
+	case opViewWrite:
+		return "view_write"
+	case opStats:
+		return "stats"
+	case opStageWrite:
+		return "stage_write"
+	case opStageWritev:
+		return "stage_writev"
+	case opStageViewWrite:
+		return "stage_view_write"
+	case opEpochSeal:
+		return "epoch_seal"
+	case opEpochCommit:
+		return "epoch_commit"
+	case opEpochAbort:
+		return "epoch_abort"
+	case opMetrics:
+		return "metrics"
+	}
+	return "unknown"
 }
 
 // Serve accepts connections on ln until Close, handling each on its own
@@ -187,8 +291,14 @@ func (s *Server) Close() error {
 	return err
 }
 
-// Stats snapshots the request counters.
+// Stats snapshots the request counters.  The recovery numbers come from
+// the journal recovery that produced cfg.Journal (zero for fresh
+// starts), so a restarted server's stats carry its crash history.
 func (s *Server) Stats() ServerStats {
+	torn := int64(0)
+	if s.cfg.Recovery.TornTail {
+		torn = 1
+	}
 	return ServerStats{
 		Requests:          s.stats.requests.Load(),
 		RawReads:          s.stats.rawReads.Load(),
@@ -202,6 +312,12 @@ func (s *Server) Stats() ServerStats {
 		BytesWritten:      s.stats.bytesWritten.Load(),
 		StagedWrites:      s.stats.stagedWrites.Load(),
 		EpochsCommitted:   s.stats.epochsCommitted.Load(),
+		EpochsSealed:      s.stats.epochsSealed.Load(),
+		EpochsAborted:     s.stats.epochsAborted.Load(),
+		JournalFsyncs:     s.journal.Fsyncs(),
+		EpochsRecovered:   int64(s.cfg.Recovery.AppliedEpochs),
+		EpochsDiscarded:   int64(s.cfg.Recovery.DiscardedEpochs),
+		TornTails:         torn,
 	}
 }
 
@@ -264,7 +380,14 @@ func (s *Server) handleConn(conn net.Conn) {
 // handle dispatches one request and writes its response.  The returned
 // error reports only response-write failures.
 func (st *connState) handle(seq, tag int, payload []byte) error {
+	var t0 time.Time
+	if st.srv.opNs != nil {
+		t0 = time.Now()
+	}
 	resp, err := st.dispatch(tag, payload)
+	if st.srv.opNs != nil {
+		st.srv.opNs[tag].ObserveSince(t0) // nil map entry (unknown op) no-ops
+	}
 	if err != nil {
 		class, msg := wireError(err)
 		if errors.Is(err, errStale) {
@@ -314,6 +437,12 @@ func (st *connState) dispatch(tag int, payload []byte) ([]byte, error) {
 		return st.opView(payload, true)
 	case opStats:
 		return st.srv.Stats().encode(st.resp[:0]), nil
+	case opMetrics:
+		// An empty registry still answers with a valid (empty) snapshot,
+		// so pullers need not know whether the server was instrumented.
+		snap := st.srv.cfg.Metrics.Snapshot(st.srv.cfg.Proc)
+		st.resp = append(st.resp[:0], snap.Encode()...)
+		return st.resp, nil
 	case opStageWrite:
 		return st.opStageWrite(payload)
 	case opStageWritev:

@@ -87,6 +87,9 @@ func (s *Server) commitEpoch(epoch uint64, incarnation int64) error {
 func (s *Server) abortEpoch(epoch uint64) error {
 	s.epochMu.Lock()
 	defer s.epochMu.Unlock()
+	if _, ok := s.staged[epoch]; ok {
+		s.stats.epochsAborted.Add(1)
+	}
 	delete(s.staged, epoch)
 	if len(s.staged) == 0 {
 		return s.journal.Reset()
@@ -269,6 +272,7 @@ func (st *connState) opEpochSeal(payload []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	st.srv.stats.epochsSealed.Add(1)
 	var count, bytes int64
 	if st.tallyEpoch == epoch {
 		count, bytes = st.tallyCount, st.tallyBytes

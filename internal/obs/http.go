@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Serve exposes the registry over HTTP on an already-bound listener:
+// GET /metrics is the Prometheus text exposition, GET /metrics.bin the
+// binary snapshot the launcher scrapes and merges.  The listener is
+// either a standalone bind (-metrics-addr) or one inherited from the
+// launcher by file descriptor (-metrics-fd), so every process of a
+// multi-process run is scrapable mid-collective.  Returns the server
+// for shutdown; a nil listener or registry returns nil.
+func Serve(ln net.Listener, r *Registry, proc string) *http.Server {
+	if ln == nil || r == nil {
+		return nil
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WriteProm(w)
+	})
+	mux.HandleFunc("/metrics.bin", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(r.Snapshot(proc).Encode())
+	})
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln)
+	return srv
+}
+
+// Push delivers a final snapshot to the launcher's collector endpoint.
+// Periodic scraping covers long-lived and crashed processes (last-good
+// snapshots survive a SIGKILL), but a process that exits cleanly
+// between two scrape ticks would vanish from the merged run report;
+// pushing on the way out closes that window.  Best effort: a nil
+// registry, empty address, or unreachable collector is not an error
+// worth failing a finished run over.
+func Push(addr, proc string, r *Registry) {
+	if r == nil || addr == "" {
+		return
+	}
+	c := &http.Client{Timeout: 2 * time.Second}
+	resp, err := c.Post(fmt.Sprintf("http://%s/push", addr), "application/octet-stream",
+		bytes.NewReader(r.Snapshot(proc).Encode()))
+	if err == nil {
+		resp.Body.Close()
+	}
+}

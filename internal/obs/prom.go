@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+// Prometheus text exposition (version 0.0.4): one HELP/TYPE pair per
+// metric name, label values escaped, histograms as cumulative _bucket
+// series over the registry's power-of-two bounds plus _sum and _count.
+
+func promKind(k Kind) string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+// escapeHelp escapes a HELP text per the exposition format.
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+// labelString renders {k="v",...}; extra labels are appended after the
+// metric's constant labels (used for the histogram "le" bound).
+func labelString(labels []Label, extra ...Label) string {
+	all := append(append([]Label(nil), labels...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	var parts []string
+	for _, l := range all {
+		parts = append(parts, fmt.Sprintf(`%s="%s"`, l.Key, escapeLabel(l.Value)))
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// WriteProm writes the registry in Prometheus text exposition format.
+func (r *Registry) WriteProm(w io.Writer) error {
+	var err error
+	seen := make(map[string]bool)
+	r.each(func(m Metric) {
+		if err != nil {
+			return
+		}
+		if !seen[m.Name] {
+			seen[m.Name] = true
+			_, err = fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n",
+				m.Name, escapeHelp(m.Help), m.Name, promKind(m.Kind))
+			if err != nil {
+				return
+			}
+		}
+		if m.Kind != KindHist {
+			_, err = fmt.Fprintf(w, "%s%s %d\n", m.Name, labelString(m.Labels), m.Value)
+			return
+		}
+		// Cumulative buckets; empty buckets are omitted (the format
+		// allows sparse buckets, and 65 mostly-zero lines per series
+		// would drown the exposition), then +Inf.
+		var cum int64
+		for i, c := range m.Hist.Counts {
+			if c == 0 {
+				continue
+			}
+			cum += c
+			_, err = fmt.Fprintf(w, "%s_bucket%s %d\n",
+				m.Name, labelString(m.Labels, Label{"le", fmt.Sprint(trace.BucketHi(i))}), cum)
+			if err != nil {
+				return
+			}
+		}
+		_, err = fmt.Fprintf(w, "%s_bucket%s %d\n",
+			m.Name, labelString(m.Labels, Label{"le", "+Inf"}), m.Hist.Count)
+		if err != nil {
+			return
+		}
+		_, err = fmt.Fprintf(w, "%s_sum%s %d\n%s_count%s %d\n",
+			m.Name, labelString(m.Labels), m.Hist.Sum,
+			m.Name, labelString(m.Labels), m.Hist.Count)
+	})
+	return err
+}

@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPromGolden pins the Prometheus text exposition: metric names,
+// HELP/TYPE lines, label escaping (backslash, quote, newline),
+// cumulative histogram buckets over the power-of-two bounds, and one
+// HELP/TYPE pair per name even with multiple label sets.
+func TestPromGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("wire_bytes_total", "Bytes sent on the wire.", Label{"dir", "tx"}).Add(1024)
+	r.Counter("wire_bytes_total", "Bytes sent on the wire.", Label{"dir", "rx"}).Add(2048)
+	r.GaugeFunc("queue_depth", "Current queue depth.", func() int64 { return 3 })
+	r.Gauge("weird", "Label escaping.", Label{"path", `C:\tmp` + "\n" + `"x"`}).Set(1)
+	h := r.Hist("op_ns", "Operation latency.\nMulti-line help.")
+	for _, v := range []int64{0, 1, 2, 3, 5, 100} {
+		h.Observe(v)
+	}
+
+	const want = `# HELP wire_bytes_total Bytes sent on the wire.
+# TYPE wire_bytes_total counter
+wire_bytes_total{dir="tx"} 1024
+wire_bytes_total{dir="rx"} 2048
+# HELP queue_depth Current queue depth.
+# TYPE queue_depth gauge
+queue_depth 3
+# HELP weird Label escaping.
+# TYPE weird gauge
+weird{path="C:\\tmp\n\"x\""} 1
+# HELP op_ns Operation latency.\nMulti-line help.
+# TYPE op_ns histogram
+op_ns_bucket{le="0"} 1
+op_ns_bucket{le="1"} 2
+op_ns_bucket{le="3"} 4
+op_ns_bucket{le="7"} 5
+op_ns_bucket{le="127"} 6
+op_ns_bucket{le="+Inf"} 6
+op_ns_sum 111
+op_ns_count 6
+`
+	var b strings.Builder
+	if err := r.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", b.String(), want)
+	}
+}

@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// Recorder is the flight recorder: a fixed-size ring of the process's
+// recent spans and instants (a small trace.Collector that is on even
+// when -trace is off) plus the metrics registry, dumped to disk as a
+// readable post-mortem.  Dumps are written atomically (tmp + rename)
+// and triggered by SIGQUIT, collective faults, watchdog stalls, server
+// shutdown — and, so that a SIGKILLed process still leaves its dying
+// breath behind, by a periodic persist loop that keeps the on-disk dump
+// no older than the persist interval.  All methods are nil-safe.
+type Recorder struct {
+	path string
+	proc string
+	reg  *Registry
+	col  *trace.Collector
+
+	mu      sync.Mutex
+	stop    chan struct{}
+	done    chan struct{}
+	started bool
+}
+
+// RecorderBufSize is the per-rank ring size of the recorder's own
+// collector: small enough to be always-on, large enough to hold the
+// last few windows of activity.
+const RecorderBufSize = 512
+
+// NewRecorder creates a flight recorder dumping to path.  col is the
+// span ring to dump — pass the run's trace collector when tracing is
+// on, or nil to let the recorder create its own small always-on ring
+// (retrieve it with Collector and wire it into the run).  An empty path
+// returns nil: recording disabled.
+func NewRecorder(path, proc string, reg *Registry, col *trace.Collector) *Recorder {
+	if path == "" {
+		return nil
+	}
+	if col == nil {
+		col = trace.NewCollector(RecorderBufSize)
+	}
+	return &Recorder{path: path, proc: proc, reg: reg, col: col}
+}
+
+// Collector returns the span ring feeding the recorder (nil on nil),
+// for wiring into core/mpi/noncontig Trace options.
+func (r *Recorder) Collector() *trace.Collector {
+	if r == nil {
+		return nil
+	}
+	return r.col
+}
+
+// Dump writes the post-mortem file: reason, metrics table, and the most
+// recent spans per rank including in-flight ones.
+func (r *Recorder) Dump(reason string) error {
+	if r == nil {
+		return nil
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "flight recorder: %s\nreason: %s\ntime: %s\n\n",
+		r.proc, reason, time.Now().Format(time.RFC3339Nano))
+	b.WriteString(r.reg.Snapshot(r.proc).Table())
+	b.WriteString("\nrecent events (most recent last, * = in flight):\n")
+	b.WriteString(r.col.Forensics(32))
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	tmp := r.path + ".tmp"
+	if err := os.WriteFile(tmp, []byte(b.String()), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, r.path)
+}
+
+// Start launches the periodic persist loop and the SIGQUIT dump
+// handler.  interval <= 0 selects the default 250ms.
+func (r *Recorder) Start(interval time.Duration) {
+	if r == nil {
+		return
+	}
+	if interval <= 0 {
+		interval = 250 * time.Millisecond
+	}
+	r.mu.Lock()
+	if r.started {
+		r.mu.Unlock()
+		return
+	}
+	r.started = true
+	r.stop = make(chan struct{})
+	r.done = make(chan struct{})
+	r.mu.Unlock()
+
+	quit := make(chan os.Signal, 1)
+	signal.Notify(quit, syscall.SIGQUIT)
+	go func() {
+		defer close(r.done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				r.Dump("periodic")
+			case <-quit:
+				r.Dump("SIGQUIT")
+			case <-r.stop:
+				signal.Stop(quit)
+				return
+			}
+		}
+	}()
+}
+
+// Stop ends the persist loop, leaving the last dump in place.
+func (r *Recorder) Stop() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	started := r.started
+	if started {
+		r.started = false
+		close(r.stop)
+	}
+	r.mu.Unlock()
+	if started {
+		<-r.done
+	}
+}

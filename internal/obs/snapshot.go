@@ -1,0 +1,273 @@
+package obs
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// Metric is one metric's state at snapshot time.
+type Metric struct {
+	Kind   Kind
+	Name   string
+	Help   string
+	Labels []Label
+	Value  int64          // counters and gauges
+	Hist   trace.HistData // histograms
+}
+
+// Key is the metric's merge identity: name plus constant labels.
+func (m Metric) Key() string { return metricKey(m.Name, m.Labels) }
+
+// Snapshot is one process's metrics at a point in time — the payload of
+// the /metrics.bin endpoint and the op=metrics wire response, and the
+// unit the launcher merges into the unified run report.
+type Snapshot struct {
+	Proc    string // producing process, e.g. "rank0", "srv1"
+	Procs   int    // processes merged into this snapshot (0 or 1 = one)
+	Metrics []Metric
+}
+
+// Snapshot captures the registry's current state.  A nil registry
+// yields an empty snapshot, so wire handlers need no special case.
+func (r *Registry) Snapshot(proc string) *Snapshot {
+	s := &Snapshot{Proc: proc, Procs: 1}
+	r.each(func(m Metric) { s.Metrics = append(s.Metrics, m) })
+	return s
+}
+
+// Binary snapshot format, all integers varint:
+//
+//	magic "obs1"
+//	proc string, procs
+//	metric count, then per metric:
+//	  kind byte, name, help, label count, {key, value}...
+//	  counter/gauge: value
+//	  hist: count, sum, min, max, nonzero-bucket count, {index, count}...
+const snapMagic = "obs1"
+
+func putV(b []byte, v int64) []byte  { return binary.AppendVarint(b, v) }
+func putS(b []byte, s string) []byte { return append(putV(b, int64(len(s))), s...) }
+
+// Encode renders the snapshot in its binary wire form.
+func (s *Snapshot) Encode() []byte {
+	b := []byte(snapMagic)
+	b = putS(b, s.Proc)
+	b = putV(b, int64(s.Procs))
+	b = putV(b, int64(len(s.Metrics)))
+	for _, m := range s.Metrics {
+		b = append(b, byte(m.Kind))
+		b = putS(b, m.Name)
+		b = putS(b, m.Help)
+		b = putV(b, int64(len(m.Labels)))
+		for _, l := range m.Labels {
+			b = putS(b, l.Key)
+			b = putS(b, l.Value)
+		}
+		if m.Kind == KindHist {
+			b = putV(b, m.Hist.Count)
+			b = putV(b, m.Hist.Sum)
+			b = putV(b, m.Hist.Min)
+			b = putV(b, m.Hist.Max)
+			nz := 0
+			for _, c := range m.Hist.Counts {
+				if c != 0 {
+					nz++
+				}
+			}
+			b = putV(b, int64(nz))
+			for i, c := range m.Hist.Counts {
+				if c != 0 {
+					b = putV(b, int64(i))
+					b = putV(b, c)
+				}
+			}
+		} else {
+			b = putV(b, m.Value)
+		}
+	}
+	return b
+}
+
+type snapDecoder struct {
+	b   []byte
+	err error
+}
+
+func (d *snapDecoder) v() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b)
+	if n <= 0 {
+		d.err = fmt.Errorf("obs: truncated snapshot")
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *snapDecoder) s() string {
+	n := d.v()
+	if d.err != nil {
+		return ""
+	}
+	if n < 0 || int64(len(d.b)) < n {
+		d.err = fmt.Errorf("obs: bad string length %d", n)
+		return ""
+	}
+	s := string(d.b[:n])
+	d.b = d.b[n:]
+	return s
+}
+
+// DecodeSnapshot parses a binary snapshot.
+func DecodeSnapshot(b []byte) (*Snapshot, error) {
+	if len(b) < len(snapMagic) || string(b[:len(snapMagic)]) != snapMagic {
+		return nil, fmt.Errorf("obs: bad snapshot magic")
+	}
+	d := &snapDecoder{b: b[len(snapMagic):]}
+	s := &Snapshot{Proc: d.s(), Procs: int(d.v())}
+	n := d.v()
+	if d.err != nil {
+		return nil, d.err
+	}
+	if n < 0 || n > 1<<20 {
+		return nil, fmt.Errorf("obs: bad metric count %d", n)
+	}
+	for i := int64(0); i < n; i++ {
+		if len(d.b) == 0 {
+			return nil, fmt.Errorf("obs: truncated snapshot")
+		}
+		m := Metric{Kind: Kind(d.b[0])}
+		d.b = d.b[1:]
+		m.Name = d.s()
+		m.Help = d.s()
+		nl := d.v()
+		if d.err != nil {
+			return nil, d.err
+		}
+		if nl < 0 || nl > 64 {
+			return nil, fmt.Errorf("obs: bad label count %d", nl)
+		}
+		for j := int64(0); j < nl; j++ {
+			m.Labels = append(m.Labels, Label{Key: d.s(), Value: d.s()})
+		}
+		if m.Kind == KindHist {
+			m.Hist.Count = d.v()
+			m.Hist.Sum = d.v()
+			m.Hist.Min = d.v()
+			m.Hist.Max = d.v()
+			nz := d.v()
+			if d.err != nil {
+				return nil, d.err
+			}
+			if nz < 0 || nz > int64(len(m.Hist.Counts)) {
+				return nil, fmt.Errorf("obs: bad bucket count %d", nz)
+			}
+			for j := int64(0); j < nz; j++ {
+				idx, c := d.v(), d.v()
+				if d.err != nil {
+					return nil, d.err
+				}
+				if idx < 0 || idx >= int64(len(m.Hist.Counts)) {
+					return nil, fmt.Errorf("obs: bad bucket index %d", idx)
+				}
+				m.Hist.Counts[idx] = c
+			}
+		} else {
+			m.Value = d.v()
+		}
+		if d.err != nil {
+			return nil, d.err
+		}
+		s.Metrics = append(s.Metrics, m)
+	}
+	return s, nil
+}
+
+// Merge folds any number of per-process snapshots into one: counters
+// and gauges sum (a merged gauge is a cluster total, e.g. total bytes
+// in flight), histograms merge by bucket addition.  Metric identity is
+// name + constant labels; order follows first appearance.
+func Merge(snaps ...*Snapshot) *Snapshot {
+	out := &Snapshot{}
+	idx := make(map[string]int)
+	var procs []string
+	for _, s := range snaps {
+		if s == nil {
+			continue
+		}
+		if s.Proc != "" {
+			procs = append(procs, s.Proc)
+		}
+		n := s.Procs
+		if n <= 0 {
+			n = 1
+		}
+		out.Procs += n
+		for _, m := range s.Metrics {
+			key := m.Key()
+			i, ok := idx[key]
+			if !ok {
+				idx[key] = len(out.Metrics)
+				out.Metrics = append(out.Metrics, m)
+				continue
+			}
+			switch m.Kind {
+			case KindHist:
+				out.Metrics[i].Hist.Merge(m.Hist)
+			default:
+				out.Metrics[i].Value += m.Value
+			}
+		}
+	}
+	sort.Strings(procs)
+	out.Proc = strings.Join(procs, "+")
+	return out
+}
+
+// Table renders the snapshot as an aligned text table — the unified run
+// report the launcher prints on exit.
+func (s *Snapshot) Table() string {
+	var b strings.Builder
+	proc := s.Proc
+	if proc == "" {
+		proc = "(none)"
+	}
+	fmt.Fprintf(&b, "metrics: %d process(es): %s\n", max(s.Procs, 1), proc)
+	for _, m := range s.Metrics {
+		name := m.Name
+		if len(m.Labels) > 0 {
+			var ls []string
+			for _, l := range m.Labels {
+				ls = append(ls, l.Key+"="+l.Value)
+			}
+			name += "{" + strings.Join(ls, ",") + "}"
+		}
+		switch m.Kind {
+		case KindHist:
+			d := m.Hist
+			fmt.Fprintf(&b, "  %-44s count=%-8d mean=%-10v p50=%-10v p99=%-10v max=%v\n",
+				name, d.Count,
+				time.Duration(d.Mean()).Round(time.Microsecond),
+				time.Duration(d.Quantile(0.5)).Round(time.Microsecond),
+				time.Duration(d.Quantile(0.99)).Round(time.Microsecond),
+				time.Duration(d.Max).Round(time.Microsecond))
+		default:
+			fmt.Fprintf(&b, "  %-44s %d\n", name, m.Value)
+		}
+	}
+	return b.String()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,73 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Cross-process trace merging.  Every process of a multi-process run
+// (ranks, I/O servers) writes its own Chrome trace with WriteChrome,
+// all under pid 0 — correct in isolation, colliding when viewed
+// together.  MergeChromeFiles lifts each file onto its own pid, names
+// the process, and emits one trace.json spanning the whole cluster.
+// Wall-clock timestamps are comparable across the inputs because every
+// collector's epoch is process start and the launcher forks all
+// processes within milliseconds; the per-process offset is visible as
+// a small skew, not an ordering error.
+
+// MergeInput names one per-process trace file and the process label it
+// should carry in the merged view (e.g. "rank 2", "server 0").
+type MergeInput struct {
+	Path string
+	Proc string
+}
+
+// MergeChromeFiles merges per-process Chrome trace files into out, one
+// pid per input.  Missing or unparsable inputs are skipped (a crashed
+// server may never have written its trace); the count of merged inputs
+// is returned so callers can report partial merges.
+func MergeChromeFiles(out string, ins []MergeInput) (int, error) {
+	merged := chromeTrace{DisplayTimeUnit: "ms"}
+	n := 0
+	for _, in := range ins {
+		b, err := os.ReadFile(in.Path)
+		if err != nil {
+			continue
+		}
+		var tr chromeTrace
+		if err := json.Unmarshal(b, &tr); err != nil {
+			continue
+		}
+		pid := n
+		n++
+		merged.TraceEvents = append(merged.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", PID: pid,
+			Args: map[string]any{"name": in.Proc},
+		}, chromeEvent{
+			Name: "process_sort_index", Ph: "M", PID: pid,
+			Args: map[string]any{"sort_index": pid},
+		})
+		for _, ev := range tr.TraceEvents {
+			if ev.Name == "process_name" || ev.Name == "process_sort_index" {
+				continue // superseded by the per-input metadata above
+			}
+			ev.PID = pid
+			merged.TraceEvents = append(merged.TraceEvents, ev)
+		}
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("trace: no readable inputs to merge into %s", out)
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return n, err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(merged); err != nil {
+		f.Close()
+		return n, err
+	}
+	return n, f.Close()
+}

@@ -1,0 +1,80 @@
+package trace
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestMergeChromeFiles: two per-process traces merge into one file with
+// distinct pids, per-process process_name metadata, and all events
+// preserved; unreadable inputs are skipped.
+func TestMergeChromeFiles(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, rank int) string {
+		c := NewCollector(16)
+		tr := c.Tracer(rank)
+		tr.Begin(PhaseCollWrite, 0, 64).End()
+		tr.Instant(PhaseMPISend, NoWindow, 32, "x")
+		path := filepath.Join(dir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.WriteChrome(f); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		return path
+	}
+	a := write("a.json", 0)
+	b := write("b.json", 0)
+
+	out := filepath.Join(dir, "merged.json")
+	n, err := MergeChromeFiles(out, []MergeInput{
+		{Path: a, Proc: "rank 0"},
+		{Path: filepath.Join(dir, "missing.json"), Proc: "ghost"},
+		{Path: b, Proc: "server 0"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("merged %d inputs, want 2", n)
+	}
+
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr chromeTrace
+	if err := json.Unmarshal(raw, &tr); err != nil {
+		t.Fatalf("merged trace is not valid JSON: %v", err)
+	}
+	pids := make(map[int]bool)
+	names := make(map[string]int)
+	spans := 0
+	for _, ev := range tr.TraceEvents {
+		pids[ev.PID] = true
+		if ev.Name == "process_name" {
+			names[ev.Args["name"].(string)] = ev.PID
+		}
+		if ev.Ph == "X" {
+			spans++
+		}
+	}
+	if len(pids) != 2 {
+		t.Fatalf("merged trace has %d pids, want 2", len(pids))
+	}
+	if len(names) != 2 || names["rank 0"] == names["server 0"] {
+		t.Fatalf("process names not distinct per pid: %v", names)
+	}
+	if spans != 2 {
+		t.Fatalf("merged trace has %d spans, want 2", spans)
+	}
+
+	if _, err := MergeChromeFiles(out, []MergeInput{{Path: "/nonexistent", Proc: "x"}}); err == nil {
+		t.Fatal("merge with no readable inputs succeeded")
+	}
+}

@@ -155,6 +155,107 @@ func (h *Histogram) Quantile(q float64) int64 {
 	return h.max
 }
 
+// BucketHi is the largest value of log bucket i — the bucket upper
+// bounds exported for histogram serialization (the obs snapshot and the
+// Prometheus exposition).
+func BucketHi(i int) int64 { return bucketHi(i) }
+
+// HistData is the raw content of a Histogram: the fixed log buckets and
+// the summary fields.  It is the exchange form used by cross-process
+// metric snapshots — two HistDatas merge by plain bucket addition,
+// exactly like the live histograms they came from.
+type HistData struct {
+	Counts   [65]int64
+	Count    int64
+	Sum      int64
+	Min, Max int64
+}
+
+// Data returns a copy of the histogram's buckets and summary fields.
+func (h *Histogram) Data() HistData {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return HistData{Counts: h.counts, Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+}
+
+// MergeData folds raw bucket data into h, with the same semantics as
+// Merge on a live histogram.
+func (h *Histogram) MergeData(d HistData) {
+	if d.Count == 0 {
+		return
+	}
+	h.mu.Lock()
+	for i, c := range d.Counts {
+		h.counts[i] += c
+	}
+	if h.count == 0 || d.Min < h.min {
+		h.min = d.Min
+	}
+	if d.Max > h.max {
+		h.max = d.Max
+	}
+	h.count += d.Count
+	h.sum += d.Sum
+	h.mu.Unlock()
+}
+
+// Merge folds o into d by plain addition, the HistData analogue of
+// Histogram.Merge for aggregators that never observe values themselves.
+func (d *HistData) Merge(o HistData) {
+	if o.Count == 0 {
+		return
+	}
+	for i, c := range o.Counts {
+		d.Counts[i] += c
+	}
+	if d.Count == 0 || o.Min < d.Min {
+		d.Min = o.Min
+	}
+	if o.Max > d.Max {
+		d.Max = o.Max
+	}
+	d.Count += o.Count
+	d.Sum += o.Sum
+}
+
+// Mean reports the average of the summarized observations (0 when empty).
+func (d HistData) Mean() int64 {
+	if d.Count == 0 {
+		return 0
+	}
+	return d.Sum / d.Count
+}
+
+// Quantile returns an upper bound on the q-quantile of the summarized
+// observations, as Histogram.Quantile does for a live histogram.
+func (d HistData) Quantile(q float64) int64 {
+	if d.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int64(q * float64(d.Count))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i, c := range d.Counts {
+		cum += c
+		if cum >= target {
+			hi := bucketHi(i)
+			if hi > d.Max {
+				hi = d.Max
+			}
+			return hi
+		}
+	}
+	return d.Max
+}
+
 // Metrics is a set of per-phase histograms.  Safe for concurrent use.
 type Metrics struct {
 	mu    sync.Mutex

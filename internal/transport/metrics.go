@@ -1,0 +1,206 @@
+package transport
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Launcher-side metrics aggregation.  With LaunchOptions.Metrics set,
+// the launcher binds one extra 127.0.0.1 listener per child, hands it
+// down through ExtraFiles (the child serves obs.Serve on it), appends
+// the fd-number flag to the child's argument list itself, and scrapes
+// every child's /metrics.bin endpoint on an interval.  The last good
+// snapshot per process survives that process's death — including a
+// SIGKILLed server — and on exit the launcher merges all of them into
+// one unified run report.
+
+// DefaultScrapeInterval is the default launcher scrape period.
+const DefaultScrapeInterval = 500 * time.Millisecond
+
+// MetricsOptions configure launcher-side metrics aggregation.
+type MetricsOptions struct {
+	// Interval between scrapes (default DefaultScrapeInterval).
+	Interval time.Duration
+	// FlagName is the flag the launcher appends to every child's
+	// argument list, followed by the inherited listener's fd number
+	// (default "-metrics-fd").  Args/ServerArgs callbacks never see it.
+	FlagName string
+	// PushFlagName is the flag carrying the launcher's collector
+	// address, to which children obs.Push their final snapshot on clean
+	// exit (default "-metrics-push").
+	PushFlagName string
+	// Announce, when non-nil, receives one "metrics <proc> <addr>" line
+	// per child as its listener is bound, so harnesses (CI) can curl a
+	// live /metrics endpoint mid-run.
+	Announce io.Writer
+	// Report, when non-nil, receives the merged run report on exit
+	// (default the launch's Stdout).
+	Report io.Writer
+}
+
+// metricsProc is one scrape target.
+type metricsProc struct {
+	name string // "rank0", "srv1", ...
+	addr string
+}
+
+// metricsScraper polls every child's /metrics.bin and keeps the last
+// snapshot that decoded, per process.
+type metricsScraper struct {
+	interval time.Duration
+	client   *http.Client
+
+	mu    sync.Mutex
+	procs []metricsProc
+	last  map[string]*obs.Snapshot
+
+	pushLn  net.Listener
+	pushSrv *http.Server
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+func newMetricsScraper(interval time.Duration) *metricsScraper {
+	return &metricsScraper{
+		interval: interval,
+		client:   &http.Client{Timeout: 2 * time.Second},
+		last:     make(map[string]*obs.Snapshot),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// listenPush binds the launcher's collector endpoint and returns its
+// address.  Children POST their final snapshot to /push on clean exit
+// (obs.Push), closing the window where a process dies between two
+// scrape ticks and drops out of the merged report.  A pushed snapshot
+// simply replaces the proc's last-good scrape.
+func (s *metricsScraper) listenPush() (string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/push", func(w http.ResponseWriter, req *http.Request) {
+		body, err := io.ReadAll(io.LimitReader(req.Body, 16<<20))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		snap, err := obs.DecodeSnapshot(body)
+		if err != nil || snap.Proc == "" {
+			http.Error(w, "bad snapshot", http.StatusBadRequest)
+			return
+		}
+		s.mu.Lock()
+		s.last[snap.Proc] = snap
+		s.mu.Unlock()
+	})
+	s.pushLn = ln
+	s.pushSrv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go s.pushSrv.Serve(ln)
+	return ln.Addr().String(), nil
+}
+
+// add registers one scrape target and announces its address.
+func (s *metricsScraper) add(name, addr string, announce io.Writer) {
+	s.mu.Lock()
+	s.procs = append(s.procs, metricsProc{name, addr})
+	s.mu.Unlock()
+	if announce != nil {
+		fmt.Fprintf(announce, "metrics %s %s\n", name, addr)
+	}
+}
+
+// start runs the periodic scrape loop until close.
+func (s *metricsScraper) start() {
+	go func() {
+		defer close(s.done)
+		t := time.NewTicker(s.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				s.scrapeAll()
+			case <-s.stop:
+				return
+			}
+		}
+	}()
+}
+
+// scrapeAll polls every target once, concurrently; failures (a child
+// not yet serving, or already dead) leave its last-good snapshot in
+// place.
+func (s *metricsScraper) scrapeAll() {
+	s.mu.Lock()
+	procs := append([]metricsProc(nil), s.procs...)
+	s.mu.Unlock()
+	var wg sync.WaitGroup
+	for _, p := range procs {
+		wg.Add(1)
+		go func(p metricsProc) {
+			defer wg.Done()
+			snap, err := s.scrapeOne(p.addr)
+			if err != nil {
+				return
+			}
+			s.mu.Lock()
+			s.last[p.name] = snap
+			s.mu.Unlock()
+		}(p)
+	}
+	wg.Wait()
+}
+
+func (s *metricsScraper) scrapeOne(addr string) (*obs.Snapshot, error) {
+	resp, err := s.client.Get("http://" + addr + "/metrics.bin")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("transport: metrics scrape of %s: %s", addr, resp.Status)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return nil, err
+	}
+	return obs.DecodeSnapshot(body)
+}
+
+// close stops the loop and takes one final synchronous scrape, catching
+// anything that changed since the last tick on still-live children.
+func (s *metricsScraper) close() {
+	select {
+	case <-s.stop:
+	default:
+		close(s.stop)
+	}
+	<-s.done
+	s.scrapeAll()
+	if s.pushSrv != nil {
+		s.pushSrv.Close()
+	}
+}
+
+// merged folds every process's last-good snapshot into one, in target
+// registration order (ranks first, then servers).
+func (s *metricsScraper) merged() *obs.Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snaps := make([]*obs.Snapshot, 0, len(s.procs))
+	for _, p := range s.procs {
+		if snap, ok := s.last[p.name]; ok {
+			snaps = append(snaps, snap)
+		}
+	}
+	return obs.Merge(snaps...)
+}

@@ -39,6 +39,11 @@ type ServerPoolOptions struct {
 	// injects its line-prefixing output writers through it).  It must
 	// Start the command before returning.
 	StartProc func(idx int, listener *os.File) (*exec.Cmd, error)
+	// OnRestart, when set, is invoked after the backoff and just before
+	// a crashed server's replacement starts (attempt counts from 1).
+	// The flight-recorder machinery uses it to move the dead instance's
+	// dump aside before the replacement overwrites it.
+	OnRestart func(idx, attempt int)
 }
 
 // ServerPool runs and supervises one process per server listener.
@@ -140,6 +145,9 @@ func (p *ServerPool) run(idx int, cmd *exec.Cmd) {
 		case <-time.After(backoff):
 		}
 		backoff *= 2
+		if p.opts.OnRestart != nil {
+			p.opts.OnRestart(idx, attempt)
+		}
 		next, startErr := p.opts.StartProc(idx, p.opts.Listeners[idx])
 		if startErr != nil {
 			p.fail(fmt.Errorf("transport: restarting server %d (attempt %d): %w", idx, attempt, startErr))
