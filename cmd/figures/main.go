@@ -38,6 +38,7 @@ func main() {
 		transp   = flag.String("transport", "", "run the in-process-vs-TCP exchange comparison and write its JSON to this path (e.g. BENCH_transport.json)")
 		alloc    = flag.String("alloc", "", "run the pooled-vs-unpooled allocation comparison and write its JSON to this path (e.g. BENCH_alloc.json)")
 		server   = flag.String("server", "", "run the I/O-server tier comparison (local vs striped servers; views vs offset lists) and write its JSON to this path (e.g. BENCH_server.json)")
+		sessionF = flag.String("session", "", "run the I/O session-service comparison (concurrent cached sessions vs serialized uncached runs) and write its JSON to this path (e.g. BENCH_session.json)")
 		obsF     = flag.String("obs", "", "run the metrics-instrumentation overhead comparison (registry on vs -no-metrics) and write its JSON to this path (e.g. BENCH_obs.json)")
 		phases   = flag.Bool("phases", false, "run one traced collective per engine and print the per-phase imbalance breakdown")
 		scaleS   = flag.String("scale", "full", "experiment scale: full or quick")
@@ -60,7 +61,7 @@ func main() {
 		figs = multiFlag{"5", "6", "7", "8"}
 		tables = multiFlag{"1", "2", "3"}
 	}
-	if len(figs) == 0 && len(tables) == 0 && *pipeline == "" && *transp == "" && *alloc == "" && *server == "" && *obsF == "" && !*phases {
+	if len(figs) == 0 && len(tables) == 0 && *pipeline == "" && *transp == "" && *alloc == "" && *server == "" && *sessionF == "" && *obsF == "" && !*phases {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -145,6 +146,24 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("wrote %s\n\n", *server)
+	}
+
+	if *sessionF != "" {
+		t0 := time.Now()
+		sc, err := bench.Session(scale)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(bench.FormatSession(sc))
+		fmt.Printf("(measured at scale %s in %v)\n\n", scale, time.Since(t0).Round(time.Millisecond))
+		data, err := bench.SessionJSON(sc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*sessionF, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n\n", *sessionF)
 	}
 
 	if *obsF != "" {

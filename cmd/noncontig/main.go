@@ -98,6 +98,13 @@ func main() {
 		killServer     = flag.Duration("kill-server", 0, "with -net launch -servers: SIGKILL server 0 after this long, to demonstrate supervised recovery (0 = off)")
 		wireChaosSeed  = flag.Int64("wire-chaos-seed", 0, "inject seeded wire faults (drops, dups, header corruption, resets, partitions) on this rank's server connections (0 = off)")
 
+		jobs        = flag.Int("jobs", 0, "run N concurrent I/O sessions through the shared session service (in-process; each session is a world of -p ranks over its own file region; 0 = off)")
+		workers     = flag.Int("workers", 0, "with -jobs: shared worker-pool slots bounding collectives in flight (0 = default 4)")
+		queueCap    = flag.Int("queue", 0, "with -jobs: admission queue depth; arrivals beyond it are rejected (0 = default 64)")
+		fifoSched   = flag.Bool("fifo", false, "with -jobs: admit in arrival order instead of weighted-fair")
+		noSessCache = flag.Bool("no-session-cache", false, "with -jobs: disable the per-session write-behind/read-ahead cache")
+		conns       = flag.Int("conns", 0, "with -jobs -servers: client connections per I/O server (0 = 1)")
+
 		metricsAddr = flag.String("metrics-addr", "", "serve a Prometheus /metrics endpoint on this address (e.g. 127.0.0.1:0; the bound address is printed as \"metrics <proc> <addr>\")")
 		metricsFD   = flag.Int("metrics-fd", 0, "inherited metrics listener fd (set by launch)")
 		metricsPush = flag.String("metrics-push", "", "push the final metrics snapshot to this launcher collector address on clean exit (set by launch)")
@@ -131,6 +138,24 @@ func main() {
 
 	if *stripeUnit <= 0 {
 		log.Fatal("-stripe must be positive")
+	}
+	if *jobs > 0 {
+		if *netMode != "" {
+			log.Fatal("-jobs runs in-process; combine it with -servers for an in-process server tier, not with -net")
+		}
+		runJobs(jobsFlags{
+			jobs: *jobs, ranks: *p,
+			nblock: *nblock, sblock: *sblock, reps: *reps,
+			workers: *workers, queue: *queueCap, fifo: *fifoSched,
+			noCache: *noSessCache,
+			servers: *servers, stripe: *stripeUnit, conns: *conns,
+			readBW: *readBW, writeBW: *writeBW, latency: *latency,
+			verify: *verify, engine: eng,
+			sieveBuf: *sieveBuf, collBuf: *collBuf,
+			metricsAddr: *metricsAddr, noMetrics: *noMetrics,
+			stall: stallTimeout,
+		})
+		return
 	}
 	switch *netMode {
 	case "":

@@ -1,0 +1,278 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datatype"
+	"repro/internal/mpi"
+	"repro/internal/noncontig"
+	"repro/internal/session"
+	"repro/internal/storage"
+)
+
+// Session-service comparison: N concurrent multi-rank sessions driving
+// interleaved collective write+read rounds through the shared worker
+// pool, with and without the per-session write-behind/read-ahead cache,
+// against the serialized baseline (the same N uncached runs one after
+// another — what a client without the session service gets).  Each
+// session owns a latency-throttled backend, so the concurrency win is
+// overlap across sessions and the cache win is absorbed round-trips.
+
+// SessionPoint is one cell of the comparison.
+type SessionPoint struct {
+	Sessions int    `json:"sessions"`
+	Mode     string `json:"mode"` // "concurrent" or "serialized"
+	Cache    bool   `json:"cache"`
+
+	Elapsed time.Duration `json:"elapsed_ns"`
+	AggMBps float64       `json:"aggregate_mbps"`
+
+	// QueueWaitP99 is the worst per-session p99 admission queue wait.
+	QueueWaitP99 time.Duration `json:"queue_wait_p99_ns"`
+	Rejected     int64         `json:"rejected"`
+
+	// Cache totals across the point's sessions (zero when uncached).
+	CacheAbsorbedBytes int64 `json:"cache_absorbed_bytes"`
+	CacheFlushes       int64 `json:"cache_flushes"`
+	CacheFlushedBytes  int64 `json:"cache_flushed_bytes"`
+}
+
+// SessionComparison is the full BENCH_session.json payload.
+type SessionComparison struct {
+	Ranks      int           `json:"ranks_per_session"`
+	Blockcount int64         `json:"n_block"`
+	Blocklen   int64         `json:"s_block"`
+	Reps       int           `json:"reps"`
+	Workers    int           `json:"pool_workers"`
+	Latency    time.Duration `json:"backend_latency_ns"`
+	WriteBW    int64         `json:"backend_bw_bytes_per_s"`
+
+	Points []SessionPoint `json:"points"`
+
+	// CachedConcurrencySpeedup is the aggregate throughput of the
+	// baseline-count concurrent cached sessions over the same count of
+	// serialized uncached runs (> 1 means the session service wins).
+	CachedConcurrencySpeedup float64 `json:"cached_concurrency_speedup"`
+}
+
+func sessionConfig(s Scale) SessionComparison {
+	sc := SessionComparison{
+		Ranks:      2,
+		Blockcount: 512,
+		Blocklen:   16,
+		Reps:       6,
+		Workers:    8,
+		Latency:    150 * time.Microsecond,
+		WriteBW:    256 << 20,
+	}
+	if s == Quick {
+		sc.Blockcount = 128
+		sc.Reps = 3
+	}
+	return sc
+}
+
+func sessionCounts(s Scale) []int {
+	if s == Quick {
+		return []int{1, 8}
+	}
+	return []int{1, 8, 32}
+}
+
+// sessionBaseline is the session count the serialized baseline and the
+// headline speedup use.
+const sessionBaseline = 8
+
+// runSessionWorkload drives one session through Reps interleaved
+// write+read rounds of the nc-nc pattern and verifies the read-back.
+func runSessionWorkload(s *session.Session, sc SessionComparison) error {
+	d := sc.Blockcount * sc.Blocklen
+	if err := s.Run(func(p *mpi.Proc, f *core.File) error {
+		ft, err := noncontig.Filetype(p.Rank(), sc.Ranks, sc.Blockcount, sc.Blocklen)
+		if err != nil {
+			return err
+		}
+		return f.SetView(0, datatype.Byte, ft)
+	}); err != nil {
+		return err
+	}
+	if c := s.Cache(); c != nil {
+		c.Invalidate()
+	}
+	pat := func(rank int) []byte {
+		b := make([]byte, d)
+		for i := range b {
+			b[i] = byte((rank*131 + i*7 + 13) % 251)
+		}
+		return b
+	}
+	bufs := make([][]byte, sc.Ranks)
+	for r := range bufs {
+		bufs[r] = make([]byte, d)
+	}
+	for rep := 0; rep < sc.Reps; rep++ {
+		if err := s.WriteAtAll(0, d, datatype.Byte, pat); err != nil {
+			return err
+		}
+		if err := s.ReadAtAll(0, d, datatype.Byte, func(rank int) []byte {
+			return bufs[rank]
+		}); err != nil {
+			return err
+		}
+		for r := range bufs {
+			if !bytes.Equal(bufs[r], pat(r)) {
+				return fmt.Errorf("session bench: rank %d read-back mismatch at rep %d", r, rep)
+			}
+		}
+	}
+	return s.Sync()
+}
+
+// runSessionPoint measures one cell: n sessions, cached or not,
+// concurrent or strictly one after another.
+func runSessionPoint(sc SessionComparison, n int, cached, serialized bool) (SessionPoint, error) {
+	mode := "concurrent"
+	if serialized {
+		mode = "serialized"
+	}
+	pt := SessionPoint{Sessions: n, Mode: mode, Cache: cached}
+
+	sv := session.NewService(session.Options{Workers: sc.Workers, MaxQueue: 4 * n})
+	defer sv.Close()
+	open := func(i int) (*session.Session, error) {
+		be := storage.NewThrottled(storage.NewMem(), 0, sc.WriteBW, sc.Latency)
+		so := session.SessionOptions{Ranks: sc.Ranks, StallTimeout: 30 * time.Second}
+		if cached {
+			so.Cache = &session.CacheOptions{Checked: true}
+		}
+		return sv.Open(fmt.Sprintf("%s%d-c%v-%d", mode, n, cached, i), be, so)
+	}
+
+	var stats []session.SessionStats
+	start := time.Now()
+	if serialized {
+		for i := 0; i < n; i++ {
+			s, err := open(i)
+			if err != nil {
+				return SessionPoint{}, err
+			}
+			if err := runSessionWorkload(s, sc); err != nil {
+				return SessionPoint{}, err
+			}
+			st := s.Stats()
+			if err := s.Close(); err != nil {
+				return SessionPoint{}, err
+			}
+			stats = append(stats, st)
+		}
+	} else {
+		sessions := make([]*session.Session, n)
+		for i := range sessions {
+			s, err := open(i)
+			if err != nil {
+				return SessionPoint{}, err
+			}
+			sessions[i] = s
+		}
+		errs := make([]error, n)
+		var wg sync.WaitGroup
+		for i, s := range sessions {
+			wg.Add(1)
+			go func(i int, s *session.Session) {
+				defer wg.Done()
+				if err := runSessionWorkload(s, sc); err != nil {
+					errs[i] = err
+					return
+				}
+				errs[i] = s.Close()
+			}(i, s)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return SessionPoint{}, err
+			}
+		}
+		for _, s := range sessions {
+			stats = append(stats, s.Stats())
+		}
+	}
+	pt.Elapsed = time.Since(start)
+
+	d := sc.Blockcount * sc.Blocklen
+	total := int64(n) * int64(sc.Ranks) * d * 2 * int64(sc.Reps)
+	pt.AggMBps = float64(total) / 1e6 / pt.Elapsed.Seconds()
+	for _, st := range stats {
+		if w := time.Duration(st.QueueWait.Quantile(0.99)); w > pt.QueueWaitP99 {
+			pt.QueueWaitP99 = w
+		}
+		pt.Rejected += st.Rejected
+		pt.CacheAbsorbedBytes += st.Cache.AbsorbedBytes
+		pt.CacheFlushes += st.Cache.Flushes
+		pt.CacheFlushedBytes += st.Cache.FlushedBytes
+	}
+	return pt, nil
+}
+
+// Session runs the session-service comparison.
+func Session(s Scale) (SessionComparison, error) {
+	sc := sessionConfig(s)
+	for _, n := range sessionCounts(s) {
+		for _, cached := range []bool{false, true} {
+			pt, err := runSessionPoint(sc, n, cached, false)
+			if err != nil {
+				return SessionComparison{}, err
+			}
+			sc.Points = append(sc.Points, pt)
+		}
+	}
+	base, err := runSessionPoint(sc, sessionBaseline, false, true)
+	if err != nil {
+		return SessionComparison{}, err
+	}
+	sc.Points = append(sc.Points, base)
+	for _, pt := range sc.Points {
+		if pt.Mode == "concurrent" && pt.Cache && pt.Sessions == sessionBaseline && base.AggMBps > 0 {
+			sc.CachedConcurrencySpeedup = pt.AggMBps / base.AggMBps
+		}
+	}
+	return sc, nil
+}
+
+// SessionJSON renders the comparison as indented JSON, the payload of
+// BENCH_session.json.
+func SessionJSON(sc SessionComparison) ([]byte, error) {
+	return json.MarshalIndent(sc, "", "  ")
+}
+
+// FormatSession renders the comparison as text.
+func FormatSession(sc SessionComparison) string {
+	s := fmt.Sprintf("I/O session service comparison (%d ranks/session, N_block=%d, S_block=%dB, reps=%d, %d pool workers, backend %v + %d MB/s):\n",
+		sc.Ranks, sc.Blockcount, sc.Blocklen, sc.Reps, sc.Workers, sc.Latency, sc.WriteBW>>20)
+	for _, pt := range sc.Points {
+		cache := "uncached"
+		if pt.Cache {
+			cache = "cached"
+		}
+		s += fmt.Sprintf("  %2d sessions %-10s %-8s %9.2f MB/s aggregate  (%-8v; queue p99 %v",
+			pt.Sessions, pt.Mode, cache, pt.AggMBps,
+			pt.Elapsed.Round(time.Microsecond), pt.QueueWaitP99.Round(time.Microsecond))
+		if pt.Rejected > 0 {
+			s += fmt.Sprintf(", %d rejected", pt.Rejected)
+		}
+		if pt.Cache {
+			s += fmt.Sprintf("; %d KiB absorbed, %d flushes", pt.CacheAbsorbedBytes>>10, pt.CacheFlushes)
+		}
+		s += ")\n"
+	}
+	if sc.CachedConcurrencySpeedup > 0 {
+		s += fmt.Sprintf("  %d concurrent cached sessions move %.2fx the aggregate bandwidth of %d serialized uncached runs\n",
+			sessionBaseline, sc.CachedConcurrencySpeedup, sessionBaseline)
+	}
+	return s
+}

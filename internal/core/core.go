@@ -126,6 +126,11 @@ type Options struct {
 	// phase, window, and epoch) on the registry for the /metrics scrape
 	// plane; nil disables them at the cost of one nil check per site.
 	Metrics *obs.Registry
+	// Gate, when non-nil, makes every collective a schedulable job:
+	// rank 0 acquires a slot before any staging or exchange traffic and
+	// broadcasts the decision (see gate.go).  The session service wires
+	// its shared worker pool in here; nil admits unconditionally.
+	Gate Gate
 }
 
 func (o *Options) fill() {

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"errors"
+
+	"repro/internal/trace"
+)
+
+// Admission gate: the seam that turns a collective entry point into a
+// schedulable job.  When Options.Gate is set, every collective asks the
+// gate for a slot before any staging or exchange traffic starts, and
+// releases it after the access (including the trailing barrier)
+// completes.  The session service (internal/session) supplies a gate
+// backed by its shared worker pool; a nil gate costs nothing, so
+// standalone files are unaffected.
+//
+// The gate is consulted by rank 0 only — one admission decision per
+// collective, not per rank — and the outcome is broadcast so every
+// rank either proceeds into the two-phase schedule or returns
+// ErrRejected together.  Acquire may block (queueing); rank 0 blocks
+// in the gate while the other ranks block in the broadcast, so no MPI
+// traffic for this collective is in flight while the job waits.
+
+// Gate admits collectives onto a shared resource pool.  Acquire blocks
+// until a slot is free or fails fast (admission control); on success it
+// returns a release func that must be called exactly once when the
+// collective finishes.  bytes is the aggregate transfer size estimate
+// for weighted-fair ordering; write distinguishes checkpoint-style
+// writes from reads.
+type Gate interface {
+	Acquire(write bool, bytes int64) (release func(), err error)
+}
+
+// ErrRejected is returned by collective accesses when the admission
+// gate refuses the job (queue full).  All ranks of the world return it
+// together; the file and backend are untouched and the caller may
+// retry the same collective.
+var ErrRejected = errors.New("core: collective rejected by admission gate")
+
+const (
+	gateAdmit  byte = 0
+	gateReject byte = 1
+)
+
+// gateAdmit runs the admission round for one collective: rank 0
+// acquires a slot from the gate (the wait is recorded as a
+// PhaseSessionQueue span) and broadcasts the outcome.  It returns the
+// release func on admission and ErrRejected on rejection; on
+// rejection every rank returns together and nothing has been sent.
+func (f *File) gateAcquire(d int64, write bool) (func(), error) {
+	var release func()
+	var payload []byte
+	if f.p.Rank() == 0 {
+		// One decision for the whole world: the estimate scales the
+		// per-rank transfer to the aggregate the IOPs will move.
+		est := d * int64(f.p.Size())
+		qsp := f.tr.Begin(trace.PhaseSessionQueue, 0, est)
+		rel, err := f.opts.Gate.Acquire(write, est)
+		qsp.End()
+		if err != nil {
+			if f.tr.Enabled() {
+				f.tr.Instant(trace.PhaseSessionReject, 0, est, err.Error())
+			}
+			payload = []byte{gateReject}
+		} else {
+			release = rel
+			payload = []byte{gateAdmit}
+		}
+	}
+	payload = f.p.Bcast(0, payload)
+	if len(payload) != 1 || payload[0] != gateAdmit {
+		// Defensive: a malformed outcome releases any held slot rather
+		// than leaking it.
+		if release != nil {
+			release()
+		}
+		return nil, ErrRejected
+	}
+	if release == nil {
+		release = func() {}
+	}
+	return release, nil
+}

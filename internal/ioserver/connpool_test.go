@@ -1,0 +1,190 @@
+package ioserver
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"sync"
+	"testing"
+
+	"repro/internal/storage"
+	"repro/internal/testutil"
+)
+
+// poolTier starts n in-process servers and mounts them with the given
+// per-server connection pool size.
+func poolTier(t *testing.T, unit int64, n, conns int) (*Striped, func()) {
+	t.Helper()
+	geom := storage.StripeGeom{Unit: unit, Count: n}
+	addrs := make([]string, n)
+	servers := make([]*Server, n)
+	for i := 0; i < n; i++ {
+		srv, err := New(Config{Backend: storage.NewMem(), Geom: geom, Index: i})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = ln.Addr().String()
+		servers[i] = srv
+		go srv.Serve(ln)
+	}
+	agg, err := NewStriped(unit, addrs, ClientOptions{Conns: conns})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return agg, func() {
+		agg.Close()
+		for _, srv := range servers {
+			srv.Close()
+		}
+	}
+}
+
+// TestConnPoolSpreadsRounds is the convoy fix: with Conns > 1,
+// concurrent round-trips to one server are dealt across independent
+// connections instead of serializing on one client mutex.
+func TestConnPoolSpreadsRounds(t *testing.T) {
+	defer testutil.LeakCheck(t)()
+	agg, stop := poolTier(t, 4096, 1, 3)
+	defer stop()
+
+	if got, want := len(agg.Clients()), 1; got != want {
+		t.Fatalf("Clients() = %d per-server primaries, want %d", got, want)
+	}
+	if got, want := len(agg.AllClients()), 3; got != want {
+		t.Fatalf("AllClients() = %d pooled connections, want %d", got, want)
+	}
+
+	data := make([]byte, 64<<10)
+	for i := range data {
+		data[i] = byte(i % 251)
+	}
+	if _, err := agg.WriteAt(data, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			buf := make([]byte, 1024)
+			for i := 0; i < 16; i++ {
+				off := int64(((g*16 + i) * 1024) % len(data))
+				if _, err := agg.ReadAt(buf, off); err != nil && err != io.EOF {
+					t.Errorf("read at %d: %v", off, err)
+					return
+				}
+				if !bytes.Equal(buf, data[off:off+1024]) {
+					t.Errorf("read at %d: bytes differ", off)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	for i, c := range agg.AllClients() {
+		if c.Rounds() == 0 {
+			t.Fatalf("pool member %d carried no round-trips; round-robin dealing broken", i)
+		}
+	}
+}
+
+// TestConnPoolByteIdentical: the pooled aggregate must be
+// indistinguishable from the single-connection one.
+func TestConnPoolByteIdentical(t *testing.T) {
+	defer testutil.LeakCheck(t)()
+	run := func(conns int) []byte {
+		agg, stop := poolTier(t, 64, 2, conns)
+		defer stop()
+		var segs []storage.Segment
+		for i := 0; i < 64; i++ {
+			seg := storage.Segment{Off: int64(i * 96), Buf: bytes.Repeat([]byte{byte(i + 1)}, 48)}
+			segs = append(segs, seg)
+		}
+		if err := agg.WriteAtv(segs); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]byte, agg.Size())
+		if err := storage.ReadAtv(agg, []storage.Segment{{Off: 0, Buf: out}}); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	if !bytes.Equal(run(1), run(3)) {
+		t.Fatal("pooled tier bytes differ from single-connection tier")
+	}
+}
+
+// TestConnPoolEpochCommit: staged writes land on whichever member the
+// round-robin picked; seal fans out to every member (zero tallies
+// included) and the primary's commit applies them all.
+func TestConnPoolEpochCommit(t *testing.T) {
+	defer testutil.LeakCheck(t)()
+	agg, stop := poolTier(t, 4096, 1, 2)
+	defer stop()
+
+	base := bytes.Repeat([]byte{0xAA}, 8192)
+	if _, err := agg.WriteAt(base, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	agg.EpochBegin(11)
+	want := append([]byte(nil), base...)
+	for i := 0; i < 8; i++ {
+		chunk := bytes.Repeat([]byte{byte(0xB0 + i)}, 512)
+		off := int64(i * 1024)
+		copy(want[off:], chunk)
+		if _, err := agg.WriteAt(chunk, off); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Staged writes spread across both members.
+	staged := 0
+	for _, c := range agg.AllClients() {
+		if c.Rounds() > 0 {
+			staged++
+		}
+	}
+	if staged < 2 {
+		t.Fatalf("staging used %d pool members, want both", staged)
+	}
+	// Invisible before commit.
+	got := make([]byte, len(base))
+	if _, err := agg.ReadAt(got, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, base) {
+		t.Fatal("staged writes visible before commit")
+	}
+	if err := agg.EpochSeal(11); err != nil {
+		t.Fatal(err)
+	}
+	if err := agg.EpochCommit(11); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := agg.ReadAt(got, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("committed bytes differ: multi-connection staging lost data")
+	}
+}
+
+// TestConnPoolDefaultSingle: Conns <= 0 keeps the old one-connection
+// behaviour.
+func TestConnPoolDefaultSingle(t *testing.T) {
+	defer testutil.LeakCheck(t)()
+	for _, conns := range []int{0, -1, 1} {
+		agg, stop := poolTier(t, 64, 2, conns)
+		if got := len(agg.AllClients()); got != 2 {
+			stop()
+			t.Fatalf("Conns=%d: %d connections, want 2 (one per server)", conns, got)
+		}
+		stop()
+	}
+}

@@ -17,10 +17,14 @@ import (
 // core's sparse direct path sends constant-size requests instead of
 // offset lists and the servers evaluate the noncontiguous pattern
 // against their own stripes.
+// Each server is reached through a clientPool of ClientOptions.Conns
+// connections (connpool.go); stateless operations are dealt round-robin
+// so concurrent sessions sharing this backend do not convoy on one
+// serialized dial.
 type Striped struct {
-	clients []*Client
-	geom    storage.StripeGeom
-	local   *storage.Striped // scalar/metadata ops over the clients
+	pools []*clientPool
+	geom  storage.StripeGeom
+	local *storage.Striped // scalar/metadata ops over the pools
 
 	mu     sync.Mutex
 	views  map[storage.ViewHandle]*aggView
@@ -42,44 +46,61 @@ func NewStriped(unit int64, addrs []string, opts ClientOptions) (*Striped, error
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
-	clients := make([]*Client, len(addrs))
+	pools := make([]*clientPool, len(addrs))
 	backends := make([]storage.Backend, len(addrs))
 	for i, a := range addrs {
-		clients[i] = NewClient(a, opts)
-		backends[i] = clients[i]
+		pools[i] = newClientPool(a, opts.Conns, opts)
+		backends[i] = pools[i]
 	}
 	local, err := storage.NewStriped(unit, backends...)
 	if err != nil {
 		return nil, err
 	}
 	return &Striped{
-		clients: clients,
-		geom:    g,
-		local:   local,
-		views:   make(map[storage.ViewHandle]*aggView),
+		pools: pools,
+		geom:  g,
+		local: local,
+		views: make(map[storage.ViewHandle]*aggView),
 	}, nil
 }
 
 // Geom reports the striping layout.
 func (s *Striped) Geom() storage.StripeGeom { return s.geom }
 
-// Clients exposes the per-server clients, for stats and tests.
-func (s *Striped) Clients() []*Client { return s.clients }
+// Clients exposes one client per server (each pool's primary), for
+// stats and tests.
+func (s *Striped) Clients() []*Client {
+	out := make([]*Client, len(s.pools))
+	for i, p := range s.pools {
+		out[i] = p.primary()
+	}
+	return out
+}
 
-// Rounds sums the request round-trips of every client.
+// AllClients exposes every pooled connection of every server.
+func (s *Striped) AllClients() []*Client {
+	var out []*Client
+	for _, p := range s.pools {
+		out = append(out, p.members...)
+	}
+	return out
+}
+
+// Rounds sums the request round-trips of every pooled connection.
 func (s *Striped) Rounds() int64 {
 	var n int64
-	for _, c := range s.clients {
-		n += c.Rounds()
+	for _, p := range s.pools {
+		n += p.rounds()
 	}
 	return n
 }
 
-// ServerStats aggregates the request counters of every server.
+// ServerStats aggregates the request counters of every server (the
+// counters are server-global, so one connection per server is asked).
 func (s *Striped) ServerStats() (ServerStats, error) {
 	var total ServerStats
-	for _, c := range s.clients {
-		st, err := c.ServerStats()
+	for _, p := range s.pools {
+		st, err := p.primary().ServerStats()
 		if err != nil {
 			return total, err
 		}
@@ -93,13 +114,13 @@ func (s *Striped) ServerStats() (ServerStats, error) {
 // numbers live on in the launcher's last-good scrape, not here); an
 // error is reported only when no server answered.
 func (s *Striped) Metrics() (*obs.Snapshot, error) {
-	snaps := make([]*obs.Snapshot, len(s.clients))
+	snaps := make([]*obs.Snapshot, len(s.pools))
 	var firstErr error
 	var mu sync.Mutex
-	s.fanOut(len(s.clients),
+	s.fanOut(len(s.pools),
 		func(int) bool { return false },
 		func(i int) error {
-			snap, err := s.clients[i].Metrics()
+			snap, err := s.pools[i].primary().Metrics()
 			if err != nil {
 				mu.Lock()
 				if firstErr == nil {
@@ -118,11 +139,11 @@ func (s *Striped) Metrics() (*obs.Snapshot, error) {
 	return merged, nil
 }
 
-// Close tears down every server connection.
+// Close tears down every pooled connection.
 func (s *Striped) Close() error {
 	var first error
-	for _, c := range s.clients {
-		if err := c.Close(); err != nil && first == nil {
+	for _, p := range s.pools {
+		if err := p.close(); err != nil && first == nil {
 			first = err
 		}
 	}
@@ -170,9 +191,9 @@ func (s *Striped) ReadAtv(segs []storage.Segment) error {
 	if err != nil {
 		return err
 	}
-	return s.fanOut(len(s.clients),
+	return s.fanOut(len(s.pools),
 		func(i int) bool { return len(bySrv[i]) == 0 },
-		func(i int) error { return s.clients[i].ReadAtv(bySrv[i]) })
+		func(i int) error { return s.pools[i].ReadAtv(bySrv[i]) })
 }
 
 // WriteAtv implements storage.Vectored, fanned out like ReadAtv.
@@ -181,9 +202,9 @@ func (s *Striped) WriteAtv(segs []storage.Segment) error {
 	if err != nil {
 		return err
 	}
-	return s.fanOut(len(s.clients),
+	return s.fanOut(len(s.pools),
 		func(i int) bool { return len(bySrv[i]) == 0 },
-		func(i int) error { return s.clients[i].WriteAtv(bySrv[i]) })
+		func(i int) error { return s.pools[i].WriteAtv(bySrv[i]) })
 }
 
 // SupportsViews implements storage.ViewBackend.
@@ -198,9 +219,18 @@ func (s *Striped) RegisterView(disp int64, ftype *datatype.Type) (storage.ViewHa
 		return 0, fmt.Errorf("ioserver: negative displacement %d: %w", disp, storage.ErrPermanent)
 	}
 	av := &aggView{v: &View{Disp: disp, Enc: datatype.Encode(ftype)}, t: ftype}
-	err := s.fanOut(len(s.clients),
+	err := s.fanOut(len(s.pools),
 		func(int) bool { return false },
-		func(i int) error { return s.clients[i].RegisterEager(av.v) })
+		func(i int) error {
+			// Prime every pooled connection: any member may later carry
+			// a view request for this handle.
+			for _, c := range s.pools[i].members {
+				if err := c.RegisterEager(av.v); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
 	if err != nil {
 		return 0, err
 	}
@@ -236,17 +266,18 @@ func (s *Striped) ViewRead(h storage.ViewHandle, p []byte, d0 int64) error {
 	if err != nil {
 		return err
 	}
-	resps := make([][]byte, len(s.clients))
-	err = s.fanOut(len(s.clients),
+	resps := make([][]byte, len(s.pools))
+	err = s.fanOut(len(s.pools),
 		func(i int) bool { return lens[i] == 0 },
 		func(i int) error {
-			resp, err := s.clients[i].ViewReadRange(av.v, d0, d1)
+			c := s.pools[i].pick()
+			resp, err := c.ViewReadRange(av.v, d0, d1)
 			if err != nil {
 				return err
 			}
 			if int64(len(resp)) != lens[i] {
 				return fmt.Errorf("ioserver %s: view read returned %d bytes, stripe owns %d: %w",
-					s.clients[i].Addr(), len(resp), lens[i], storage.ErrPermanent)
+					c.Addr(), len(resp), lens[i], storage.ErrPermanent)
 			}
 			resps[i] = resp
 			return nil
@@ -254,7 +285,7 @@ func (s *Striped) ViewRead(h storage.ViewHandle, p []byte, d0 int64) error {
 	if err != nil {
 		return err
 	}
-	pos := make([]int64, len(s.clients))
+	pos := make([]int64, len(s.pools))
 	return walkView(av.t, av.v.Disp, s.geom, d0, d1, func(stripe int, _, dataOff, n int64) error {
 		copy(p[dataOff-d0:dataOff-d0+n], resps[stripe][pos[stripe]:])
 		pos[stripe] += n
@@ -274,7 +305,7 @@ func (s *Striped) ViewWrite(h storage.ViewHandle, p []byte, d0 int64) error {
 	if err != nil {
 		return err
 	}
-	outs := make([][]byte, len(s.clients))
+	outs := make([][]byte, len(s.pools))
 	for i, n := range lens {
 		if n > 0 {
 			outs[i] = make([]byte, 0, n)
@@ -287,9 +318,9 @@ func (s *Striped) ViewWrite(h storage.ViewHandle, p []byte, d0 int64) error {
 	if err != nil {
 		return err
 	}
-	return s.fanOut(len(s.clients),
+	return s.fanOut(len(s.pools),
 		func(i int) bool { return lens[i] == 0 },
-		func(i int) error { return s.clients[i].ViewWriteRange(av.v, d0, d1, outs[i]) })
+		func(i int) error { return s.pools[i].pick().ViewWriteRange(av.v, d0, d1, outs[i]) })
 }
 
 // Epoch commit protocol: the aggregate implements storage.EpochBackend
@@ -303,40 +334,74 @@ func (s *Striped) ViewWrite(h storage.ViewHandle, p []byte, d0 int64) error {
 // SupportsEpochs implements storage.EpochBackend.
 func (s *Striped) SupportsEpochs() bool { return true }
 
-// EpochBegin implements storage.EpochBackend.
+// EpochBegin implements storage.EpochBackend.  Every pooled connection
+// enters staging mode: round-robin dealing may stage any write on any
+// member.
 func (s *Striped) EpochBegin(id uint64) {
-	for _, c := range s.clients {
-		c.BeginEpoch(id)
+	for _, p := range s.pools {
+		for _, c := range p.members {
+			c.BeginEpoch(id)
+		}
 	}
 }
 
-// EpochSeal implements storage.EpochBackend: every server must confirm
-// it holds exactly what this rank staged.
+// EpochSeal implements storage.EpochBackend: every pooled connection
+// must confirm the server holds exactly what that connection staged
+// (the server tallies per connection, so a member that staged nothing
+// seals a zero tally).
 func (s *Striped) EpochSeal(id uint64) error {
-	return s.fanOut(len(s.clients),
+	return s.fanOut(len(s.pools),
 		func(int) bool { return false },
-		func(i int) error { return s.clients[i].SealEpoch(id) })
+		func(i int) error {
+			for _, c := range s.pools[i].members {
+				if err := c.SealEpoch(id); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
 }
 
-// EpochCommit implements storage.EpochBackend.  Commit is idempotent
-// per server, so a partial fan-out failure retried by the driver
-// converges: already-committed servers acknowledge, the rest apply.
+// EpochCommit implements storage.EpochBackend.  One member per server —
+// the primary — issues the commit, which applies the segments staged by
+// every connection; the other members just leave staging mode.  Commit
+// is idempotent per server, so a partial fan-out failure retried by the
+// driver converges: already-committed servers acknowledge, the rest
+// apply.
 func (s *Striped) EpochCommit(id uint64) error {
-	return s.fanOut(len(s.clients),
+	return s.fanOut(len(s.pools),
 		func(int) bool { return false },
-		func(i int) error { return s.clients[i].CommitEpoch(id) })
+		func(i int) error {
+			if err := s.pools[i].primary().CommitEpoch(id); err != nil {
+				return err
+			}
+			for _, c := range s.pools[i].members[1:] {
+				c.EndEpoch(id)
+			}
+			return nil
+		})
 }
 
-// EpochAbort implements storage.EpochBackend.
+// EpochAbort implements storage.EpochBackend: the primary discards the
+// server-side staged state, the other members drop their stage logs
+// locally.
 func (s *Striped) EpochAbort(id uint64) error {
-	return s.fanOut(len(s.clients),
+	return s.fanOut(len(s.pools),
 		func(int) bool { return false },
-		func(i int) error { return s.clients[i].AbortEpoch(id) })
+		func(i int) error {
+			err := s.pools[i].primary().AbortEpoch(id)
+			for _, c := range s.pools[i].members[1:] {
+				c.EndEpoch(id)
+			}
+			return err
+		})
 }
 
 // EpochEnd implements storage.EpochBackend.
 func (s *Striped) EpochEnd(id uint64) {
-	for _, c := range s.clients {
-		c.EndEpoch(id)
+	for _, p := range s.pools {
+		for _, c := range p.members {
+			c.EndEpoch(id)
+		}
 	}
 }

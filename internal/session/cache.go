@@ -1,0 +1,749 @@
+// Package session is the I/O session service: a front end that accepts
+// many concurrent open-file sessions and multiplexes their collectives
+// onto shared resources — a bounded worker pool with admission control
+// and weighted-fair ordering (sched.go), per-session worlds driving the
+// core two-phase engine (session.go), and a client-side cache that
+// absorbs collective writes (write-behind) and prefetches regular read
+// patterns (read-ahead) below the core window loop (this file).
+//
+// The shape follows the ViPIOS server design (PAPERS.md): a persistent
+// service owns file sessions, schedules requests onto a shared pool
+// sized independently of any one job's world, and hides latency with
+// caching.
+package session
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"repro/internal/obs"
+	"repro/internal/storage"
+	"repro/internal/trace"
+)
+
+// CacheOptions configures a session's write-behind/read-ahead cache.
+type CacheOptions struct {
+	// MaxDirty is the write-behind pressure watermark: once the dirty
+	// extent bytes exceed it, the absorbing write flushes synchronously.
+	// Default 8 MiB.
+	MaxDirty int64
+	// ReadAhead is how many strided blocks one prefetch fetches ahead of
+	// a detected stream.  0 means the default (8); negative disables
+	// read-ahead entirely.
+	ReadAhead int
+	// Checked arms the epoch-ordering assertions (the pool.NewChecked
+	// analogue): the cache panics if a write lands between an epoch seal
+	// and its commit, or if a dirty extent survives to the commit — both
+	// would mean write-behind reordered data across a sealed epoch.
+	Checked bool
+	// Metrics registers the cache's counters under the given Session
+	// label; nil disables.
+	Metrics *obs.Registry
+	// Session is the metric label value naming the owning session.
+	Session string
+	// Tracer records flush/prefetch spans and hit/invalidate instants;
+	// nil disables.
+	Tracer *trace.Tracer
+}
+
+// CacheStats is a snapshot of a cache's activity counters.
+type CacheStats struct {
+	Hits            int64 // gap reads served from prefetched blocks
+	Misses          int64 // gap reads that went to the inner backend
+	OverlayBytes    int64 // read bytes served from write-behind extents
+	AbsorbedBytes   int64 // write bytes absorbed into dirty extents
+	Prefetches      int64 // prefetch batches issued
+	PrefetchedBytes int64
+	Flushes         int64 // write-behind flush batches
+	FlushedBytes    int64
+	Invalidations   int64 // read-ahead drops (overlapping write, view change, truncate)
+}
+
+// extent is one contiguous cached byte range.  Dirty extents are
+// write-behind data not yet flushed to the inner backend; clean extents
+// are flushed data retained during an active epoch, when the staged
+// bytes are invisible to inner reads but must stay visible to the
+// session (read-your-writes).
+type extent struct {
+	off   int64
+	data  []byte
+	dirty bool
+}
+
+func (e extent) end() int64 { return e.off + int64(len(e.data)) }
+
+// Cache is a storage.Backend wrapper providing per-session write-behind
+// and strided read-ahead.  It implements storage.Vectored and, when the
+// inner backend does, storage.EpochBackend — flushing all dirty extents
+// before the seal tally so the PR 7 crash-consistency protocol sees
+// exactly the bytes the collective wrote.
+//
+// One mutex serializes all access: the cache is private to a session,
+// so the lock orders that session's IOP ranks against each other while
+// leaving cross-session parallelism (separate caches) untouched.
+type Cache struct {
+	inner storage.Backend
+	eb    storage.EpochBackend // nil when inner has no epoch support
+	tr    *trace.Tracer
+
+	maxDirty int64
+	checked  bool
+
+	mu         sync.Mutex
+	ext        []extent // sorted by off, non-overlapping
+	dirtyBytes int64
+	innerSize  int64  // size of inner as last observed/extended by us
+	epoch      uint64 // active epoch id, 0 when none
+	sealed     uint64 // sealed-but-uncommitted epoch id, 0 when none
+	ra         *readAhead
+	stats      CacheStats
+
+	mHits, mMisses, mFlushes, mFlushedB, mAbsorbedB, mPrefetchedB, mInval *obs.Counter
+	mDirty                                                                *obs.Gauge
+}
+
+// NewCache wraps inner in a session cache.
+func NewCache(inner storage.Backend, o CacheOptions) *Cache {
+	c := &Cache{
+		inner:     inner,
+		tr:        o.Tracer,
+		maxDirty:  o.MaxDirty,
+		checked:   o.Checked,
+		innerSize: inner.Size(),
+	}
+	if c.maxDirty <= 0 {
+		c.maxDirty = 8 << 20
+	}
+	if o.ReadAhead >= 0 {
+		depth := o.ReadAhead
+		if depth == 0 {
+			depth = 8
+		}
+		c.ra = &readAhead{depth: depth}
+	}
+	if eb, ok := storage.AsEpochBackend(inner); ok {
+		c.eb = eb
+	}
+	if r := o.Metrics; r != nil {
+		lb := obs.Label{Key: "session", Value: o.Session}
+		c.mHits = r.Counter("session_cache_hits_total", "read-ahead block hits", lb)
+		c.mMisses = r.Counter("session_cache_misses_total", "gap reads sent to the inner backend", lb)
+		c.mFlushes = r.Counter("session_cache_flushes_total", "write-behind flush batches", lb)
+		c.mFlushedB = r.Counter("session_cache_flushed_bytes_total", "bytes flushed to the inner backend", lb)
+		c.mAbsorbedB = r.Counter("session_cache_absorbed_bytes_total", "write bytes absorbed into dirty extents", lb)
+		c.mPrefetchedB = r.Counter("session_cache_prefetched_bytes_total", "bytes prefetched by read-ahead", lb)
+		c.mInval = r.Counter("session_cache_invalidations_total", "read-ahead invalidations", lb)
+		c.mDirty = r.Gauge("session_cache_dirty_bytes", "current write-behind dirty bytes", lb)
+	}
+	return c
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+func (c *Cache) logicalSizeLocked() int64 {
+	n := c.innerSize
+	if len(c.ext) > 0 {
+		if e := c.ext[len(c.ext)-1].end(); e > n {
+			n = e
+		}
+	}
+	return n
+}
+
+// Size reports the session-visible size: the inner size extended by any
+// unflushed write-behind extents.
+func (c *Cache) Size() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.logicalSizeLocked()
+}
+
+// WriteAt absorbs the write into the dirty extent list (write-behind)
+// and flushes synchronously once the pressure watermark is exceeded.
+func (c *Cache) WriteAt(p []byte, off int64) (int, error) {
+	if len(p) == 0 {
+		return 0, nil
+	}
+	if off < 0 {
+		return 0, fmt.Errorf("session: negative write offset %d", off)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.checked && c.sealed != 0 {
+		panic(fmt.Sprintf("session: write at %d between epoch %d seal and commit (write-behind reorder across seal)", off, c.sealed))
+	}
+	c.insertLocked(off, append([]byte(nil), p...), true)
+	c.stats.AbsorbedBytes += int64(len(p))
+	c.mAbsorbedB.Add(int64(len(p)))
+	c.mDirty.Set(c.dirtyBytes)
+	if c.dirtyBytes > c.maxDirty {
+		if err := c.flushLocked(); err != nil {
+			return 0, err
+		}
+	}
+	return len(p), nil
+}
+
+// ReadAt serves overlapping cached extents (read-your-writes), fills the
+// gaps from read-ahead blocks or the inner backend, and returns io.EOF
+// past the logical size, matching storage.Mem semantics.
+func (c *Cache) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("session: negative read offset %d", off)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	size := c.logicalSizeLocked()
+	if off >= size {
+		if len(p) == 0 {
+			return 0, nil
+		}
+		return 0, io.EOF
+	}
+	avail := int64(len(p))
+	if off+avail > size {
+		avail = size - off
+	}
+	if err := c.serveLocked(p[:avail], off); err != nil {
+		return 0, err
+	}
+	if avail < int64(len(p)) {
+		return int(avail), io.EOF
+	}
+	return int(avail), nil
+}
+
+// ReadAtv follows the Vectored contract: ReadFull semantics per segment.
+func (c *Cache) ReadAtv(segs []storage.Segment) error {
+	for _, s := range segs {
+		if err := storage.ReadFull(c, s.Buf, s.Off); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteAtv absorbs every segment.
+func (c *Cache) WriteAtv(segs []storage.Segment) error {
+	for _, s := range segs {
+		if _, err := c.WriteAt(s.Buf, s.Off); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Sync flushes the write-behind extents and syncs the inner backend.
+func (c *Cache) Sync() error {
+	c.mu.Lock()
+	err := c.flushLocked()
+	if err == nil && c.epoch == 0 {
+		c.dropCleanLocked()
+	}
+	c.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return c.inner.Sync()
+}
+
+// Truncate flushes, drops all cached state, and truncates the inner
+// backend — sessions use it only to pre-size files before a run.
+func (c *Cache) Truncate(n int64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.flushLocked(); err != nil {
+		return err
+	}
+	c.ext = nil
+	c.dirtyBytes = 0
+	c.mDirty.Set(0)
+	c.invalidateLocked("truncate")
+	if err := c.inner.Truncate(n); err != nil {
+		return err
+	}
+	c.innerSize = n
+	return nil
+}
+
+// Invalidate drops the read-ahead state (blocks and detected streams).
+// The session calls it on every fileview change: the old access pattern
+// no longer predicts anything.  Write-behind extents are untouched —
+// they are data, not prediction.
+func (c *Cache) Invalidate() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.invalidateLocked("view change")
+}
+
+func (c *Cache) invalidateLocked(why string) {
+	if c.ra == nil {
+		return
+	}
+	if c.ra.reset() {
+		c.stats.Invalidations++
+		c.mInval.Inc()
+		if c.tr.Enabled() {
+			c.tr.Instant(trace.PhaseCacheInvalidate, 0, 0, why)
+		}
+	}
+}
+
+// ---- epoch protocol (storage.EpochBackend) ----
+//
+// The cache's ordering contract with the PR 7 commit protocol: every
+// dirty byte written under an epoch is flushed (staged) before the seal
+// verifies the tally, and nothing new is flushed between seal and
+// commit.  Flushed extents are kept as clean overlays while the epoch
+// is active — the staged bytes are invisible to inner reads until the
+// commit — and dropped when the epoch ends.
+
+// SupportsEpochs resolves the inner backend's capability dynamically.
+func (c *Cache) SupportsEpochs() bool { return c.eb != nil && c.eb.SupportsEpochs() }
+
+// EpochBegin enters staging mode on the inner backend.
+func (c *Cache) EpochBegin(id uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.eb == nil {
+		return
+	}
+	c.eb.EpochBegin(id)
+	c.epoch = id
+	c.sealed = 0
+}
+
+// EpochSeal flushes all dirty extents into the epoch's staged state and
+// seals it on the inner backend.
+func (c *Cache) EpochSeal(id uint64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.eb == nil {
+		return storage.ErrNoEpochs
+	}
+	if err := c.flushLocked(); err != nil {
+		return err
+	}
+	if err := c.eb.EpochSeal(id); err != nil {
+		return err
+	}
+	c.sealed = id
+	return nil
+}
+
+// EpochCommit applies the epoch on the inner backend.  In checked mode
+// it panics if any dirty extent survived the seal — the reorder the
+// write-behind path must never produce.
+func (c *Cache) EpochCommit(id uint64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.eb == nil {
+		return storage.ErrNoEpochs
+	}
+	if c.checked && c.dirtyBytes != 0 {
+		panic(fmt.Sprintf("session: %d dirty bytes survived sealed epoch %d at commit (write-behind reorder across seal)", c.dirtyBytes, id))
+	}
+	if err := c.eb.EpochCommit(id); err != nil {
+		return err
+	}
+	c.epochDoneLocked(false)
+	return nil
+}
+
+// EpochAbort discards the staged state and every unflushed dirty extent
+// of the abandoned collective.
+func (c *Cache) EpochAbort(id uint64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.eb == nil {
+		return storage.ErrNoEpochs
+	}
+	err := c.eb.EpochAbort(id)
+	c.epochDoneLocked(true)
+	return err
+}
+
+// EpochEnd ends staging mode locally (non-committing participant).
+func (c *Cache) EpochEnd(id uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.eb == nil {
+		return
+	}
+	c.eb.EpochEnd(id)
+	c.epochDoneLocked(false)
+}
+
+func (c *Cache) epochDoneLocked(abort bool) {
+	c.epoch = 0
+	c.sealed = 0
+	if abort {
+		// The collective failed: its unflushed writes are abandoned with
+		// it, and its flushed-but-staged overlays no longer match any
+		// inner state.
+		c.ext = nil
+		c.dirtyBytes = 0
+		c.mDirty.Set(0)
+		return
+	}
+	// Committed (or ended after a peer's commit): the retained clean
+	// overlays now equal the inner bytes — drop them to bound memory.
+	c.dropCleanLocked()
+}
+
+// ---- extent bookkeeping ----
+
+// insertLocked installs [off, off+len(data)) as a new extent, splitting
+// and overwriting whatever it overlaps, then coalesces adjacent extents
+// of equal dirtiness.  data must be owned by the cache.
+func (c *Cache) insertLocked(off int64, data []byte, dirty bool) {
+	end := off + int64(len(data))
+	if c.ra != nil && dirty {
+		// Read-your-writes vs read-ahead: a prefetched block overlapping
+		// the new write is stale the moment the write is absorbed.
+		if c.ra.dropOverlap(off, end) {
+			c.stats.Invalidations++
+			c.mInval.Inc()
+			if c.tr.Enabled() {
+				c.tr.Instant(trace.PhaseCacheInvalidate, 0, end-off, "overlapping write")
+			}
+		}
+	}
+	i := sort.Search(len(c.ext), func(k int) bool { return c.ext[k].end() > off })
+	j := i
+	for j < len(c.ext) && c.ext[j].off < end {
+		j++
+	}
+	var repl []extent
+	if i < j {
+		if first := c.ext[i]; first.off < off {
+			repl = append(repl, extent{first.off, append([]byte(nil), first.data[:off-first.off]...), first.dirty})
+		}
+	}
+	repl = append(repl, extent{off, data, dirty})
+	if i < j {
+		if last := c.ext[j-1]; last.end() > end {
+			repl = append(repl, extent{end, append([]byte(nil), last.data[end-last.off:]...), last.dirty})
+		}
+	}
+	for _, e := range c.ext[i:j] {
+		if e.dirty {
+			c.dirtyBytes -= int64(len(e.data))
+		}
+	}
+	for _, e := range repl {
+		if e.dirty {
+			c.dirtyBytes += int64(len(e.data))
+		}
+	}
+	c.ext = append(c.ext[:i:i], append(repl, c.ext[j:]...)...)
+	c.coalesceLocked()
+}
+
+// coalesceLocked merges adjacent extents of equal dirtiness so flushes
+// see the largest possible contiguous segments.
+func (c *Cache) coalesceLocked() {
+	out := c.ext[:0]
+	for _, e := range c.ext {
+		if n := len(out); n > 0 {
+			p := &out[n-1]
+			if p.dirty == e.dirty && p.end() == e.off {
+				p.data = append(p.data, e.data...)
+				continue
+			}
+		}
+		out = append(out, e)
+	}
+	c.ext = out
+}
+
+// flushLocked writes every dirty extent to the inner backend in one
+// vectored batch.  During an active epoch the flushed extents are kept
+// as clean overlays (the staged bytes are invisible to inner reads);
+// otherwise they are dropped.
+func (c *Cache) flushLocked() error {
+	if c.dirtyBytes == 0 {
+		return nil
+	}
+	if c.checked && c.sealed != 0 {
+		panic(fmt.Sprintf("session: flush of %d dirty bytes between epoch %d seal and commit (write-behind reorder across seal)", c.dirtyBytes, c.sealed))
+	}
+	var segs []storage.Segment
+	var hi int64
+	for _, e := range c.ext {
+		if e.dirty {
+			segs = append(segs, storage.Segment{Off: e.off, Buf: e.data})
+			if e.end() > hi {
+				hi = e.end()
+			}
+		}
+	}
+	sp := c.tr.BeginIO(trace.PhaseCacheFlush, 0, c.dirtyBytes)
+	err := storage.WriteAtv(c.inner, segs)
+	sp.End()
+	if err != nil {
+		return err
+	}
+	c.stats.Flushes++
+	c.stats.FlushedBytes += c.dirtyBytes
+	c.mFlushes.Inc()
+	c.mFlushedB.Add(c.dirtyBytes)
+	if c.epoch != 0 {
+		for i := range c.ext {
+			c.ext[i].dirty = false
+		}
+		c.coalesceLocked()
+	} else {
+		out := c.ext[:0]
+		for _, e := range c.ext {
+			if !e.dirty {
+				out = append(out, e)
+			}
+		}
+		c.ext = out
+	}
+	c.dirtyBytes = 0
+	c.mDirty.Set(0)
+	if hi > c.innerSize {
+		// The flush extends the inner store (a staged flush only once
+		// the commit applies it, but the retained overlays cover the
+		// range until then).
+		c.innerSize = hi
+	}
+	return nil
+}
+
+func (c *Cache) dropCleanLocked() {
+	out := c.ext[:0]
+	for _, e := range c.ext {
+		if e.dirty {
+			out = append(out, e)
+		}
+	}
+	c.ext = out
+}
+
+// serveLocked fills p (entirely within the logical size) from cached
+// extents, read-ahead blocks, and the inner backend.
+func (c *Cache) serveLocked(p []byte, off int64) error {
+	end := off + int64(len(p))
+	cur := off
+	i := sort.Search(len(c.ext), func(k int) bool { return c.ext[k].end() > off })
+	for cur < end {
+		if i < len(c.ext) && c.ext[i].off < end {
+			e := c.ext[i]
+			if e.off > cur {
+				if err := c.readGapLocked(p[cur-off:e.off-off], cur); err != nil {
+					return err
+				}
+				cur = e.off
+			}
+			lo := cur - e.off
+			hi := e.end()
+			if hi > end {
+				hi = end
+			}
+			n := copy(p[cur-off:], e.data[lo:hi-e.off])
+			c.stats.OverlayBytes += int64(n)
+			cur += int64(n)
+			i++
+		} else {
+			if err := c.readGapLocked(p[cur-off:], cur); err != nil {
+				return err
+			}
+			cur = end
+		}
+	}
+	return nil
+}
+
+// readGapLocked reads one uncached range: from a prefetched block when
+// read-ahead has it, else from the inner backend (zero-filling past the
+// inner end — the bytes are within the logical size, so they are holes,
+// not EOF).  Either way the access feeds the stream detector.
+func (c *Cache) readGapLocked(dst []byte, off int64) error {
+	if c.ra != nil && c.ra.serve(dst, off) {
+		c.stats.Hits++
+		c.mHits.Inc()
+		if c.tr.Enabled() {
+			c.tr.Instant(trace.PhaseCacheHit, 0, int64(len(dst)), "")
+		}
+		c.maybePrefetchLocked(off, int64(len(dst)))
+		return nil
+	}
+	c.stats.Misses++
+	c.mMisses.Inc()
+	if err := storage.ReadFull(c.inner, dst, off); err != nil {
+		return err
+	}
+	c.maybePrefetchLocked(off, int64(len(dst)))
+	return nil
+}
+
+// maybePrefetchLocked feeds the access to the stream detector and, once
+// a stride is established, fetches the next blocks of the stream in one
+// vectored read.  Prefetch is best-effort: a failing inner read only
+// means the demand read will pay for (and surface) the error later.
+func (c *Cache) maybePrefetchLocked(off, n int64) {
+	if c.ra == nil {
+		return
+	}
+	stride, ok := c.ra.observe(off, n)
+	if !ok || stride <= 0 {
+		return
+	}
+	var segs []storage.Segment
+	var blocks []rablock
+	var total int64
+	for k := 1; k <= c.ra.depth; k++ {
+		bo := off + stride*int64(k)
+		if bo >= c.innerSize {
+			break
+		}
+		if c.ra.covered(bo) {
+			continue
+		}
+		bn := n
+		if bo+bn > c.innerSize {
+			bn = c.innerSize - bo
+		}
+		buf := make([]byte, bn)
+		segs = append(segs, storage.Segment{Off: bo, Buf: buf})
+		blocks = append(blocks, rablock{off: bo, data: buf})
+		total += bn
+	}
+	if len(segs) == 0 {
+		return
+	}
+	sp := c.tr.BeginIO(trace.PhaseCachePrefetch, 0, total)
+	err := storage.ReadAtv(c.inner, segs)
+	sp.End()
+	if err != nil {
+		return
+	}
+	c.ra.add(blocks)
+	c.stats.Prefetches++
+	c.stats.PrefetchedBytes += total
+	c.mPrefetchedB.Add(total)
+}
+
+// ---- read-ahead: stream detection and block store ----
+
+const raStreams = 4
+
+// stream is one detected (or forming) strided read sequence.
+type stream struct {
+	lastOff int64
+	length  int64
+	stride  int64 // 0 while forming
+	hits    int
+	used    bool
+}
+
+// rablock is one prefetched block.
+type rablock struct {
+	off  int64
+	data []byte
+}
+
+func (b rablock) end() int64 { return b.off + int64(len(b.data)) }
+
+// readAhead detects up to raStreams concurrent strided read streams —
+// several IOP ranks of one session each walk their own file-domain
+// windows, so a single-stream detector would see noise — and stores the
+// prefetched blocks until they are consumed.
+type readAhead struct {
+	depth   int
+	streams [raStreams]stream
+	clock   int
+	blocks  []rablock
+}
+
+// observe feeds one gap access to the detector.  It returns a positive
+// stride once the owning stream has confirmed it twice in a row.
+func (r *readAhead) observe(off, n int64) (int64, bool) {
+	for i := range r.streams {
+		s := &r.streams[i]
+		if !s.used {
+			continue
+		}
+		if s.stride != 0 && off == s.lastOff+s.stride && n == s.length {
+			s.lastOff = off
+			s.hits++
+			return s.stride, s.hits >= 2
+		}
+		if s.stride == 0 && n == s.length && off > s.lastOff {
+			s.stride = off - s.lastOff
+			s.lastOff = off
+			s.hits = 1
+			return 0, false
+		}
+	}
+	r.streams[r.clock%raStreams] = stream{lastOff: off, length: n, used: true}
+	r.clock++
+	return 0, false
+}
+
+// serve copies a fully-contained prefetched range into dst and drops
+// blocks whose tail has been consumed.
+func (r *readAhead) serve(dst []byte, off int64) bool {
+	end := off + int64(len(dst))
+	for i, b := range r.blocks {
+		if b.off <= off && end <= b.end() {
+			copy(dst, b.data[off-b.off:end-b.off])
+			if end == b.end() {
+				r.blocks = append(r.blocks[:i], r.blocks[i+1:]...)
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// add stores freshly prefetched blocks.
+func (r *readAhead) add(blocks []rablock) {
+	r.blocks = append(r.blocks, blocks...)
+}
+
+// covered reports whether a block starting at off is already stored.
+func (r *readAhead) covered(off int64) bool {
+	for _, b := range r.blocks {
+		if b.off <= off && off < b.end() {
+			return true
+		}
+	}
+	return false
+}
+
+// dropOverlap removes blocks overlapping [lo, hi); it reports whether
+// any were dropped.
+func (r *readAhead) dropOverlap(lo, hi int64) bool {
+	out := r.blocks[:0]
+	dropped := false
+	for _, b := range r.blocks {
+		if b.off < hi && lo < b.end() {
+			dropped = true
+			continue
+		}
+		out = append(out, b)
+	}
+	r.blocks = out
+	return dropped
+}
+
+// reset drops all blocks and streams; it reports whether anything was
+// held.
+func (r *readAhead) reset() bool {
+	had := len(r.blocks) > 0 || r.clock > 0
+	r.blocks = nil
+	r.streams = [raStreams]stream{}
+	r.clock = 0
+	return had
+}

@@ -1,0 +1,232 @@
+package session
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+// epochMem is a storage.EpochBackend over Mem that records the order of
+// every mutating call — the oracle for the cache's seal-ordering
+// contract — and hides staged writes from reads until the commit, like
+// the real server tier does.
+type epochMem struct {
+	mem *storage.Mem
+
+	mu     sync.Mutex
+	epoch  uint64
+	staged []storage.Segment
+	log    []string
+}
+
+func newEpochMem() *epochMem { return &epochMem{mem: storage.NewMem()} }
+
+func (e *epochMem) events() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]string(nil), e.log...)
+}
+
+func (e *epochMem) ReadAt(p []byte, off int64) (int, error) { return e.mem.ReadAt(p, off) }
+func (e *epochMem) Size() int64                             { return e.mem.Size() }
+func (e *epochMem) Truncate(n int64) error                  { return e.mem.Truncate(n) }
+func (e *epochMem) Sync() error                             { return e.mem.Sync() }
+
+func (e *epochMem) WriteAt(p []byte, off int64) (int, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.epoch != 0 {
+		e.log = append(e.log, "stage")
+		e.staged = append(e.staged, storage.Segment{Off: off, Buf: append([]byte(nil), p...)})
+		return len(p), nil
+	}
+	e.log = append(e.log, "write")
+	return e.mem.WriteAt(p, off)
+}
+
+func (e *epochMem) SupportsEpochs() bool { return true }
+
+func (e *epochMem) EpochBegin(id uint64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.epoch = id
+	e.staged = nil
+	e.log = append(e.log, "begin")
+}
+
+func (e *epochMem) EpochSeal(id uint64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.log = append(e.log, "seal")
+	return nil
+}
+
+func (e *epochMem) EpochCommit(id uint64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.log = append(e.log, "commit")
+	if err := storage.WriteAtv(e.mem, e.staged); err != nil {
+		return err
+	}
+	e.epoch, e.staged = 0, nil
+	return nil
+}
+
+func (e *epochMem) EpochAbort(id uint64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.log = append(e.log, "abort")
+	e.epoch, e.staged = 0, nil
+	return nil
+}
+
+func (e *epochMem) EpochEnd(id uint64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.log = append(e.log, "end")
+	e.epoch, e.staged = 0, nil
+}
+
+// TestCacheEpochSealFlushOrdering is the satellite regression: every
+// dirty byte written under an epoch must be staged before the seal, and
+// nothing may stage between seal and commit.
+func TestCacheEpochSealFlushOrdering(t *testing.T) {
+	be := newEpochMem()
+	c := NewCache(be, CacheOptions{ReadAhead: -1, Checked: true})
+	if !c.SupportsEpochs() {
+		t.Fatal("cache lost the epoch capability of its inner backend")
+	}
+
+	c.EpochBegin(7)
+	want := bytes.Repeat([]byte{0x5C}, 4096)
+	for i := 0; i < 4; i++ {
+		if _, err := c.WriteAt(want[i*1024:(i+1)*1024], int64(i*1024)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Absorbed, not staged yet: reads must still see the overlay.
+	got := make([]byte, 4096)
+	if _, err := c.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("read-your-writes broken under an epoch")
+	}
+	if err := c.EpochSeal(7); err != nil {
+		t.Fatal(err)
+	}
+	// Staged but uncommitted: the overlay must still serve the bytes
+	// even though the inner backend hides them.
+	if _, err := c.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("retained overlay lost between seal and commit")
+	}
+	if err := c.EpochCommit(7); err != nil {
+		t.Fatal(err)
+	}
+
+	// Order contract: all staging strictly before the seal, nothing
+	// between seal and commit.
+	ev := be.events()
+	seq := strings.Join(ev, " ")
+	sealAt, commitAt := -1, -1
+	for i, e := range ev {
+		switch e {
+		case "seal":
+			sealAt = i
+		case "commit":
+			commitAt = i
+		case "stage":
+			if sealAt >= 0 {
+				t.Fatalf("write staged after the seal: %s", seq)
+			}
+		case "write":
+			t.Fatalf("write bypassed staging during an epoch: %s", seq)
+		}
+	}
+	if sealAt < 0 || commitAt != len(ev)-1 {
+		t.Fatalf("unexpected event sequence: %s", seq)
+	}
+	// And the committed bytes are the written ones.
+	if _, err := be.mem.ReadAt(got, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("committed bytes differ")
+	}
+}
+
+// TestCheckedCachePanicsOnWriteAfterSeal pins the checked-mode
+// assertion: a write landing between seal and commit is a reorder
+// across the sealed epoch and must panic immediately.
+func TestCheckedCachePanicsOnWriteAfterSeal(t *testing.T) {
+	be := newEpochMem()
+	c := NewCache(be, CacheOptions{ReadAhead: -1, Checked: true})
+	c.EpochBegin(3)
+	if _, err := c.WriteAt([]byte{1, 2, 3}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.EpochSeal(3); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("write between seal and commit did not panic in checked mode")
+		}
+	}()
+	c.WriteAt([]byte{4}, 0)
+}
+
+// TestCheckedCachePanicsOnDirtyAtCommit pins the commit-side assertion
+// directly (white box: no public path can produce the state in checked
+// mode, which is the point of the defense).
+func TestCheckedCachePanicsOnDirtyAtCommit(t *testing.T) {
+	be := newEpochMem()
+	c := NewCache(be, CacheOptions{ReadAhead: -1, Checked: true})
+	c.EpochBegin(9)
+	if err := c.EpochSeal(9); err != nil {
+		t.Fatal(err)
+	}
+	// Smuggle a dirty extent in behind the seal, as a buggy flush path
+	// would.
+	c.mu.Lock()
+	c.ext = append(c.ext, extent{off: 0, data: []byte{1}, dirty: true})
+	c.dirtyBytes = 1
+	c.mu.Unlock()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("dirty extent surviving a sealed epoch did not panic at commit")
+		}
+	}()
+	c.EpochCommit(9)
+}
+
+// TestCacheEpochAbortDiscards: an aborted collective's absorbed writes
+// vanish with it.
+func TestCacheEpochAbortDiscards(t *testing.T) {
+	be := newEpochMem()
+	if _, err := be.mem.WriteAt(bytes.Repeat([]byte{0x11}, 64), 0); err != nil {
+		t.Fatal(err)
+	}
+	c := NewCache(be, CacheOptions{ReadAhead: -1, Checked: true})
+	c.EpochBegin(5)
+	if _, err := c.WriteAt(bytes.Repeat([]byte{0x22}, 64), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.EpochAbort(5); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 64)
+	if _, err := c.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, bytes.Repeat([]byte{0x11}, 64)) {
+		t.Fatal("aborted epoch's writes survived in the cache")
+	}
+}

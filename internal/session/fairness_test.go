@@ -1,0 +1,113 @@
+package session
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/datatype"
+	"repro/internal/storage"
+	"repro/internal/testutil"
+)
+
+// Satellite: fairness under admission control.  Three heavy checkpoint
+// sessions keep the single-slot pool saturated with slow collectives
+// (throttled backends); a small analytics session keeps submitting tiny
+// collectives.  Weighted-fair ordering must keep the small session's
+// p99 queue wait bounded by roughly one heavy service time — it jumps
+// the queued heavies because its virtual clock lags theirs — instead of
+// growing with the heavy backlog.
+func TestFairnessSmallJobsBounded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-based fairness test")
+	}
+	defer testutil.LeakCheck(t)()
+
+	const (
+		nHeavy     = 3
+		heavyBytes = 256 << 10
+		lightBytes = 1 << 10
+		lightJobs  = 25
+	)
+	// One heavy collective costs ~latency + bytes/bw ≈ 2ms + 8ms.
+	heavySvc := 2*time.Millisecond + time.Duration(heavyBytes)*time.Second/time.Duration(32<<20)
+
+	sv := NewService(Options{Workers: 1, MaxQueue: 16})
+	defer sv.Close()
+
+	heavies := make([]*Session, nHeavy)
+	for i := range heavies {
+		be := storage.NewThrottled(storage.NewMem(), 0, 32<<20, 2*time.Millisecond)
+		s, err := sv.Open(fmt.Sprintf("heavy%d", i), be, SessionOptions{
+			Ranks:        1,
+			StallTimeout: testStall,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		heavies[i] = s
+	}
+	light, err := sv.Open("light", storage.NewMem(), SessionOptions{
+		Ranks:        1,
+		StallTimeout: testStall,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	heavyBuf := make([]byte, heavyBytes)
+	for _, s := range heavies {
+		wg.Add(1)
+		go func(s *Session) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := s.WriteAtAll(0, heavyBytes, datatype.Byte, func(int) []byte { return heavyBuf }); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(s)
+	}
+
+	// Let the heavies saturate the pool before the small jobs arrive.
+	time.Sleep(5 * heavySvc)
+	lightBuf := make([]byte, lightBytes)
+	for i := 0; i < lightJobs; i++ {
+		if err := light.WriteAtAll(0, lightBytes, datatype.Byte, func(int) []byte { return lightBuf }); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+
+	st := light.Stats()
+	if st.QueueWait.Count < lightJobs {
+		t.Fatalf("light session recorded %d queue waits, want >= %d", st.QueueWait.Count, lightJobs)
+	}
+	p99 := time.Duration(st.QueueWait.Quantile(0.99))
+	// The fair bound: one in-service heavy job must finish (the gate is
+	// non-preemptive), then the light job outranks every queued heavy.
+	// The bound is many multiples of one heavy service time to absorb
+	// scheduler noise on CI machines — what it must NOT absorb is
+	// waiting behind the whole heavy backlog over the run.
+	if limit := 20 * heavySvc; p99 > limit {
+		t.Fatalf("small-session p99 queue wait %v exceeds fair bound %v (heavy service %v)", p99, limit, heavySvc)
+	}
+	// Sanity: the pool really was contended — the heavies kept working
+	// the whole time.
+	for i, s := range heavies {
+		if hs := s.Stats(); hs.Jobs < 5 {
+			t.Fatalf("heavy session %d ran only %d jobs; pool never saturated", i, hs.Jobs)
+		}
+	}
+	t.Logf("light p99 wait %v over %d jobs (heavy service ~%v)", p99, st.QueueWait.Count, heavySvc)
+}

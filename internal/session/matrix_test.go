@@ -1,0 +1,250 @@
+package session
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+
+	"repro/internal/ioserver"
+	"repro/internal/storage"
+	"repro/internal/testutil"
+	"repro/internal/transport"
+)
+
+// Satellite: the concurrent-session correctness matrix.  N sessions ×
+// {write-behind on, off} × {loopback worlds over Mem, TCP worlds over
+// Mem, loopback worlds over disjoint regions of one 3-server striped
+// tier} — every session's final file image must be byte-identical to
+// the flat per-file oracle, with no goroutine or fd leaks, plus a
+// chaos variant with seeded storage.Chaos under the cache.
+
+// tier starts n in-process I/O servers over Mem stripes.
+func tier(t *testing.T, unit int64, n int, opts ioserver.ClientOptions) (*ioserver.Striped, func()) {
+	t.Helper()
+	geom := storage.StripeGeom{Unit: unit, Count: n}
+	addrs := make([]string, n)
+	servers := make([]*ioserver.Server, n)
+	for i := 0; i < n; i++ {
+		srv, err := ioserver.New(ioserver.Config{Backend: storage.NewMem(), Geom: geom, Index: i})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = ln.Addr().String()
+		servers[i] = srv
+		go srv.Serve(ln)
+	}
+	agg, err := ioserver.NewStriped(unit, addrs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return agg, func() {
+		agg.Close()
+		for _, srv := range servers {
+			srv.Close()
+		}
+	}
+}
+
+func TestConcurrentSessionMatrix(t *testing.T) {
+	const (
+		nSessions  = 3
+		ranks      = 2
+		blockcount = 16
+		blocklen   = 8
+	)
+	fileSize := int64(ranks * blockcount * blocklen)
+	oracle := oracleBytes(t, ranks, blockcount, blocklen)
+
+	type fixture struct {
+		// backend returns session i's backend; flat reads back its
+		// final file image after all sessions closed.
+		backend func(i int) storage.Backend
+		flat    func(i int) []byte
+		world   func(i int) []transport.Transport
+		cleanup func()
+	}
+
+	fabrics := []struct {
+		name  string
+		setup func(t *testing.T) fixture
+	}{
+		{"loopback-mem", func(t *testing.T) fixture {
+			bes := make([]storage.Backend, nSessions)
+			for i := range bes {
+				bes[i] = storage.NewMem()
+			}
+			return fixture{
+				backend: func(i int) storage.Backend { return bes[i] },
+				flat:    func(i int) []byte { return flatten(t, bes[i]) },
+				world:   func(int) []transport.Transport { return nil },
+				cleanup: func() {},
+			}
+		}},
+		{"tcp-mem", func(t *testing.T) fixture {
+			bes := make([]storage.Backend, nSessions)
+			for i := range bes {
+				bes[i] = storage.NewMem()
+			}
+			return fixture{
+				backend: func(i int) storage.Backend { return bes[i] },
+				flat:    func(i int) []byte { return flatten(t, bes[i]) },
+				world: func(int) []transport.Transport {
+					eps, err := transport.NewLocalTCPWorld(ranks, transport.TCPConfig{Deadline: testStall})
+					if err != nil {
+						t.Fatal(err)
+					}
+					return eps
+				},
+				cleanup: func() {},
+			}
+		}},
+		{"striped3-regions", func(t *testing.T) fixture {
+			// One shared 3-server tier with a per-server connection
+			// pool; each session owns a disjoint region.  (Regions carry
+			// no epoch capability, so concurrent sessions never race the
+			// tier's one-epoch-in-flight commit protocol.)
+			agg, stop := tier(t, 64, 3, ioserver.ClientOptions{Conns: 2})
+			if err := agg.Truncate(fileSize * nSessions); err != nil {
+				t.Fatal(err)
+			}
+			return fixture{
+				backend: func(i int) storage.Backend {
+					reg, err := storage.NewRegion(agg, int64(i)*fileSize, fileSize)
+					if err != nil {
+						t.Fatal(err)
+					}
+					return reg
+				},
+				flat: func(i int) []byte {
+					buf := make([]byte, fileSize)
+					if err := storage.ReadAtv(agg, []storage.Segment{{Off: int64(i) * fileSize, Buf: buf}}); err != nil {
+						t.Fatal(err)
+					}
+					return buf
+				},
+				world:   func(int) []transport.Transport { return nil },
+				cleanup: stop,
+			}
+		}},
+	}
+
+	for _, fab := range fabrics {
+		for _, cached := range []bool{false, true} {
+			name := fmt.Sprintf("%s/cache=%v", fab.name, cached)
+			t.Run(name, func(t *testing.T) {
+				check := testutil.LeakCheck(t)
+				fdBefore := testutil.FDCount(t)
+
+				fx := fab.setup(t)
+				sv := NewService(Options{Workers: 4})
+				var wg sync.WaitGroup
+				errs := make([]error, nSessions)
+				for i := 0; i < nSessions; i++ {
+					so := SessionOptions{
+						Ranks:        ranks,
+						World:        fx.world(i),
+						StallTimeout: testStall,
+					}
+					if cached {
+						so.Cache = &CacheOptions{Checked: true}
+					}
+					s, err := sv.Open(fmt.Sprintf("s%d", i), fx.backend(i), so)
+					if err != nil {
+						t.Fatal(err)
+					}
+					wg.Add(1)
+					go func(i int, s *Session) {
+						defer wg.Done()
+						if err := sessionWorkload(s, ranks, blockcount, blocklen); err != nil {
+							errs[i] = err
+							return
+						}
+						errs[i] = s.Close()
+					}(i, s)
+				}
+				wg.Wait()
+				for i, err := range errs {
+					if err != nil {
+						t.Fatalf("session %d: %v", i, err)
+					}
+				}
+				if err := sv.Close(); err != nil {
+					t.Fatal(err)
+				}
+				for i := 0; i < nSessions; i++ {
+					if !bytes.Equal(fx.flat(i), oracle) {
+						t.Fatalf("session %d: file image differs from flat oracle", i)
+					}
+				}
+				fx.cleanup()
+
+				check()
+				if fdAfter := testutil.FDCount(t); fdAfter > fdBefore {
+					t.Fatalf("fd leak: %d before, %d after", fdBefore, fdAfter)
+				}
+			})
+		}
+	}
+}
+
+// TestConcurrentSessionsChaos reruns the cached loopback configuration
+// with seeded transient storage chaos under each session's cache
+// (cache → resilient retry → chaos → mem): the write-behind and
+// read-ahead paths must stay byte-identical under injected faults.
+func TestConcurrentSessionsChaos(t *testing.T) {
+	const (
+		nSessions  = 3
+		ranks      = 2
+		blockcount = 16
+		blocklen   = 8
+	)
+	defer testutil.LeakCheck(t)()
+	oracle := oracleBytes(t, ranks, blockcount, blocklen)
+
+	sv := NewService(Options{Workers: 4})
+	mems := make([]*storage.Mem, nSessions)
+	var wg sync.WaitGroup
+	errs := make([]error, nSessions)
+	for i := 0; i < nSessions; i++ {
+		mems[i] = storage.NewMem()
+		chaotic := storage.NewChaos(int64(1000+i), mems[i], storage.TransientOnly())
+		be := storage.NewResilient(chaotic, storage.ResilientConfig{Seed: int64(i + 1)})
+		s, err := sv.Open(fmt.Sprintf("c%d", i), be, SessionOptions{
+			Ranks:        ranks,
+			Cache:        &CacheOptions{Checked: true},
+			StallTimeout: testStall,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(i int, s *Session) {
+			defer wg.Done()
+			if err := sessionWorkload(s, ranks, blockcount, blocklen); err != nil {
+				errs[i] = err
+				return
+			}
+			errs[i] = s.Close()
+		}(i, s)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("session %d: %v", i, err)
+		}
+	}
+	if err := sv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < nSessions; i++ {
+		if got := flatten(t, mems[i]); !bytes.Equal(got, oracle) {
+			t.Fatalf("chaos session %d: file image differs from flat oracle", i)
+		}
+	}
+}

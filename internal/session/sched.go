@@ -1,0 +1,154 @@
+package session
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// Admission control and weighted-fair ordering for the shared worker
+// pool.  Every collective of every session asks the scheduler for one
+// of Workers slots before it starts moving data (via core's admission
+// gate); at most MaxQueue jobs may wait beyond that, and further
+// arrivals are rejected outright — the service sheds load instead of
+// building an unbounded backlog.
+//
+// Ordering is start-time fair queueing over a virtual clock: a job's
+// virtual start is max(pool vtime, its session's last virtual finish),
+// its virtual finish adds cost/weight, and the free slot goes to the
+// waiter with the earliest virtual finish.  A session that keeps the
+// pool busy with huge transfers accumulates virtual time and yields to
+// a small session whose clock lags — one huge checkpoint cannot starve
+// small analytics reads, which is the property the fairness test
+// pins down.  FIFO mode (the ablation) admits in arrival order.
+
+// ErrBusy is the admission-control rejection: the worker pool is
+// saturated and the wait queue is at its depth cap.  Collectives
+// surface it as core.ErrRejected on every rank of the session's world.
+var ErrBusy = errors.New("session: worker pool saturated and queue full")
+
+// waiter is one queued job.
+type waiter struct {
+	s       *Session
+	vstart  float64
+	vfinish float64
+	seq     int64
+	ready   chan struct{}
+}
+
+type scheduler struct {
+	workers  int
+	maxQueue int
+	fifo     bool
+
+	mu       sync.Mutex
+	running  int
+	queue    []*waiter
+	vnow     float64
+	arrivals int64
+}
+
+func newScheduler(workers, maxQueue int, fifo bool) *scheduler {
+	if workers <= 0 {
+		workers = 4
+	}
+	if maxQueue <= 0 {
+		maxQueue = 64
+	}
+	return &scheduler{workers: workers, maxQueue: maxQueue, fifo: fifo}
+}
+
+// chargeLocked advances the virtual clocks for one admission of cost
+// units by session s and returns the job's (vstart, vfinish).
+func (sc *scheduler) chargeLocked(s *Session, cost int64) (float64, float64) {
+	start := sc.vnow
+	if s.vdone > start {
+		start = s.vdone
+	}
+	fin := start + float64(cost)/float64(s.weight)
+	s.vdone = fin
+	return start, fin
+}
+
+// acquire blocks until a pool slot is free (fair order) or fails with
+// ErrBusy when the queue is at its cap.  The returned release func must
+// be called exactly once.
+func (sc *scheduler) acquire(s *Session, cost int64) (func(), error) {
+	if cost <= 0 {
+		cost = 1
+	}
+	sc.mu.Lock()
+	if sc.running < sc.workers && len(sc.queue) == 0 {
+		sc.running++
+		start, _ := sc.chargeLocked(s, cost)
+		sc.vnow = start
+		sv := s.sv
+		sv.mRunning.Set(int64(sc.running))
+		sc.mu.Unlock()
+		sv.mAdmitted.Inc()
+		s.observeQueueWait(0)
+		return func() { sc.release(s.sv) }, nil
+	}
+	if len(sc.queue) >= sc.maxQueue {
+		sc.mu.Unlock()
+		s.noteRejected()
+		return nil, ErrBusy
+	}
+	w := &waiter{s: s, seq: sc.arrivals, ready: make(chan struct{})}
+	sc.arrivals++
+	w.vstart, w.vfinish = sc.chargeLocked(s, cost)
+	sc.queue = append(sc.queue, w)
+	s.sv.mQueued.Set(int64(len(sc.queue)))
+	sc.mu.Unlock()
+
+	t0 := time.Now()
+	<-w.ready
+	s.observeQueueWait(time.Since(t0))
+	return func() { sc.release(s.sv) }, nil
+}
+
+// release frees one slot, handing it to the fairest waiter if any.
+func (sc *scheduler) release(sv *Service) {
+	sc.mu.Lock()
+	if len(sc.queue) > 0 {
+		i := sc.pickLocked()
+		w := sc.queue[i]
+		sc.queue = append(sc.queue[:i], sc.queue[i+1:]...)
+		if w.vstart > sc.vnow {
+			sc.vnow = w.vstart
+		}
+		sv.mQueued.Set(int64(len(sc.queue)))
+		sc.mu.Unlock()
+		sv.mAdmitted.Inc()
+		close(w.ready)
+		return
+	}
+	sc.running--
+	sv.mRunning.Set(int64(sc.running))
+	sc.mu.Unlock()
+}
+
+// pickLocked selects the next waiter: earliest virtual finish (ties by
+// arrival), or strict arrival order in FIFO mode.
+func (sc *scheduler) pickLocked() int {
+	if sc.fifo {
+		return 0
+	}
+	best := 0
+	for i := 1; i < len(sc.queue); i++ {
+		w, b := sc.queue[i], sc.queue[best]
+		if w.vfinish < b.vfinish || (w.vfinish == b.vfinish && w.seq < b.seq) {
+			best = i
+		}
+	}
+	return best
+}
+
+// sessionGate adapts the shared scheduler to core's per-file admission
+// gate: one Acquire per collective, decided by rank 0, cost scaled by
+// the aggregate transfer estimate.
+type sessionGate struct{ s *Session }
+
+func (g sessionGate) Acquire(write bool, bytes int64) (func(), error) {
+	return g.s.sv.sched.acquire(g.s, bytes)
+}

@@ -1,0 +1,445 @@
+package session
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datatype"
+	"repro/internal/mpi"
+	"repro/internal/obs"
+	"repro/internal/storage"
+	"repro/internal/trace"
+	"repro/internal/transport"
+)
+
+// Options configures the shared resources of a Service.
+type Options struct {
+	// Workers bounds the jobs in flight across all sessions (the shared
+	// IOP/worker pool size).  Default 4.
+	Workers int
+	// MaxQueue bounds the jobs waiting for a slot; arrivals beyond it
+	// are rejected with core.ErrRejected.  Default 64.
+	MaxQueue int
+	// FIFO disables weighted-fair ordering (ablation: admit strictly in
+	// arrival order).
+	FIFO bool
+	// Metrics, when non-nil, exposes the pool gauges and the
+	// per-session queue-wait/cache counters on the scrape plane.
+	Metrics *obs.Registry
+}
+
+// Service is the I/O session front end: it owns the shared worker pool
+// and the open sessions.  Open returns a Session over one file backend;
+// every collective submitted to any session is admitted onto the shared
+// pool by the scheduler.
+type Service struct {
+	opts  Options
+	sched *scheduler
+
+	mAdmitted, mRejected *obs.Counter
+	mRunning, mQueued    *obs.Gauge
+
+	mu       sync.Mutex
+	sessions map[string]*Session
+	closed   bool
+}
+
+// NewService starts a service with no open sessions.
+func NewService(o Options) *Service {
+	sv := &Service{
+		opts:     o,
+		sched:    newScheduler(o.Workers, o.MaxQueue, o.FIFO),
+		sessions: make(map[string]*Session),
+	}
+	if r := o.Metrics; r != nil {
+		sv.mAdmitted = r.Counter("session_jobs_admitted_total", "collective jobs admitted onto the shared pool")
+		sv.mRejected = r.Counter("session_jobs_rejected_total", "collective jobs rejected by admission control")
+		sv.mRunning = r.Gauge("session_pool_running", "jobs holding a pool slot")
+		sv.mQueued = r.Gauge("session_pool_queued", "jobs waiting for a pool slot")
+	}
+	return sv
+}
+
+// Close closes every session still open and shuts the service down.
+// The first close error wins.
+func (sv *Service) Close() error {
+	sv.mu.Lock()
+	sv.closed = true
+	open := make([]*Session, 0, len(sv.sessions))
+	for _, s := range sv.sessions {
+		open = append(open, s)
+	}
+	sv.mu.Unlock()
+	var first error
+	for _, s := range open {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// SessionOptions configures one session.
+type SessionOptions struct {
+	// Ranks is the session's world size (APs == IOPs, as everywhere in
+	// this repo).  Default 1.
+	Ranks int
+	// Weight is the session's fair share; a weight-2 session accumulates
+	// virtual time half as fast as a weight-1 one.  Default 1.
+	Weight int
+	// Cache, when non-nil, mounts a write-behind/read-ahead cache
+	// between the session's core engine and the backend.
+	Cache *CacheOptions
+	// Core seeds the session's core options (engine, buffer sizes,
+	// ablations).  The service fills in the admission gate and trace.
+	Core core.Options
+	// World, when non-nil, supplies the session's transport endpoints
+	// (len must equal Ranks) — the TCP matrix configs use it.  Default
+	// in-process loopback.
+	World []transport.Transport
+	// Trace, when non-nil, is the session's private collector (worlds
+	// must not share tracers across sessions).
+	Trace *trace.Collector
+	// StallTimeout arms the world's stall watchdog.
+	StallTimeout time.Duration
+}
+
+// JobFunc is the body of one submitted job, run on every rank of the
+// session's world with that rank's file handle.  Collective accesses on
+// f go through the shared pool's admission gate.
+type JobFunc func(p *mpi.Proc, f *core.File) error
+
+// Job is a submitted job; Wait blocks until every rank finished it.
+type Job struct {
+	s       *Session
+	fn      JobFunc
+	errs    []error
+	pending atomic.Int32
+	done    chan struct{}
+}
+
+// Wait returns the first rank's error, or the world's error if the
+// world died before the job completed.
+func (j *Job) Wait() error {
+	select {
+	case <-j.done:
+		for _, err := range j.errs {
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	case <-j.s.worldDone:
+		return j.s.worldErr()
+	}
+}
+
+// Session is one open file session: a persistent world of Ranks procs
+// holding core file handles over the session's (possibly cached)
+// backend, consuming submitted jobs in order.
+type Session struct {
+	name  string
+	sv    *Service
+	ranks int
+
+	mount storage.Backend
+	cache *Cache // nil when uncached
+	sh    *core.Shared
+
+	weight int
+	vdone  float64 // virtual finish time; owned by the scheduler's mutex
+
+	mQueueWait *obs.Hist
+
+	jobs      []chan *Job
+	ready     chan struct{}
+	worldDone chan struct{}
+	wErr      error     // world error; written before worldDone closes
+	comm      mpi.Stats // world comm totals; valid after worldDone
+	closeErr  error     // rank-0 file close error
+
+	statsMu  sync.Mutex
+	qw       trace.Histogram
+	jobsDone int64
+	rejected int64
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// Open creates a session named name over backend be and starts its
+// world.  It returns once every rank holds an open file handle.
+func (sv *Service) Open(name string, be storage.Backend, o SessionOptions) (*Session, error) {
+	if o.Ranks <= 0 {
+		o.Ranks = 1
+	}
+	if o.Weight <= 0 {
+		o.Weight = 1
+	}
+	if o.World != nil && len(o.World) != o.Ranks {
+		return nil, fmt.Errorf("session: world has %d endpoints for %d ranks", len(o.World), o.Ranks)
+	}
+
+	s := &Session{
+		name:      name,
+		sv:        sv,
+		ranks:     o.Ranks,
+		weight:    o.Weight,
+		mount:     be,
+		jobs:      make([]chan *Job, o.Ranks),
+		ready:     make(chan struct{}),
+		worldDone: make(chan struct{}),
+	}
+	if o.Cache != nil {
+		co := *o.Cache
+		co.Metrics = sv.opts.Metrics
+		co.Session = name
+		// The cache traces under rank index Ranks: ranks 0..Ranks-1 own
+		// their tracers single-threadedly, and the cache's mutex
+		// serializes its own spans.
+		co.Tracer = o.Trace.Tracer(o.Ranks)
+		s.cache = NewCache(be, co)
+		s.mount = s.cache
+	}
+	s.sh = core.NewShared(s.mount)
+	if r := sv.opts.Metrics; r != nil {
+		s.mQueueWait = r.Hist("session_queue_wait_ns", "collective admission queue wait", obs.Label{Key: "session", Value: name})
+	}
+	for r := range s.jobs {
+		s.jobs[r] = make(chan *Job, 32)
+	}
+
+	sv.mu.Lock()
+	if sv.closed {
+		sv.mu.Unlock()
+		return nil, fmt.Errorf("session: service closed")
+	}
+	if _, dup := sv.sessions[name]; dup {
+		sv.mu.Unlock()
+		return nil, fmt.Errorf("session: %q already open", name)
+	}
+	sv.sessions[name] = s
+	sv.mu.Unlock()
+
+	copts := o.Core
+	copts.Gate = sessionGate{s: s}
+	copts.Trace = o.Trace
+
+	eps := o.World
+	if eps == nil {
+		eps = transport.NewLoopback(o.Ranks)
+	}
+	go func() {
+		comm, err := mpi.RunOver(eps, mpi.RunOptions{
+			StallTimeout: o.StallTimeout,
+			Trace:        o.Trace,
+		}, func(p *mpi.Proc) {
+			s.rankMain(p, copts)
+		})
+		s.comm, s.wErr = comm, err
+		close(s.worldDone)
+	}()
+
+	select {
+	case <-s.ready:
+		return s, nil
+	case <-s.worldDone:
+		sv.drop(name)
+		return nil, s.worldErr()
+	}
+}
+
+func (sv *Service) drop(name string) {
+	sv.mu.Lock()
+	delete(sv.sessions, name)
+	sv.mu.Unlock()
+}
+
+func (s *Session) worldErr() error {
+	if s.wErr != nil {
+		return s.wErr
+	}
+	return fmt.Errorf("session %q: world exited", s.name)
+}
+
+// rankMain is one rank's life: open the file handle, consume jobs until
+// the session closes, close the handle (rank 0's close syncs, which
+// flushes the cache).
+func (s *Session) rankMain(p *mpi.Proc, copts core.Options) {
+	f, err := core.Open(p, s.sh, copts)
+	if err != nil {
+		panic(fmt.Sprintf("session %q rank %d: open: %v", s.name, p.Rank(), err))
+	}
+	if p.Rank() == 0 {
+		close(s.ready)
+	}
+	for jb := range s.jobs[p.Rank()] {
+		jb.errs[p.Rank()] = jb.fn(p, f)
+		if jb.pending.Add(-1) == 0 {
+			close(jb.done)
+		}
+	}
+	if err := f.Close(); err != nil && p.Rank() == 0 {
+		s.closeErr = err
+	}
+}
+
+// Submit enqueues a job on every rank of the session's world and
+// returns immediately; Wait blocks for completion.  Jobs run in
+// submission order.
+func (s *Session) Submit(fn JobFunc) (*Job, error) {
+	jb := &Job{s: s, fn: fn, errs: make([]error, s.ranks), done: make(chan struct{})}
+	jb.pending.Store(int32(s.ranks))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("session %q: closed", s.name)
+	}
+	for r := range s.jobs {
+		select {
+		case s.jobs[r] <- jb:
+		case <-s.worldDone:
+			return nil, s.worldErr()
+		}
+	}
+	s.statsMu.Lock()
+	s.jobsDone++
+	s.statsMu.Unlock()
+	return jb, nil
+}
+
+// Run submits fn and waits for it.
+func (s *Session) Run(fn JobFunc) error {
+	jb, err := s.Submit(fn)
+	if err != nil {
+		return err
+	}
+	return jb.Wait()
+}
+
+// SetView installs a fileview on every rank's handle and invalidates
+// the cache's read-ahead state (the old pattern predicts nothing).
+func (s *Session) SetView(disp int64, etype, filetype *datatype.Type) error {
+	err := s.Run(func(p *mpi.Proc, f *core.File) error {
+		return f.SetView(disp, etype, filetype)
+	})
+	if s.cache != nil {
+		s.cache.Invalidate()
+	}
+	return err
+}
+
+// WriteAtAll runs one collective write; buf supplies each rank's data.
+func (s *Session) WriteAtAll(off, count int64, memtype *datatype.Type, buf func(rank int) []byte) error {
+	return s.Run(func(p *mpi.Proc, f *core.File) error {
+		_, err := f.WriteAtAll(off, count, memtype, buf(p.Rank()))
+		return err
+	})
+}
+
+// ReadAtAll runs one collective read into each rank's buffer.
+func (s *Session) ReadAtAll(off, count int64, memtype *datatype.Type, buf func(rank int) []byte) error {
+	return s.Run(func(p *mpi.Proc, f *core.File) error {
+		_, err := f.ReadAtAll(off, count, memtype, buf(p.Rank()))
+		return err
+	})
+}
+
+// Sync flushes the session's cache and syncs the backend.
+func (s *Session) Sync() error {
+	return s.Run(func(p *mpi.Proc, f *core.File) error {
+		p.Barrier()
+		var err error
+		if p.Rank() == 0 {
+			err = s.mount.Sync()
+		}
+		p.Barrier()
+		return err
+	})
+}
+
+// Truncate pre-sizes the session's file.
+func (s *Session) Truncate(n int64) error {
+	return s.Run(func(p *mpi.Proc, f *core.File) error {
+		p.Barrier()
+		var err error
+		if p.Rank() == 0 {
+			err = s.mount.Truncate(n)
+		}
+		p.Barrier()
+		return err
+	})
+}
+
+// Close drains the session's world, flushes the cache (via the rank-0
+// file close sync), and detaches the session from the service.
+func (s *Session) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		<-s.worldDone
+		return s.wErr
+	}
+	s.closed = true
+	for r := range s.jobs {
+		close(s.jobs[r])
+	}
+	s.mu.Unlock()
+	<-s.worldDone
+	s.sv.drop(s.name)
+	if s.wErr != nil {
+		return s.wErr
+	}
+	return s.closeErr
+}
+
+// observeQueueWait records one admission wait (called by the scheduler
+// from this session's rank-0 goroutine).
+func (s *Session) observeQueueWait(d time.Duration) {
+	s.statsMu.Lock()
+	s.qw.Add(d.Nanoseconds())
+	s.statsMu.Unlock()
+	s.mQueueWait.Observe(d.Nanoseconds())
+}
+
+func (s *Session) noteRejected() {
+	s.statsMu.Lock()
+	s.rejected++
+	s.statsMu.Unlock()
+	s.sv.mRejected.Inc()
+}
+
+// SessionStats is a point-in-time snapshot of one session's activity.
+type SessionStats struct {
+	Jobs      int64          // jobs submitted
+	Rejected  int64          // collectives bounced by admission control
+	QueueWait trace.HistData // admission wait distribution (ns) — the aging histogram
+	Cache     CacheStats     // zero when uncached
+	Comm      mpi.Stats      // world comm totals; valid after Close
+}
+
+// Stats snapshots the session.
+func (s *Session) Stats() SessionStats {
+	s.statsMu.Lock()
+	st := SessionStats{
+		Jobs:      s.jobsDone,
+		Rejected:  s.rejected,
+		QueueWait: s.qw.Data(),
+	}
+	s.statsMu.Unlock()
+	if s.cache != nil {
+		st.Cache = s.cache.Stats()
+	}
+	select {
+	case <-s.worldDone:
+		st.Comm = s.comm
+	default:
+	}
+	return st
+}
+
+// Cache returns the session's cache, nil when uncached.
+func (s *Session) Cache() *Cache { return s.cache }

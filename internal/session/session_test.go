@@ -1,0 +1,225 @@
+package session
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datatype"
+	"repro/internal/mpi"
+	"repro/internal/noncontig"
+	"repro/internal/storage"
+	"repro/internal/testutil"
+)
+
+const testStall = 30 * time.Second
+
+// pattern fills a rank-distinct deterministic payload.
+func pattern(rank int, n int64) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte((rank*131 + i*7 + 13) % 251)
+	}
+	return b
+}
+
+// sessionWorkload runs the standard Figure-4 interleaved workload on a
+// session: set the view, collectively write every rank's pattern, read
+// it back collectively, and verify.
+func sessionWorkload(s *Session, ranks int, blockcount, blocklen int64) error {
+	d := blockcount * blocklen
+	if err := s.Run(func(p *mpi.Proc, f *core.File) error {
+		ft, err := noncontig.Filetype(p.Rank(), ranks, blockcount, blocklen)
+		if err != nil {
+			return err
+		}
+		return f.SetView(0, datatype.Byte, ft)
+	}); err != nil {
+		return err
+	}
+	if c := s.Cache(); c != nil {
+		c.Invalidate()
+	}
+	if err := s.WriteAtAll(0, d, datatype.Byte, func(rank int) []byte {
+		return pattern(rank, d)
+	}); err != nil {
+		return err
+	}
+	bufs := make([][]byte, ranks)
+	for r := range bufs {
+		bufs[r] = make([]byte, d)
+	}
+	if err := s.ReadAtAll(0, d, datatype.Byte, func(rank int) []byte {
+		return bufs[rank]
+	}); err != nil {
+		return err
+	}
+	for r := range bufs {
+		if !bytes.Equal(bufs[r], pattern(r, d)) {
+			return fmt.Errorf("rank %d: collective read-back mismatch", r)
+		}
+	}
+	return nil
+}
+
+// oracleBytes runs the same workload through a bare core world over a
+// flat Mem backend and returns the resulting file image.
+func oracleBytes(t *testing.T, ranks int, blockcount, blocklen int64) []byte {
+	t.Helper()
+	be := storage.NewMem()
+	sh := core.NewShared(be)
+	d := blockcount * blocklen
+	_, err := mpi.Run(ranks, func(p *mpi.Proc) {
+		f, err := core.Open(p, sh, core.Options{})
+		if err != nil {
+			panic(err)
+		}
+		defer f.Close()
+		ft, err := noncontig.Filetype(p.Rank(), ranks, blockcount, blocklen)
+		if err != nil {
+			panic(err)
+		}
+		if err := f.SetView(0, datatype.Byte, ft); err != nil {
+			panic(err)
+		}
+		if _, err := f.WriteAtAll(0, d, datatype.Byte, pattern(p.Rank(), d)); err != nil {
+			panic(err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return flatten(t, be)
+}
+
+func flatten(t *testing.T, b storage.Backend) []byte {
+	t.Helper()
+	buf := make([]byte, b.Size())
+	if len(buf) == 0 {
+		return buf
+	}
+	if err := storage.ReadAtv(b, []storage.Segment{{Off: 0, Buf: buf}}); err != nil {
+		t.Fatal(err)
+	}
+	return buf
+}
+
+func TestSessionSingleCachedWriteRead(t *testing.T) {
+	defer testutil.LeakCheck(t)()
+	const ranks, blockcount, blocklen = 2, 16, 8
+
+	sv := NewService(Options{Workers: 2})
+	be := storage.NewMem()
+	s, err := sv.Open("s0", be, SessionOptions{
+		Ranks:        ranks,
+		Cache:        &CacheOptions{},
+		StallTimeout: testStall,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sessionWorkload(s, ranks, blockcount, blocklen); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Jobs == 0 {
+		t.Fatalf("no jobs recorded: %+v", st)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := flatten(t, be), oracleBytes(t, ranks, blockcount, blocklen); !bytes.Equal(got, want) {
+		t.Fatal("cached session file image differs from the flat oracle")
+	}
+}
+
+// TestSessionAdmissionRejects pins the admission-control path end to
+// end: with the pool slot held and a zero-depth queue, a collective
+// must return core.ErrRejected on every rank, leaving the session
+// usable for a retry once the slot frees.
+func TestSessionAdmissionRejects(t *testing.T) {
+	defer testutil.LeakCheck(t)()
+	sv := NewService(Options{Workers: 1, MaxQueue: 1})
+	s, err := sv.Open("small", storage.NewMem(), SessionOptions{
+		Ranks:        2,
+		StallTimeout: testStall,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sv.Close()
+
+	// Saturate: hold the only slot and fill the queue directly.
+	release, err := sv.sched.acquire(s, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qrel := make(chan func(), 1)
+	go func() {
+		rel, err := sv.sched.acquire(s, 1)
+		if err != nil {
+			panic(err)
+		}
+		qrel <- rel
+	}()
+	for {
+		sv.sched.mu.Lock()
+		n := len(sv.sched.queue)
+		sv.sched.mu.Unlock()
+		if n == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	err = sessionWorkload(s, 2, 4, 8)
+	if !errors.Is(err, core.ErrRejected) {
+		t.Fatalf("saturated pool returned %v, want core.ErrRejected", err)
+	}
+	if st := s.Stats(); st.Rejected == 0 {
+		t.Fatalf("rejection not counted: %+v", st)
+	}
+
+	release()
+	(<-qrel)()
+	if err := sessionWorkload(s, 2, 4, 8); err != nil {
+		t.Fatalf("retry after release failed: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServiceCloseClosesSessions(t *testing.T) {
+	defer testutil.LeakCheck(t)()
+	sv := NewService(Options{})
+	for i := 0; i < 3; i++ {
+		if _, err := sv.Open(fmt.Sprintf("s%d", i), storage.NewMem(), SessionOptions{StallTimeout: testStall}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sv.Open("late", storage.NewMem(), SessionOptions{}); err == nil {
+		t.Fatal("open after service close succeeded")
+	}
+}
+
+func TestSessionDuplicateName(t *testing.T) {
+	defer testutil.LeakCheck(t)()
+	sv := NewService(Options{})
+	defer sv.Close()
+	if _, err := sv.Open("dup", storage.NewMem(), SessionOptions{StallTimeout: testStall}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sv.Open("dup", storage.NewMem(), SessionOptions{StallTimeout: testStall}); err == nil {
+		t.Fatal("duplicate session name accepted")
+	}
+}
