@@ -40,6 +40,7 @@ func main() {
 		server   = flag.String("server", "", "run the I/O-server tier comparison (local vs striped servers; views vs offset lists) and write its JSON to this path (e.g. BENCH_server.json)")
 		sessionF = flag.String("session", "", "run the I/O session-service comparison (concurrent cached sessions vs serialized uncached runs) and write its JSON to this path (e.g. BENCH_session.json)")
 		obsF     = flag.String("obs", "", "run the metrics-instrumentation overhead comparison (registry on vs -no-metrics) and write its JSON to this path (e.g. BENCH_obs.json)")
+		dtypeF   = flag.String("datatype", "", "run the per-shape datatype comparison (compiled copy program vs recursive walk vs memcpy) and write its JSON to this path (e.g. BENCH_datatype.json)")
 		phases   = flag.Bool("phases", false, "run one traced collective per engine and print the per-phase imbalance breakdown")
 		scaleS   = flag.String("scale", "full", "experiment scale: full or quick")
 		csvDir   = flag.String("csv", "", "directory to write per-figure CSV files")
@@ -61,7 +62,7 @@ func main() {
 		figs = multiFlag{"5", "6", "7", "8"}
 		tables = multiFlag{"1", "2", "3"}
 	}
-	if len(figs) == 0 && len(tables) == 0 && *pipeline == "" && *transp == "" && *alloc == "" && *server == "" && *sessionF == "" && *obsF == "" && !*phases {
+	if len(figs) == 0 && len(tables) == 0 && *pipeline == "" && *transp == "" && *alloc == "" && *server == "" && *sessionF == "" && *obsF == "" && *dtypeF == "" && !*phases {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -182,6 +183,24 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("wrote %s\n\n", *obsF)
+	}
+
+	if *dtypeF != "" {
+		t0 := time.Now()
+		dc, err := bench.Datatype(scale)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(bench.FormatDatatype(dc))
+		fmt.Printf("(measured at scale %s in %v)\n\n", scale, time.Since(t0).Round(time.Millisecond))
+		data, err := bench.DatatypeJSON(dc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*dtypeF, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n\n", *dtypeF)
 	}
 
 	figRunners := map[string]func(bench.Scale) (bench.Figure, error){

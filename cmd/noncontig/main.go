@@ -72,6 +72,7 @@ func main() {
 		noPipe     = flag.Bool("no-pipeline", false, "disable the pipelined collective window loop")
 		noPool     = flag.Bool("no-pool", false, "disable buffer pooling: allocate every hot-path buffer fresh")
 		noVectored = flag.Bool("no-vectored", false, "disable vectored storage I/O on the sparse direct path")
+		noProgram  = flag.Bool("no-program", false, "disable compiled datatype copy programs: pack and position through the recursive walk on every window (the ablation baseline)")
 		file       = flag.String("file", "", "back the run with this file instead of memory")
 		readBW     = flag.Int64("read-bw", 0, "throttle: backend read bandwidth in bytes/s")
 		writeBW    = flag.Int64("write-bw", 0, "throttle: backend write bandwidth in bytes/s")
@@ -165,7 +166,8 @@ func main() {
 			nblock: *nblock, sblock: *sblock, reps: *reps, verify: *verify, tiles: *tiles,
 			sieveBuf: *sieveBuf, collBuf: *collBuf, ioNodes: *ioNodes, noPipe: *noPipe,
 			noPool: *noPool, noVectored: *noVectored, noViews: *noViews,
-			servers: *servers, stripe: *stripeUnit,
+			noProgram: *noProgram,
+			servers:   *servers, stripe: *stripeUnit,
 			noEpochs: *noEpochs, serverRestarts: *serverRestarts,
 			killServer: *killServer, wireChaosSeed: *wireChaosSeed,
 			file: *file, readBW: *readBW, writeBW: *writeBW, latency: *latency,
@@ -314,6 +316,7 @@ func main() {
 			DisableCollPipeline: *noPipe,
 			DisablePool:         *noPool,
 			DisableVectored:     *noVectored,
+			DisableProgram:      *noProgram,
 			DisableViewPath:     *noViews,
 			DisableEpochs:       *noEpochs,
 		},
@@ -428,6 +431,7 @@ type launchFlags struct {
 	noPipe            bool
 	noPool            bool
 	noVectored        bool
+	noProgram         bool
 	noViews           bool
 	servers           int
 	stripe            int64
@@ -535,6 +539,9 @@ func netLaunch(p int, pat noncontig.Pattern, eng core.Engine, lf launchFlags) {
 		}
 		if lf.noVectored {
 			a = append(a, "-no-vectored")
+		}
+		if lf.noProgram {
+			a = append(a, "-no-program")
 		}
 		if lf.noViews {
 			a = append(a, "-no-views")

@@ -1,0 +1,279 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"runtime/debug"
+	"time"
+
+	"repro/internal/datatype"
+	"repro/internal/fotf"
+)
+
+// Datatype benchmark: the compiled-copy-program gap to memcpy, per
+// datatype shape.  For each shape the same windowed pack workload — the
+// collective hot path's access pattern: ascending CopyRange windows
+// over a tiled typed buffer — runs three ways: through the recursive
+// flattening-on-the-fly walk, through the compiled program with a
+// resuming cursor, and as a plain memcpy of the same data volume (the
+// bandwidth ceiling).  The program-vs-walk ratio is the payoff of
+// compiling once, and the gap to memcpy is how much of the ceiling a
+// non-contiguous shape still loses to gathering.
+
+// DatatypePoint is one shape's measurement.
+type DatatypePoint struct {
+	Shape string `json:"shape"`
+
+	// BytesPerInstance and Blocks describe the shape; Groups is the
+	// compiled program's group count after coalescing, and CompileNs the
+	// one-time compilation cost amortized over the whole run.
+	BytesPerInstance int64 `json:"bytes_per_instance"`
+	Blocks           int64 `json:"blocks"`
+	Groups           int   `json:"groups"`
+	CompileNs        int64 `json:"compile_ns"`
+
+	WalkMBps    float64 `json:"walk_mbps"`
+	ProgramMBps float64 `json:"program_mbps"`
+	MemcpyMBps  float64 `json:"memcpy_mbps"`
+
+	// ProgVsWalk is program/walk bandwidth; MemcpyGap is program/memcpy
+	// (1.0 = the program packs at memcpy speed).
+	ProgVsWalk float64 `json:"prog_vs_walk"`
+	MemcpyGap  float64 `json:"memcpy_gap"`
+}
+
+// DatatypeComparison is the full per-shape table, the payload of
+// BENCH_datatype.json.
+type DatatypeComparison struct {
+	WindowBytes int64 `json:"window_bytes"`
+	TotalBytes  int64 `json:"total_bytes_per_rep"`
+	Reps        int   `json:"reps"`
+
+	Points []DatatypePoint `json:"points"`
+}
+
+// datatypeShapes builds the benchmark shapes.  Every shape is chosen so
+// the walk cannot collapse it into trivial per-window work (dense-block
+// vectors are one memmove either way): the blocks are non-dense or
+// irregular, so the walk pays per-block tree work on every window while
+// the program pays it once at compile time.
+func datatypeShapes(dataBytes int64) ([]struct {
+	name string
+	dt   *datatype.Type
+}, error) {
+	shapes := make([]struct {
+		name string
+		dt   *datatype.Type
+	}, 0, 5)
+	add := func(name string, dt *datatype.Type, err error) error {
+		if err != nil {
+			return fmt.Errorf("shape %s: %w", name, err)
+		}
+		shapes = append(shapes, struct {
+			name string
+			dt   *datatype.Type
+		}{name, dt})
+		return nil
+	}
+
+	// vector: doubles at a uniform 16-byte pitch, but expressed as an
+	// hvector of two-run blocks whose byte stride happens to continue
+	// the pitch seamlessly.  The blocks are not dense, so the walk must
+	// recurse into every block on every window; the compiler sees the
+	// runs line up across the block boundaries and folds the whole
+	// instance into one strided group.
+	twoRun, err := datatype.Vector(2, 1, 2, datatype.Double)
+	if err != nil {
+		return nil, err
+	}
+	vecT, err := datatype.Hvector(dataBytes/twoRun.Size(), 1, 2*16, twoRun)
+	if err := add("vector", vecT, err); err != nil {
+		return nil, err
+	}
+
+	// indexed: single doubles at a regular pitch expressed as an
+	// explicit displacement list — the tree carries no regularity, the
+	// program rediscovers the arithmetic progression at compile time.
+	const idxBlocks = 4096
+	blocklens := make([]int64, idxBlocks)
+	displs := make([]int64, idxBlocks)
+	for i := range blocklens {
+		blocklens[i] = 1
+		displs[i] = int64(i) * 2
+	}
+	idxT, err := datatype.Indexed(blocklens, displs, datatype.Double)
+	if err := add("indexed", idxT, err); err != nil {
+		return nil, err
+	}
+
+	// indexed-irregular: small blocks of pseudo-random lengths with
+	// pseudo-random holes; nothing coalesces, so this is the shape whose
+	// gap to memcpy stays widest.
+	r := rand.New(rand.NewSource(5))
+	pos := int64(0)
+	irrLens := make([]int64, idxBlocks/2)
+	irrDispls := make([]int64, idxBlocks/2)
+	for i := range irrLens {
+		irrLens[i] = int64(1 + r.Intn(3))
+		irrDispls[i] = pos
+		pos += irrLens[i] + int64(1+r.Intn(3))
+	}
+	irrT, err := datatype.Indexed(irrLens, irrDispls, datatype.Double)
+	if err := add("indexed-irregular", irrT, err); err != nil {
+		return nil, err
+	}
+
+	// struct: a repeated record of mixed widths with padding holes; the
+	// program merges the abutting members of each record and chains the
+	// records into larger groups where the pitch allows.
+	rec, err := datatype.Struct(
+		[]int64{1, 1, 1},
+		[]int64{0, 8, 16},
+		[]*datatype.Type{datatype.Double, datatype.Int32, datatype.Int16},
+	)
+	if err != nil {
+		return nil, err
+	}
+	recPad, err := datatype.Resized(rec, 0, 24)
+	if err != nil {
+		return nil, err
+	}
+	// Two groups per record survive coalescing (the mid-record hole
+	// breaks the chain), so cap the records to stay well under the
+	// compiler's group limit at any scale.
+	recCount := dataBytes / (4 * recPad.Size())
+	if recCount > 16384 {
+		recCount = 16384
+	}
+	recT, err := datatype.Contiguous(recCount, recPad)
+	if err := add("struct", recT, err); err != nil {
+		return nil, err
+	}
+
+	// nested: vectors of vectors of padded doubles — the worst case for
+	// per-window recursion depth, flattened once by the compiler.
+	inner, err := datatype.Vector(8, 1, 2, datatype.Double)
+	if err != nil {
+		return nil, err
+	}
+	mid, err := datatype.Vector(8, 2, 3, inner)
+	if err != nil {
+		return nil, err
+	}
+	nested, err := datatype.Vector(dataBytes/(8*mid.Size()), 1, 1, mid)
+	if err := add("nested", nested, err); err != nil {
+		return nil, err
+	}
+	return shapes, nil
+}
+
+// measureDatatypePoint times the three pack paths over one shape.
+func measureDatatypePoint(name string, dt *datatype.Type, winBytes int64, reps int) (DatatypePoint, error) {
+	pt := DatatypePoint{
+		Shape:            name,
+		BytesPerInstance: dt.Size(),
+		Blocks:           dt.Blocks(),
+	}
+	t0 := time.Now()
+	prog := fotf.Compile(dt)
+	pt.CompileNs = time.Since(t0).Nanoseconds()
+	if prog == nil {
+		return pt, fmt.Errorf("shape %s declined compilation", name)
+	}
+	pt.Groups = prog.Groups()
+
+	total := dt.Size()
+	span := dt.TrueUB()
+	src := make([]byte, span)
+	rand.New(rand.NewSource(11)).Read(src)
+	dst := make([]byte, total)
+
+	windowed := func(cp func(d0, d1 int64)) {
+		for d0 := int64(0); d0 < total; d0 += winBytes {
+			d1 := d0 + winBytes
+			if d1 > total {
+				d1 = total
+			}
+			cp(d0, d1)
+		}
+	}
+	mbps := func(body func()) float64 {
+		body() // warm
+		t0 := time.Now()
+		for i := 0; i < reps; i++ {
+			body()
+		}
+		sec := time.Since(t0).Seconds()
+		return float64(total) * float64(reps) / sec / 1e6
+	}
+
+	pt.WalkMBps = mbps(func() {
+		windowed(func(d0, d1 int64) {
+			fotf.CopyRange(dst[d0:d1], src, dt, d0, d1, 0, true)
+		})
+	})
+	var cur fotf.Cursor
+	pt.ProgramMBps = mbps(func() {
+		cur.Reset(prog)
+		windowed(func(d0, d1 int64) {
+			cur.CopyRange(dst[d0:d1], src, d0, d1, 0, true)
+		})
+	})
+	pt.MemcpyMBps = mbps(func() {
+		windowed(func(d0, d1 int64) {
+			copy(dst[d0:d1], src[d0:d1])
+		})
+	})
+	if pt.WalkMBps > 0 {
+		pt.ProgVsWalk = pt.ProgramMBps / pt.WalkMBps
+	}
+	if pt.MemcpyMBps > 0 {
+		pt.MemcpyGap = pt.ProgramMBps / pt.MemcpyMBps
+	}
+	return pt, nil
+}
+
+// Datatype runs the per-shape program/walk/memcpy comparison.
+func Datatype(s Scale) (DatatypeComparison, error) {
+	dc := DatatypeComparison{
+		WindowBytes: 64 << 10,
+		TotalBytes:  8 << 20,
+		Reps:        24,
+	}
+	if s == Quick {
+		dc.TotalBytes = 1 << 20
+		dc.Reps = 6
+	}
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	shapes, err := datatypeShapes(dc.TotalBytes)
+	if err != nil {
+		return DatatypeComparison{}, err
+	}
+	for _, sh := range shapes {
+		pt, err := measureDatatypePoint(sh.name, sh.dt, dc.WindowBytes, dc.Reps)
+		if err != nil {
+			return DatatypeComparison{}, err
+		}
+		dc.Points = append(dc.Points, pt)
+	}
+	return dc, nil
+}
+
+// DatatypeJSON renders the comparison as indented JSON, the payload of
+// BENCH_datatype.json.
+func DatatypeJSON(dc DatatypeComparison) ([]byte, error) {
+	return json.MarshalIndent(dc, "", "  ")
+}
+
+// FormatDatatype renders the comparison as text.
+func FormatDatatype(dc DatatypeComparison) string {
+	s := fmt.Sprintf("Datatype copy-program comparison (windowed pack, %dK windows, %dM per rep, %d reps):\n",
+		dc.WindowBytes>>10, dc.TotalBytes>>20, dc.Reps)
+	for _, pt := range dc.Points {
+		s += fmt.Sprintf("  %-18s %8d blocks -> %5d groups  walk %8.0f MB/s  program %8.0f MB/s  memcpy %8.0f MB/s  prog/walk %5.2fx  prog/memcpy %4.0f%%  compile %6dus\n",
+			pt.Shape, pt.Blocks, pt.Groups, pt.WalkMBps, pt.ProgramMBps, pt.MemcpyMBps,
+			pt.ProgVsWalk, 100*pt.MemcpyGap, pt.CompileNs/1000)
+	}
+	return s
+}

@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDatatypeQuickProducesAllShapes(t *testing.T) {
+	dc, err := Datatype(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{
+		"vector": false, "indexed": false, "indexed-irregular": false,
+		"struct": false, "nested": false,
+	}
+	for _, pt := range dc.Points {
+		if _, ok := want[pt.Shape]; !ok {
+			t.Fatalf("unexpected shape %q", pt.Shape)
+		}
+		want[pt.Shape] = true
+		if pt.WalkMBps <= 0 || pt.ProgramMBps <= 0 || pt.MemcpyMBps <= 0 {
+			t.Fatalf("%s: non-positive bandwidth %+v", pt.Shape, pt)
+		}
+		if pt.Groups <= 0 || pt.Blocks <= 0 {
+			t.Fatalf("%s: bad shape stats %+v", pt.Shape, pt)
+		}
+		if int64(pt.Groups) > pt.Blocks {
+			t.Fatalf("%s: more groups (%d) than blocks (%d)", pt.Shape, pt.Groups, pt.Blocks)
+		}
+		if pt.MemcpyGap <= 0 || pt.MemcpyGap > 1.5 {
+			t.Fatalf("%s: implausible memcpy gap %.2f", pt.Shape, pt.MemcpyGap)
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Fatalf("shape %s missing from the comparison", name)
+		}
+	}
+	// The regular shapes collapse to a handful of groups; that is the
+	// entire point of the compiler, so pin it here rather than in prose.
+	for _, pt := range dc.Points {
+		if (pt.Shape == "vector" || pt.Shape == "indexed") && pt.Groups > 2 {
+			t.Errorf("%s: %d groups, want the progression coalesced to <= 2", pt.Shape, pt.Groups)
+		}
+	}
+	txt := FormatDatatype(dc)
+	for name := range want {
+		if !strings.Contains(txt, name) {
+			t.Fatalf("formatted output missing %s:\n%s", name, txt)
+		}
+	}
+	js, err := DatatypeJSON(dc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(js), "\"prog_vs_walk\"") {
+		t.Fatalf("bad JSON payload:\n%s", js)
+	}
+}

@@ -110,6 +110,12 @@ type Options struct {
 	// backend supports the epoch commit protocol (crash consistency off:
 	// a server crash mid-collective may leave torn multi-stripe state).
 	DisableEpochs bool
+	// DisableProgram makes every pack/unpack hot path use the recursive
+	// flattening-on-the-fly walk (or, on the list-based engine, the
+	// per-tuple list scan) instead of the compiled flat copy program
+	// (ablation of datatype compilation; programs and the walk are
+	// byte-identical by the differential test layer).
+	DisableProgram bool
 	// SieveDensity is the paper's §5 outlook item, "the decision on the
 	// trade-off between data sieving and multiple file accesses":
 	// independent non-contiguous accesses whose useful-data fraction in
@@ -196,6 +202,11 @@ type Stats struct {
 	// epoch crash-consistency protocol; EpochRetries counts seal or
 	// commit rounds that were retried after a server bounce.
 	EpochsCommitted, EpochRetries int64
+
+	// ProgramCompiles counts datatype copy programs this handle had to
+	// compile (process-wide memo-cache misses); ProgramCacheHits counts
+	// lookups satisfied by the cache.
+	ProgramCompiles, ProgramCacheHits int64
 }
 
 // Shared is the per-world state of one file: the storage backend plus
@@ -307,6 +318,7 @@ func Open(p *mpi.Proc, sh *Shared, opts Options) (*File, error) {
 		tr:   opts.Trace.Tracer(p.Rank()),
 		om:   newFileMetrics(opts.Metrics),
 	}
+	registerProgramCacheMetrics(opts.Metrics)
 	if !opts.DisablePool {
 		if opts.Pool != nil {
 			f.bp = opts.Pool

@@ -3,6 +3,7 @@ package core
 import (
 	"repro/internal/datatype"
 	"repro/internal/flatten"
+	"repro/internal/fotf"
 )
 
 // accessEngine is the seam between the engine-neutral MPI-IO machinery
@@ -132,6 +133,40 @@ type memState struct {
 	count int64
 	list  flatten.List // list-based only
 	ext   int64        // tiling extent matching list/count (list-based)
+
+	// prog, when non-nil, replaces the per-window tree walk (or list
+	// scan) of packUser/unpackUser with the compiled copy program; cur
+	// resumes it across the access's ascending windows.  Both engines
+	// share this memory-side fast path — the ablation and the compile
+	// guards fall back by leaving prog nil.
+	prog *fotf.Program
+	cur  fotf.Cursor
+}
+
+// setProgram installs the compiled memtype program (which may be nil)
+// and rewinds the execution cursor.
+func (ms *memState) setProgram(p *fotf.Program) {
+	ms.prog = p
+	ms.cur.Reset(p)
+}
+
+// packProg moves min(n, count*size-skip) bytes at data offset skip
+// between the contiguous buffer dst and the memtype-described buffer
+// buf through the compiled program — the same clamp PackCount and the
+// list scan apply.  It reports false when no program is live and the
+// caller must fall back.
+func (ms *memState) packProg(dst, buf []byte, skip, n int64, pack bool) bool {
+	if ms.prog == nil {
+		return false
+	}
+	if limit := ms.count*ms.prog.Size() - skip; n > limit {
+		n = limit
+	}
+	if n <= 0 {
+		return true
+	}
+	ms.cur.CopyRange(dst[:n], buf, skip, skip+n, 0, pack)
+	return true
 }
 
 // newEngine constructs the engine the handle's options select.  This is

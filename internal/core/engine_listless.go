@@ -18,19 +18,32 @@ type listlessEngine struct {
 	f      *File
 	remote []remoteView   // per-rank cached views
 	merged *datatype.Type // mergeview struct type (write optimization)
+	prog   *fotf.Program  // compiled own-fileview program; nil = walk
 }
 
-// remoteView is the cached fileview of another rank.
+// remoteView is the cached fileview of another rank, with the compiled
+// copy program of that view (shared through the memo cache, so P ranks
+// exchanging the same filetype shape compile it once).  cur resumes
+// the ascending window sequence of copyIn/copyOut; both run on the
+// collective's main goroutine only.
 type remoteView struct {
 	disp  int64
 	ftype *datatype.Type
 	fsize int64
 	fext  int64
+	prog  *fotf.Program
+	cur   fotf.Cursor
 }
 
 func (e *listlessEngine) setView() error {
 	e.remote = nil
 	e.merged = nil
+	// Compile (or fetch) the fileview's copy program: the memoized,
+	// flat-array counterpart of the walk, keyed by the same encoded
+	// tree the view registration payload carries.  Replacing the
+	// pointer here is the invalidation: the previous view's program
+	// ages out of the cache LRU.
+	e.prog = e.f.lookupProgram(nil, e.f.v.ftype)
 	if !e.f.opts.DisableViewCache {
 		e.exchangeViews()
 		e.buildMergeview()
@@ -50,6 +63,9 @@ func (e *listlessEngine) exchangeViews() {
 	e.remote = make([]remoteView, f.p.Size())
 	for r, part := range parts {
 		e.remote[r] = decodeView(r, part)
+		rv := &e.remote[r]
+		rv.prog = f.lookupProgram(part[8:], rv.ftype)
+		rv.cur.Reset(rv.prog)
 	}
 }
 
@@ -157,26 +173,39 @@ func (e *listlessEngine) dataInRange(lo, hi int64) int64 {
 }
 
 func (e *listlessEngine) newMemState(memtype *datatype.Type, count int64) *memState {
-	return &memState{t: memtype, count: count}
+	ms := &memState{t: memtype, count: count}
+	ms.setProgram(e.f.lookupProgram(nil, memtype))
+	return ms
 }
 
 func (e *listlessEngine) packUser(dst, buf []byte, mem *memState, skip, n int64) {
+	if mem.packProg(dst, buf, skip, n, true) {
+		return
+	}
 	fotf.PackCount(dst[:n], buf, mem.count, mem.t, skip)
 }
 
 func (e *listlessEngine) unpackUser(buf, src []byte, mem *memState, skip, n int64) {
+	if mem.packProg(src, buf, skip, n, false) {
+		return
+	}
 	fotf.UnpackCount(buf, src[:n], mem.count, mem.t, skip)
 }
 
 // listlessViewCursor tracks only a data offset: positioning and
 // counting are O(depth) navigation calls, independent of block count.
+// With a compiled program live, cur resumes the window sequence through
+// the flat group array instead of re-walking the tree per window.
 type listlessViewCursor struct {
 	e   *listlessEngine
 	pos int64 // view-data offset
+	cur fotf.Cursor
 }
 
 func (e *listlessEngine) seekData(d0 int64) viewCursor {
-	return &listlessViewCursor{e: e, pos: d0}
+	vc := &listlessViewCursor{e: e, pos: d0}
+	vc.cur.Reset(e.prog)
+	return vc
 }
 
 func (vc *listlessViewCursor) countUpTo(fileHi int64) int64 {
@@ -189,17 +218,28 @@ func (vc *listlessViewCursor) countUpTo(fileHi int64) int64 {
 // the window start.
 func (vc *listlessViewCursor) copyWindow(cb, w []byte, c, winLo int64, write bool) {
 	v := &vc.e.f.v
-	fotf.CopyRange(cb, w, v.ftype, vc.pos, vc.pos+c, winLo-v.disp, !write)
+	if vc.cur.Program() != nil {
+		vc.cur.CopyRange(cb, w, vc.pos, vc.pos+c, winLo-v.disp, !write)
+	} else {
+		fotf.CopyRange(cb, w, v.ftype, vc.pos, vc.pos+c, winLo-v.disp, !write)
+	}
 	vc.pos += c
 }
 
 func (vc *listlessViewCursor) eachRun(c int64, emit func(fileOff, dataOff, ln int64)) {
 	v := &vc.e.f.v
-	fotf.Runs(v.ftype, vc.pos, vc.pos+c, func(bufOff, dataOff, runLen, stride, n int64) {
+	each := func(bufOff, dataOff, runLen, stride, n int64) {
 		for i := int64(0); i < n; i++ {
 			emit(v.disp+bufOff+i*stride, dataOff+i*runLen, runLen)
 		}
-	})
+	}
+	if p := vc.cur.Program(); p != nil {
+		// The program's coalesced groups emit fewer, longer contiguous
+		// runs than the tree walk — same bytes, better sieve batching.
+		p.Runs(vc.pos, vc.pos+c, each)
+	} else {
+		fotf.Runs(v.ftype, vc.pos, vc.pos+c, each)
+	}
 	vc.pos += c
 }
 
@@ -329,11 +369,19 @@ func (w *listlessIOPWindow) covered() bool {
 }
 
 func (w *listlessIOPWindow) copyIn(buf []byte, r int, chunk []byte) {
-	rv := w.s.e.remote[r]
+	rv := &w.s.e.remote[r]
+	if rv.cur.Program() != nil {
+		rv.cur.CopyRange(chunk, buf, w.apA[r], w.apB[r], w.winLo-rv.disp, false)
+		return
+	}
 	fotf.CopyRange(chunk, buf, rv.ftype, w.apA[r], w.apB[r], w.winLo-rv.disp, false)
 }
 
 func (w *listlessIOPWindow) copyOut(buf []byte, r int, chunk []byte) {
-	rv := w.s.e.remote[r]
+	rv := &w.s.e.remote[r]
+	if rv.cur.Program() != nil {
+		rv.cur.CopyRange(chunk, buf, w.apA[r], w.apB[r], w.winLo-rv.disp, true)
+		return
+	}
 	fotf.CopyRange(chunk, buf, rv.ftype, w.apA[r], w.apB[r], w.winLo-rv.disp, true)
 }

@@ -28,6 +28,9 @@ type fileMetrics struct {
 	epochsCommitted *obs.Counter
 	epochRetries    *obs.Counter
 	epochAborts     *obs.Counter
+
+	progCompiles *obs.Counter
+	progHits     *obs.Counter
 }
 
 // newFileMetrics registers the core_* metrics; a nil registry yields
@@ -55,5 +58,24 @@ func newFileMetrics(r *obs.Registry) fileMetrics {
 		epochsCommitted: r.Counter("core_epochs_committed_total", "Epoch commit rounds completed."),
 		epochRetries:    r.Counter("core_epoch_retries_total", "Epoch seal/commit rounds retried after a server bounce."),
 		epochAborts:     r.Counter("core_epoch_aborts_total", "Epochs abandoned after a collective fault."),
+
+		progCompiles: r.Counter("core_program_compiles_total", "Datatype copy programs compiled (memo-cache misses)."),
+		progHits:     r.Counter("core_program_cache_hits_total", "Program memo-cache hits."),
 	}
+}
+
+// registerProgramCacheMetrics exposes the process-wide program cache on
+// a registry as gauges reading the cache's own atomics — zero cost on
+// the compile/lookup path.  Registration is idempotent per registry
+// (obs dedupes by name), so every Open may call it.
+func registerProgramCacheMetrics(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	r.GaugeFunc("core_program_cache_size", "Compiled datatype programs resident in the memo cache.",
+		programs.size)
+	r.GaugeFunc("core_program_cache_evictions_total", "Programs evicted from the memo cache LRU.",
+		programs.evictions.Load)
+	r.GaugeFunc("core_program_compile_ns_total", "Nanoseconds spent compiling datatype programs.",
+		programs.compileNs.Load)
 }

@@ -1,0 +1,229 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/datatype"
+	"repro/internal/mpi"
+	"repro/internal/pool"
+	"repro/internal/storage"
+	"repro/internal/testutil"
+	"repro/internal/transport"
+)
+
+// progCase is one cell of the program differential matrix.
+type progCase struct {
+	engine  Engine
+	tcp     bool
+	program bool
+}
+
+func (c progCase) String() string {
+	tr, mode := "loopback", "no-program"
+	if c.tcp {
+		tr = "tcp"
+	}
+	if c.program {
+		mode = "program"
+	}
+	return fmt.Sprintf("%s/%s/%s", c.engine, tr, mode)
+}
+
+// TestQuickProgramCollective extends the random-tree differential
+// matrix with the compiled-program axis: seeded random datatype trees
+// drive a 4-rank collective write + read-back across {engine} ×
+// {loopback, TCP} × {program, -no-program}, and every cell's file must
+// match, byte for byte, the flat Walk oracle — so the program and walk
+// stacks are proven byte-identical end to end, over real exchange and
+// storage.  Program cells assert the memo cache was actually consulted,
+// ablation cells that it was not; every world runs under a Checked pool
+// and a goroutine/fd leak check.
+func TestQuickProgramCollective(t *testing.T) {
+	const P = 4
+	seeds := []int64{1, 2, 3, 5, 8, 13}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	cells := []progCase{}
+	for _, eng := range []Engine{Listless, ListBased} {
+		for _, tcp := range []bool{false, true} {
+			for _, program := range []bool{true, false} {
+				cells = append(cells, progCase{engine: eng, tcp: tcp, program: program})
+			}
+		}
+	}
+	fd0 := testutil.FDCount(t)
+	for _, seed := range seeds {
+		r := rand.New(rand.NewSource(seed))
+		base := datatype.RandomFiletype(r, 3)
+		stride := base.Extent()
+		d := 2*base.Size() + 1 + r.Int63n(base.Size())
+		data := make([][]byte, P)
+		for rank := 0; rank < P; rank++ {
+			data[rank] = pattern(rank*11+int(seed), d)
+		}
+		want := diffOracle(base, P, stride, d, data)
+
+		for _, c := range cells {
+			checkLeaks := testutil.LeakCheck(t)
+			be := storage.NewMem()
+			sh := NewShared(be)
+			opts := Options{
+				Engine:         c.engine,
+				CollBufSize:    64 + r.Intn(256),
+				Pool:           pool.NewChecked(),
+				DisableProgram: !c.program,
+			}
+			var eps []transport.Transport
+			if c.tcp {
+				var err error
+				eps, err = transport.NewLocalTCPWorld(P, transport.TCPConfig{})
+				if err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				eps = transport.NewLoopback(P)
+			}
+			var progLookups atomic.Int64
+			_, err := mpi.RunOver(eps, mpi.RunOptions{StallTimeout: watchdogTimeout}, func(p *mpi.Proc) {
+				f, err := Open(p, sh, opts)
+				if err != nil {
+					panic(err)
+				}
+				defer f.Close()
+				st, err := datatype.Struct([]int64{1}, []int64{int64(p.Rank()) * stride}, []*datatype.Type{base})
+				if err != nil {
+					panic(err)
+				}
+				view, err := datatype.Resized(st, 0, int64(P)*stride)
+				if err != nil {
+					panic(err)
+				}
+				if err := f.SetView(0, datatype.Byte, view); err != nil {
+					panic(err)
+				}
+				if _, err := f.WriteAtAll(0, d, datatype.Byte, data[p.Rank()]); err != nil {
+					panic(err)
+				}
+				got := make([]byte, d)
+				if _, err := f.ReadAtAll(0, d, datatype.Byte, got); err != nil {
+					panic(err)
+				}
+				if !bytes.Equal(got, data[p.Rank()]) {
+					panic(fmt.Sprintf("rank %d: read-back mismatch", p.Rank()))
+				}
+				progLookups.Add(f.Stats.ProgramCompiles + f.Stats.ProgramCacheHits)
+			})
+			if err != nil {
+				t.Fatalf("seed %d cell %s (base %s): %v", seed, c, base, err)
+			}
+			if c.program && c.engine == Listless && progLookups.Load() == 0 {
+				t.Errorf("seed %d cell %s: no program lookups despite programs enabled", seed, c)
+			}
+			if !c.program && progLookups.Load() != 0 {
+				t.Errorf("seed %d cell %s: %d program lookups despite the ablation", seed, c, progLookups.Load())
+			}
+			got := be.Bytes()
+			n := min(len(got), len(want))
+			if !bytes.Equal(got[:n], want[:n]) || !allZero(got[n:]) || !allZero(want[n:]) {
+				t.Fatalf("seed %d cell %s (base %s, stride %d, d %d): file differs from oracle (%d vs %d bytes)",
+					seed, c, base, stride, d, len(got), len(want))
+			}
+			checkLeaks()
+		}
+	}
+	if fd0 >= 0 {
+		if fd1 := testutil.FDCount(t); fd1 > fd0 {
+			t.Errorf("fd leak: %d before, %d after", fd0, fd1)
+		}
+	}
+}
+
+// TestProgramMemtypeRoundTrip drives a non-contiguous memtype — the
+// path where the memory-side program replaces PackCount / the flatten
+// list scan on both engines — and requires program and ablation runs to
+// produce identical files and read-backs, independently and
+// collectively.
+func TestProgramMemtypeRoundTrip(t *testing.T) {
+	const P = 2
+	r := rand.New(rand.NewSource(9))
+	for _, collective := range []bool{false, true} {
+		for _, eng := range []Engine{Listless, ListBased} {
+			var files [2][]byte
+			for pi, program := range []bool{true, false} {
+				be := storage.NewMem()
+				sh := NewShared(be)
+				opts := Options{
+					Engine:         eng,
+					CollBufSize:    128,
+					SieveBufSize:   96,
+					PackBufSize:    64,
+					DisableProgram: !program,
+				}
+				_, err := mpi.RunWithOptions(P, mpi.RunOptions{StallTimeout: watchdogTimeout}, func(p *mpi.Proc) {
+					f, err := Open(p, sh, opts)
+					if err != nil {
+						panic(err)
+					}
+					defer f.Close()
+					ft := noncontigTypeP(p.Rank(), P, 16, 8)
+					if err := f.SetView(0, datatype.Byte, ft); err != nil {
+						panic(err)
+					}
+					// Holey memtype: 8-byte elements every 16 bytes.
+					elem, err := datatype.Resized(datatype.Double, 0, 16)
+					if err != nil {
+						panic(err)
+					}
+					const count = 16
+					d := count * elem.Size()
+					buf := make([]byte, count*elem.Extent())
+					rand.New(rand.NewSource(int64(p.Rank()))).Read(buf)
+					var werr error
+					if collective {
+						_, werr = f.WriteAtAll(0, count, elem, buf)
+					} else {
+						_, werr = f.WriteAt(0, count, elem, buf)
+					}
+					if werr != nil {
+						panic(werr)
+					}
+					got := make([]byte, len(buf))
+					var rerr error
+					if collective {
+						_, rerr = f.ReadAtAll(0, count, elem, got)
+					} else {
+						_, rerr = f.ReadAt(0, count, elem, got)
+					}
+					if rerr != nil {
+						panic(rerr)
+					}
+					// Compare only the data bytes: the holes of got were
+					// never written.
+					for i := int64(0); i < d/8; i++ {
+						a := buf[i*16 : i*16+8]
+						b := got[i*16 : i*16+8]
+						if !bytes.Equal(a, b) {
+							panic(fmt.Sprintf("rank %d element %d differs", p.Rank(), i))
+						}
+					}
+					if program && f.Stats.ProgramCompiles+f.Stats.ProgramCacheHits == 0 {
+						panic("no program lookups for a non-contiguous memtype")
+					}
+				})
+				if err != nil {
+					t.Fatalf("engine %v collective %v program %v: %v", eng, collective, program, err)
+				}
+				files[pi] = be.Bytes()
+				_ = r
+			}
+			if !bytes.Equal(files[0], files[1]) {
+				t.Fatalf("engine %v collective %v: program and ablation files differ", eng, collective)
+			}
+		}
+	}
+}

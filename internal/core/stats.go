@@ -55,6 +55,9 @@ func (s Stats) String() string {
 	if s.EpochsCommitted != 0 || s.EpochRetries != 0 {
 		fmt.Fprintf(&b, "  epochs committed=%d retries=%d", s.EpochsCommitted, s.EpochRetries)
 	}
+	if s.ProgramCompiles != 0 || s.ProgramCacheHits != 0 {
+		fmt.Fprintf(&b, "  programs compiled=%d cache hits=%d", s.ProgramCompiles, s.ProgramCacheHits)
+	}
 	b.WriteByte('\n')
 	fmt.Fprintf(&b, "bytes read=%d written=%d\n", s.BytesRead, s.BytesWritten)
 	if s.ExchangeNs != 0 || s.StorageNs != 0 || s.CopyNs != 0 {

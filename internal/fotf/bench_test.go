@@ -100,6 +100,50 @@ func BenchmarkTypeSizeExtentPair(b *testing.B) {
 	}
 }
 
+// BenchmarkPackProgram pairs the recursive walk against the compiled
+// copy program on the windowed pack pattern of the collective hot path,
+// over a shape whose blocks the walk cannot collapse (two-run blocks at
+// a seamless pitch) — benchstat compares the program/walk sub-benchmarks
+// in CI.
+func BenchmarkPackProgram(b *testing.B) {
+	twoRun, err := datatype.Vector(2, 1, 2, datatype.Double)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dt, err := datatype.Hvector((1<<20)/twoRun.Size(), 1, 32, twoRun)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog := Compile(dt)
+	if prog == nil {
+		b.Fatal("Compile declined")
+	}
+	total := dt.Size()
+	src := make([]byte, dt.TrueUB())
+	dst := make([]byte, total)
+	const win = 64 << 10
+	b.Run("walk", func(b *testing.B) {
+		b.SetBytes(total)
+		for i := 0; i < b.N; i++ {
+			for d0 := int64(0); d0 < total; d0 += win {
+				d1 := min(d0+win, total)
+				CopyRange(dst[d0:d1], src, dt, d0, d1, 0, true)
+			}
+		}
+	})
+	b.Run("program", func(b *testing.B) {
+		b.SetBytes(total)
+		var cur Cursor
+		for i := 0; i < b.N; i++ {
+			cur.Reset(prog)
+			for d0 := int64(0); d0 < total; d0 += win {
+				d1 := min(d0+win, total)
+				cur.CopyRange(dst[d0:d1], src, d0, d1, 0, true)
+			}
+		}
+	})
+}
+
 // BenchmarkDeepTree checks that navigation stays fast on deep trees.
 func BenchmarkDeepTree(b *testing.B) {
 	dt := datatype.Double

@@ -1,0 +1,410 @@
+// Compiled copy programs: the one-time-compile / many-execute
+// counterpart to the recursive Runs walk.
+//
+// Runs already enumerates a datatype's contiguous runs as groups of
+// evenly spaced runs, but it pays tree recursion, per-node division
+// chains, and one closure dispatch per group on every window it is
+// asked for.  A Program does that work once: Compile materializes the
+// run structure of one (datatype, extent) instance into a flat array of
+// {base, blocklen, stride, count} groups — coalescing runs that the
+// tree shape hides from the walk (abutting runs merge, arithmetic
+// progressions of equal-length runs merge across block and member
+// boundaries) — and selects a width-specialized copy kernel per group
+// at compile time.  Execution over a data window [d0, d1) is then a
+// prefix-sum search plus tight batch loops with no tree in sight, and a
+// Cursor resumes sequential windows in O(1).
+//
+// Programs are semantically equivalent to the walk: byte-identical
+// pack/unpack for every window, including windows that split groups or
+// elements (a split never sends a partial element through a width
+// kernel — partial head/tail runs always take the byte path).  The
+// differential layer (program_test.go, FuzzProgramVsWalk) pins this.
+package fotf
+
+import "repro/internal/datatype"
+
+// Compile limits.  maxProgramBlocks bounds the walk done at compile
+// time (Blocks is the ol-list length, an upper bound on emitted
+// groups); maxProgramGroups bounds the memory a compiled program may
+// hold.  Types beyond either limit decline compilation — Compile
+// returns nil and callers fall back to the walk — so a hostile tree can
+// neither over-allocate nor stall the compiler.
+const (
+	maxProgramBlocks = 1 << 22
+	maxProgramGroups = 1 << 16
+)
+
+// progGroup is one compiled group: count runs of blocklen bytes, run i
+// at buffer offset base + i*stride relative to the instance origin.
+// Groups cover the instance's data bytes gaplessly in type-map order,
+// so the data offset of a group is the prefix sum of the group bytes
+// before it (Program.cum).
+type progGroup struct {
+	base     int64
+	blocklen int64
+	stride   int64
+	count    int64
+	kern     uint8 // copy kernel, selected at compile time
+}
+
+// Program is the compiled run program of one datatype: the flat-array
+// form of everything Runs can emit for a single instance, tiled at the
+// type's extent exactly like the walk tiles it.
+type Program struct {
+	t      *datatype.Type
+	size   int64 // data bytes per instance
+	ext    int64 // tiling extent
+	groups []progGroup
+	cum    []int64 // cum[i] = data offset of group i; cum[len(groups)] = size
+	bad    bool    // compile overflowed maxProgramGroups
+}
+
+// Compile builds the run program of t, or returns nil when t holds no
+// data or is too large to compile profitably (the caller then uses the
+// recursive walk).  The returned Program is immutable and safe for
+// concurrent use; per-call-site state lives in Cursor.
+func Compile(t *datatype.Type) *Program {
+	if t == nil || t.Size() <= 0 || t.Blocks() > maxProgramBlocks {
+		return nil
+	}
+	p := &Program{t: t, size: t.Size(), ext: t.Extent()}
+	Runs(t, 0, p.size, p.add)
+	if p.bad {
+		return nil
+	}
+	p.cum = make([]int64, len(p.groups)+1)
+	for i := range p.groups {
+		g := &p.groups[i]
+		g.kern = kernelFor(g.blocklen)
+		p.cum[i+1] = p.cum[i] + g.blocklen*g.count
+	}
+	if p.cum[len(p.groups)] != p.size {
+		// Defensive: the walk's emissions must tile the data range
+		// exactly; anything else would corrupt window positioning.
+		return nil
+	}
+	return p
+}
+
+// add is the compile-time emit hook: it normalizes one walked group and
+// coalesces it with the program tail.  Data offsets are implied by
+// emission order (Runs covers [0, size) gaplessly in data order), so
+// only buffer geometry needs checking.
+func (p *Program) add(bufOff, _ /* dataOff */, runLen, stride, n int64) {
+	if p.bad {
+		return
+	}
+	// Runs that abut in the buffer are one contiguous run: data always
+	// abuts within a group, so stride == runLen collapses the group.
+	if n == 1 || stride == runLen {
+		runLen, stride, n = runLen*n, 0, 1
+	}
+	if len(p.groups) > 0 {
+		g := &p.groups[len(p.groups)-1]
+		switch {
+		case g.count == 1 && n == 1 && g.base+g.blocklen == bufOff:
+			// Two single runs that abut (e.g. across a block or struct
+			// member boundary the tree keeps apart): one longer run.
+			g.blocklen += runLen
+			return
+		case n == 1 && g.blocklen == runLen && g.count == 1 && bufOff > g.base+g.blocklen:
+			// Two equal-length runs start an arithmetic progression.
+			g.stride = bufOff - g.base
+			g.count = 2
+			return
+		case n == 1 && g.blocklen == runLen && g.count > 1 && bufOff == g.base+g.count*g.stride:
+			// A single run continues the tail group's progression.
+			g.count++
+			return
+		case n > 1 && g.blocklen == runLen && g.count == 1 && bufOff == g.base+stride:
+			// The tail single run is the head of this incoming group.
+			g.stride = stride
+			g.count = 1 + n
+			return
+		case n > 1 && g.blocklen == runLen && g.count > 1 && g.stride == stride && bufOff == g.base+g.count*g.stride:
+			// Two groups with identical geometry, phase-aligned: merge.
+			g.count += n
+			return
+		}
+	}
+	if len(p.groups) >= maxProgramGroups {
+		p.bad = true
+		return
+	}
+	p.groups = append(p.groups, progGroup{base: bufOff, blocklen: runLen, stride: stride, count: n})
+}
+
+// Size reports the data bytes of one instance.
+func (p *Program) Size() int64 { return p.size }
+
+// Extent reports the tiling extent.
+func (p *Program) Extent() int64 { return p.ext }
+
+// Groups reports the number of compiled run groups — after coalescing,
+// at most (and often far below) the type's Blocks().
+func (p *Program) Groups() int {
+	if p == nil {
+		return 0
+	}
+	return len(p.groups)
+}
+
+// findGroup returns the index of the group containing instance-local
+// data offset d (0 <= d < size): the largest i with cum[i] <= d.
+func (p *Program) findGroup(d int64) int {
+	lo, hi := 0, len(p.groups)-1
+	for lo < hi {
+		mid := int(uint(lo+hi+1) >> 1)
+		if p.cum[mid] <= d {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}
+
+// CopyRange moves the data bytes [d0, d1) of the tiled type between the
+// typed buffer b and the contiguous buffer c, with exactly the
+// semantics of the package-level CopyRange: run at buffer offset o
+// lands at b[o-bias], data byte d lands at c[d-d0], pack=true copies
+// b→c.  Positioning costs one binary search; the copy itself is the
+// compiled group array driven through the width kernels.
+func (p *Program) CopyRange(c, b []byte, d0, d1, bias int64, pack bool) {
+	p.copyRange(c, b, d0, d1, bias, pack, nil)
+}
+
+func (p *Program) copyRange(c, b []byte, d0, d1, bias int64, pack bool, cur *Cursor) {
+	if d1 <= d0 {
+		return
+	}
+	size := p.size
+	k0 := d0 / size
+	k1 := (d1 - 1) / size
+	lo0 := d0 - k0*size
+	var gi int
+	if cur != nil && cur.d == d0 && cur.k == k0 {
+		// Resume: the saved index is at most one group past the one
+		// containing lo0 (the previous window may have ended exactly on
+		// its boundary), and never more than one behind.
+		gi = cur.gi
+		for gi > 0 && p.cum[gi] > lo0 {
+			gi--
+		}
+		for p.cum[gi+1] <= lo0 {
+			gi++
+		}
+	} else {
+		gi = p.findGroup(lo0)
+	}
+	for k := k0; k <= k1; k++ {
+		lo, hi := int64(0), size
+		if k == k0 {
+			lo = lo0
+		}
+		if k == k1 {
+			hi = d1 - k*size
+		}
+		org := k*p.ext - bias
+		coff := k*size - d0 // c index of this instance's data byte 0
+		for ; gi < len(p.groups) && p.cum[gi] < hi; gi++ {
+			g := &p.groups[gi]
+			glo := lo - p.cum[gi]
+			if glo < 0 {
+				glo = 0
+			}
+			ghi := hi - p.cum[gi]
+			if gb := g.blocklen * g.count; ghi > gb {
+				ghi = gb
+			}
+			execGroup(c[coff+p.cum[gi]+glo:], b, org+g.base, g, glo, ghi, pack)
+		}
+		if k < k1 {
+			gi = 0
+		}
+	}
+	if cur != nil {
+		cur.d = d1
+		cur.k = d1 / size
+		if cur.k != k1 {
+			cur.gi = 0
+		} else if gi < len(p.groups) {
+			cur.gi = gi
+		} else {
+			cur.gi = len(p.groups) - 1
+		}
+	}
+}
+
+// execGroup copies the group-local data range [glo, ghi) of g, whose
+// run 0 starts at b[gbase], with cg[0] holding data byte glo.  Runs
+// split by the window boundary go through the byte path; only whole
+// runs reach the width kernel — a split mid-element must never execute
+// as a (full-width) element.
+func execGroup(cg, b []byte, gbase int64, g *progGroup, glo, ghi int64, pack bool) {
+	bl := g.blocklen
+	i0 := glo / bl
+	i1 := (ghi - 1) / bl
+	if i0 == i1 {
+		o := gbase + i0*g.stride + (glo - i0*bl)
+		n := ghi - glo
+		if pack {
+			copy(cg[:n], b[o:o+n])
+		} else {
+			copy(b[o:o+n], cg[:n])
+		}
+		return
+	}
+	var cpos int64
+	if r := glo - i0*bl; r != 0 {
+		o := gbase + i0*g.stride + r
+		n := bl - r
+		if pack {
+			copy(cg[:n], b[o:o+n])
+		} else {
+			copy(b[o:o+n], cg[:n])
+		}
+		cpos = n
+		i0++
+	}
+	iN := i1
+	tail := ghi - i1*bl
+	if tail != bl {
+		iN = i1 - 1
+	} else {
+		tail = 0
+	}
+	if iN >= i0 {
+		n := iN - i0 + 1
+		kernExec(g.kern, cg[cpos:], b, gbase+i0*g.stride, bl, g.stride, n, pack)
+		cpos += n * bl
+	}
+	if tail != 0 {
+		o := gbase + i1*g.stride
+		if pack {
+			copy(cg[cpos:cpos+tail], b[o:o+tail])
+		} else {
+			copy(b[o:o+tail], cg[cpos:cpos+tail])
+		}
+	}
+}
+
+// Runs enumerates the compiled runs backing [d0, d1) with the same
+// contract as the package-level Runs (absolute instance-0 buffer
+// addressing, groups of evenly spaced runs).  Window-split runs are
+// emitted as single (n=1) partial runs, full runs keep their group.
+func (p *Program) Runs(d0, d1 int64, emit EmitFunc) {
+	if d1 <= d0 {
+		return
+	}
+	size := p.size
+	k0 := d0 / size
+	k1 := (d1 - 1) / size
+	for k := k0; k <= k1; k++ {
+		lo, hi := int64(0), size
+		if k == k0 {
+			lo = d0 - k*size
+		}
+		if k == k1 {
+			hi = d1 - k*size
+		}
+		org := k * p.ext
+		gd := k * size
+		gi := p.findGroup(lo)
+		for ; gi < len(p.groups) && p.cum[gi] < hi; gi++ {
+			g := &p.groups[gi]
+			glo := lo - p.cum[gi]
+			if glo < 0 {
+				glo = 0
+			}
+			ghi := hi - p.cum[gi]
+			if gb := g.blocklen * g.count; ghi > gb {
+				ghi = gb
+			}
+			emitGroup(org+g.base, gd+p.cum[gi], g, glo, ghi, emit)
+		}
+	}
+}
+
+// emitGroup is the enumeration twin of execGroup.
+func emitGroup(gbase, gdata int64, g *progGroup, glo, ghi int64, emit EmitFunc) {
+	bl := g.blocklen
+	i0 := glo / bl
+	i1 := (ghi - 1) / bl
+	if i0 == i1 {
+		off := glo - i0*bl
+		emit(gbase+i0*g.stride+off, gdata+glo, ghi-glo, 0, 1)
+		return
+	}
+	if r := glo - i0*bl; r != 0 {
+		emit(gbase+i0*g.stride+r, gdata+glo, bl-r, 0, 1)
+		i0++
+	}
+	iN := i1
+	tail := ghi - i1*bl
+	if tail != bl {
+		iN = i1 - 1
+	} else {
+		tail = 0
+	}
+	if iN >= i0 {
+		emit(gbase+i0*g.stride, gdata+i0*bl, bl, g.stride, iN-i0+1)
+	}
+	if tail != 0 {
+		emit(gbase+i1*g.stride, gdata+i1*bl, tail, 0, 1)
+	}
+}
+
+// PackCount packs through the compiled program with PackCount's exact
+// skip/limit semantics: limit = min(len(dst), count*size - skip).
+func (p *Program) PackCount(dst, src []byte, count, skip int64) int64 {
+	limit := count*p.size - skip
+	if limit > int64(len(dst)) {
+		limit = int64(len(dst))
+	}
+	if limit <= 0 {
+		return 0
+	}
+	p.CopyRange(dst[:limit], src, skip, skip+limit, 0, true)
+	return limit
+}
+
+// UnpackCount is the inverse of PackCount.
+func (p *Program) UnpackCount(dst, src []byte, count, skip int64) int64 {
+	limit := count*p.size - skip
+	if limit > int64(len(src)) {
+		limit = int64(len(src))
+	}
+	if limit <= 0 {
+		return 0
+	}
+	p.CopyRange(src[:limit], dst, skip, skip+limit, 0, false)
+	return limit
+}
+
+// Pack packs through the compiled program with Pack's exact semantics:
+// limit = min(len(dst), data available when tiling over len(src)).
+func (p *Program) Pack(dst, src []byte, skip int64) int64 {
+	limit := avail(p.t, int64(len(src)), skip)
+	if limit > int64(len(dst)) {
+		limit = int64(len(dst))
+	}
+	if limit <= 0 {
+		return 0
+	}
+	p.CopyRange(dst[:limit], src, skip, skip+limit, 0, true)
+	return limit
+}
+
+// Unpack is the inverse of Pack.
+func (p *Program) Unpack(dst, src []byte, skip int64) int64 {
+	limit := avail(p.t, int64(len(dst)), skip)
+	if limit > int64(len(src)) {
+		limit = int64(len(src))
+	}
+	if limit <= 0 {
+		return 0
+	}
+	p.CopyRange(src[:limit], dst, skip, skip+limit, 0, false)
+	return limit
+}

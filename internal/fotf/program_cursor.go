@@ -1,0 +1,36 @@
+package fotf
+
+// Cursor is the resumable execution state of one call site over a
+// shared, immutable Program.  Collective window loops and sieve loops
+// ask for ascending, usually abutting (d0, d1) windows; the cursor
+// remembers where the previous window ended (instance and group index)
+// so the next CopyRange resumes in O(1) instead of re-searching.  A
+// window that does not continue the previous one just repositions with
+// a binary search — the cursor is a hint, never a correctness
+// requirement.
+//
+// The zero Cursor is invalid until Reset; Reset with a nil program
+// leaves Program() == nil, which callers use to fall back to the
+// recursive walk.
+type Cursor struct {
+	p  *Program
+	d  int64 // data offset the previous window ended at
+	k  int64 // instance containing d
+	gi int   // group index hint within instance k
+}
+
+// Reset points the cursor at program p (which may be nil) and rewinds
+// it to data offset 0.
+func (c *Cursor) Reset(p *Program) {
+	c.p = p
+	c.d, c.k, c.gi = 0, 0, 0
+}
+
+// Program returns the program the cursor executes, nil when unset.
+func (c *Cursor) Program() *Program { return c.p }
+
+// CopyRange executes the program over [d0, d1) with Program.CopyRange
+// semantics, resuming from the previous window when d0 continues it.
+func (c *Cursor) CopyRange(cb, b []byte, d0, d1, bias int64, pack bool) {
+	c.p.copyRange(cb, b, d0, d1, bias, pack, c)
+}

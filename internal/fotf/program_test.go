@@ -1,0 +1,393 @@
+package fotf
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/datatype"
+)
+
+// The differential layer: a compiled Program must be byte-identical to
+// the recursive walk on every entry point — full packs, skip/limit
+// clamps, windowed CopyRange with and without a resuming cursor, biased
+// (virtual-file-buffer) addressing, and run enumeration.  Sentinel
+// bytes around and inside the buffers catch stray writes, so the tests
+// also pin that programs never touch a byte the walk would not.
+
+// walkSpan returns one past the highest buffer offset the walk touches
+// for data [0, d1) of the tiled type.
+func walkSpan(dt *datatype.Type, d1 int64) int64 {
+	var hi int64
+	Runs(dt, 0, d1, func(bufOff, _, runLen, stride, n int64) {
+		if end := bufOff + (n-1)*stride + runLen; end > hi {
+			hi = end
+		}
+	})
+	return hi
+}
+
+// coverage expands a run enumeration into a per-data-byte buffer-offset
+// map over [d0, d1), failing on gaps, overlaps, or out-of-range data
+// offsets — the strongest equivalence oracle for Runs-shaped output.
+func coverage(d0, d1 int64, enum func(EmitFunc)) ([]int64, error) {
+	m := make([]int64, d1-d0)
+	for i := range m {
+		m[i] = -1
+	}
+	var bad error
+	enum(func(bufOff, dataOff, runLen, stride, n int64) {
+		if bad != nil {
+			return
+		}
+		if runLen <= 0 || n <= 0 {
+			bad = fmt.Errorf("empty emission: runLen=%d n=%d", runLen, n)
+			return
+		}
+		for i := int64(0); i < n; i++ {
+			for j := int64(0); j < runLen; j++ {
+				d := dataOff + i*runLen + j
+				if d < d0 || d >= d1 {
+					bad = fmt.Errorf("data offset %d outside [%d,%d)", d, d0, d1)
+					return
+				}
+				if m[d-d0] != -1 {
+					bad = fmt.Errorf("data offset %d emitted twice", d)
+					return
+				}
+				m[d-d0] = bufOff + i*stride + j
+			}
+		}
+	})
+	if bad != nil {
+		return nil, bad
+	}
+	for i, off := range m {
+		if off == -1 {
+			return nil, fmt.Errorf("data offset %d never emitted", d0+int64(i))
+		}
+	}
+	return m, nil
+}
+
+// checkProgramVsWalk runs the full differential battery on one type
+// with one randomness stream.  It returns nil when program and walk
+// agree byte-for-byte everywhere.
+func checkProgramVsWalk(dt *datatype.Type, r *rand.Rand) error {
+	p := Compile(dt)
+	if p == nil {
+		// Declining is only legal for the documented guards.
+		if dt.Size() <= 0 || dt.Blocks() > maxProgramBlocks {
+			return nil
+		}
+		// A coalescing overflow is possible in principle but cannot
+		// happen for the bounded trees this battery generates.
+		return fmt.Errorf("Compile declined a compilable type (size %d, blocks %d)", dt.Size(), dt.Blocks())
+	}
+	if p.Size() != dt.Size() || p.Extent() != dt.Extent() {
+		return fmt.Errorf("program size/ext %d/%d != type %d/%d", p.Size(), p.Extent(), dt.Size(), dt.Extent())
+	}
+	if g, b := int64(p.Groups()), dt.Blocks(); g > b {
+		return fmt.Errorf("compile expanded the type: %d groups from %d blocks", g, b)
+	}
+
+	count := int64(1 + r.Intn(3))
+	total := count * p.Size()
+	span := walkSpan(dt, total)
+	src := make([]byte, span)
+	r.Read(src)
+
+	// Run enumeration must cover exactly the same (data, buffer) byte
+	// pairs as the walk, for an arbitrary window.
+	d0 := r.Int63n(total)
+	d1 := d0 + 1 + r.Int63n(total-d0)
+	mw, err := coverage(d0, d1, func(emit EmitFunc) { Runs(dt, d0, d1, emit) })
+	if err != nil {
+		return fmt.Errorf("walk enumeration [%d,%d): %v", d0, d1, err)
+	}
+	mp, err := coverage(d0, d1, func(emit EmitFunc) { p.Runs(d0, d1, emit) })
+	if err != nil {
+		return fmt.Errorf("program enumeration [%d,%d): %v", d0, d1, err)
+	}
+	for i := range mw {
+		if mw[i] != mp[i] {
+			return fmt.Errorf("enumeration [%d,%d): data byte %d maps to buf %d (walk) vs %d (program)",
+				d0, d1, d0+int64(i), mw[i], mp[i])
+		}
+	}
+
+	// PackCount parity under random skip and a clamping dst.
+	skip := r.Int63n(total)
+	dlen := r.Int63n(total + 4)
+	dstW := bytes.Repeat([]byte{0xAA}, int(total)+8)
+	dstP := bytes.Repeat([]byte{0xAA}, int(total)+8)
+	if dlen > int64(len(dstW)) {
+		dlen = int64(len(dstW))
+	}
+	nW := PackCount(dstW[:dlen], src, count, dt, skip)
+	nP := p.PackCount(dstP[:dlen], src, count, skip)
+	if nW != nP || !bytes.Equal(dstW, dstP) {
+		return fmt.Errorf("PackCount(skip=%d, dlen=%d): n %d vs %d, bytes equal=%v", skip, dlen, nW, nP, bytes.Equal(dstW, dstP))
+	}
+
+	// Pack parity (avail-based limit over a truncated typed buffer).
+	srcCut := src[:r.Int63n(span+1)]
+	for i := range dstW {
+		dstW[i], dstP[i] = 0xBB, 0xBB
+	}
+	nW = Pack(dstW[:dlen], srcCut, dt, skip)
+	nP = p.Pack(dstP[:dlen], srcCut, skip)
+	if nW != nP || !bytes.Equal(dstW, dstP) {
+		return fmt.Errorf("Pack(skip=%d, dlen=%d, srclen=%d): n %d vs %d", skip, dlen, len(srcCut), nW, nP)
+	}
+
+	// UnpackCount parity with sentinel typed buffers: untouched holes
+	// must stay untouched on both sides.
+	cd := make([]byte, total+8)
+	r.Read(cd)
+	bW := bytes.Repeat([]byte{0xCC}, int(span)+8)
+	bP := bytes.Repeat([]byte{0xCC}, int(span)+8)
+	nW = UnpackCount(bW, cd[:dlen], count, dt, skip)
+	nP = p.UnpackCount(bP, cd[:dlen], count, skip)
+	if nW != nP || !bytes.Equal(bW, bP) {
+		return fmt.Errorf("UnpackCount(skip=%d, srclen=%d): n %d vs %d, bytes equal=%v", skip, dlen, nW, nP, bytes.Equal(bW, bP))
+	}
+
+	// Windowed pack through a resuming cursor, with a random negative
+	// bias (the virtual-file-buffer shift, exercised with padding).
+	pad := r.Int63n(8)
+	bias := -pad
+	bsrc := make([]byte, span+pad)
+	r.Read(bsrc)
+	cW := bytes.Repeat([]byte{0xDD}, int(total))
+	cP := bytes.Repeat([]byte{0xDD}, int(total))
+	var cur Cursor
+	cur.Reset(p)
+	for d := int64(0); d < total; {
+		w := 1 + r.Int63n(1+total/4)
+		if d+w > total {
+			w = total - d
+		}
+		CopyRange(cW[d:d+w], bsrc, dt, d, d+w, bias, true)
+		cur.CopyRange(cP[d:d+w], bsrc, d, d+w, bias, true)
+		d += w
+	}
+	if !bytes.Equal(cW, cP) {
+		return fmt.Errorf("cursor-windowed pack differs (pad=%d)", pad)
+	}
+
+	// Out-of-sequence windows: the cursor hint must not poison a window
+	// that does not continue the previous one.
+	for trial := 0; trial < 4; trial++ {
+		a := r.Int63n(total)
+		b := a + 1 + r.Int63n(total-a)
+		for i := int64(0); i < b-a; i++ {
+			cW[a+i], cP[a+i] = 0xEE, 0xEE
+		}
+		CopyRange(cW[a:b], bsrc, dt, a, b, bias, true)
+		cur.CopyRange(cP[a:b], bsrc, a, b, bias, true)
+		if !bytes.Equal(cW[a:b], cP[a:b]) {
+			return fmt.Errorf("out-of-sequence window [%d,%d) differs", a, b)
+		}
+	}
+
+	// Windowed unpack with whole-buffer sentinels: ascending windows
+	// writing into the typed buffer must leave holes untouched.
+	for i := range bW {
+		bW[i], bP[i] = 0x11, 0x11
+	}
+	cur.Reset(p)
+	for d := int64(0); d < total; {
+		w := 1 + r.Int63n(1+total/3)
+		if d+w > total {
+			w = total - d
+		}
+		CopyRange(cd[d:d+w], bW[:span], dt, d, d+w, 0, false)
+		cur.CopyRange(cd[d:d+w], bP[:span], d, d+w, 0, false)
+		d += w
+	}
+	if !bytes.Equal(bW, bP) {
+		return fmt.Errorf("cursor-windowed unpack differs")
+	}
+	return nil
+}
+
+func TestQuickProgramVsWalk(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		dt := datatype.RandomFiletype(r, 3)
+		if err := checkProgramVsWalk(dt, r); err != nil {
+			t.Logf("seed %d, type %v: %v", seed, dt, err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestProgramCoalescing pins the compile-time merges: shapes whose tree
+// structure hides contiguity or a uniform stride must collapse to the
+// minimal group form.
+func TestProgramCoalescing(t *testing.T) {
+	resized := func(dt *datatype.Type, lb, ext int64) *datatype.Type {
+		t.Helper()
+		out, err := datatype.Resized(dt, lb, ext)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	contig := func(count int64, child *datatype.Type) *datatype.Type {
+		t.Helper()
+		out, err := datatype.Contiguous(count, child)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	strct := func(blocklens, displs []int64, children []*datatype.Type) *datatype.Type {
+		t.Helper()
+		out, err := datatype.Struct(blocklens, displs, children)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	cases := []struct {
+		name   string
+		dt     *datatype.Type
+		groups int
+	}{
+		// A strided vector is already one group for the walk.
+		{"vector", vec(t, 8, 1, 2, datatype.Double), 1},
+		// A contiguous sequence of padded elements: the walk recurses
+		// per block (the child is not dense), the program merges the 64
+		// equal, evenly spaced runs into one arithmetic progression.
+		{"padded-contig", contig(64, resized(datatype.Double, 0, 16)), 1},
+		// Struct members that abut in the buffer merge into one run.
+		{"abutting-struct", strct([]int64{1, 1}, []int64{0, 8}, []*datatype.Type{datatype.Double, datatype.Double}), 1},
+		// Struct members at a uniform pitch merge into one progression.
+		{"pitched-struct", strct([]int64{1, 1, 1}, []int64{0, 16, 32},
+			[]*datatype.Type{datatype.Double, datatype.Double, datatype.Double}), 1},
+		// Two vectors back to back with the same geometry, phase-aligned.
+		{"aligned-vectors", strct([]int64{1, 1}, []int64{0, 64},
+			[]*datatype.Type{vec(t, 4, 8, 16, datatype.Byte), vec(t, 4, 8, 16, datatype.Byte)}), 1},
+		// Different widths cannot merge.
+		{"mixed-struct", strct([]int64{1, 1}, []int64{0, 16},
+			[]*datatype.Type{datatype.Int32, datatype.Double}), 2},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			p := Compile(c.dt)
+			if p == nil {
+				t.Fatalf("Compile declined %v", c.dt)
+			}
+			if p.Groups() != c.groups {
+				t.Errorf("Groups() = %d, want %d", p.Groups(), c.groups)
+			}
+			if err := checkProgramVsWalk(c.dt, rand.New(rand.NewSource(7))); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestProgramDeclines pins the compile guards: nil and dataless types
+// decline, and a decline is represented as a nil *Program whose
+// Groups() is safely callable.
+func TestProgramDeclines(t *testing.T) {
+	if Compile(nil) != nil {
+		t.Error("Compile(nil) must return nil")
+	}
+	empty := vec(t, 3, 0, 2, datatype.Double) // zero-length blocks: size 0
+	if empty.Size() != 0 {
+		t.Fatalf("setup: size %d, want 0", empty.Size())
+	}
+	if Compile(empty) != nil {
+		t.Error("Compile of a dataless type must return nil")
+	}
+	var p *Program
+	if p.Groups() != 0 {
+		t.Error("nil Program Groups() must be 0")
+	}
+}
+
+// TestProgramHostileShapes pins that compilation of adversarial trees
+// is bounded: a huge-extent type compiles to its true group count
+// without extent-proportional work, and a tree whose run structure
+// cannot be coalesced below the group cap declines instead of
+// allocating without bound.
+func TestProgramHostileShapes(t *testing.T) {
+	huge, err := datatype.Resized(datatype.Double, 0, 1<<40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Compile(huge)
+	if p == nil || p.Groups() != 1 {
+		t.Fatalf("huge-extent type: program %v, groups %d", p, p.Groups())
+	}
+	dst := make([]byte, 8)
+	src := make([]byte, 8)
+	if n := p.PackCount(dst, src, 1, 0); n != 8 {
+		t.Errorf("huge-extent pack moved %d bytes, want 8", n)
+	}
+
+	// A holey fractal: each level doubles the run count and no two runs
+	// are evenly spaced across levels, so coalescing cannot compress it
+	// below the cap.  Compile must decline, not grow without bound.
+	frac := datatype.Byte
+	for i := 0; i < 18; i++ {
+		frac = vec(t, 2, 1, 3, frac)
+	}
+	if frac.Blocks() <= maxProgramGroups {
+		t.Fatalf("setup: fractal has only %d blocks", frac.Blocks())
+	}
+	if got := Compile(frac); got != nil {
+		t.Errorf("fractal beyond the group cap compiled to %d groups; want decline", got.Groups())
+	}
+}
+
+// TestProgramCursorBoundaries drives windows that end exactly on group,
+// instance, and element boundaries through one cursor — the resume
+// hints' hard cases.
+func TestProgramCursorBoundaries(t *testing.T) {
+	dt := vec(t, 3, 2, 5, datatype.Int32) // runs of 8B at 0,20,40; size 24
+	p := Compile(dt)
+	if p == nil {
+		t.Fatal("Compile declined")
+	}
+	total := 4 * p.Size() // four instances
+	span := walkSpan(dt, total)
+	src := make([]byte, span)
+	rand.New(rand.NewSource(3)).Read(src)
+	for _, widths := range [][]int64{
+		{8, 8, 8},          // group boundaries
+		{24, 24, 24, 24},   // instance boundaries
+		{4, 4, 4, 4},       // element boundaries
+		{1, 7, 16, 24, 48}, // mixed, instance-crossing
+		{3, 5, 2, 6, 13, 19, 1, 47},
+	} {
+		want := make([]byte, total)
+		got := make([]byte, total)
+		var cur Cursor
+		cur.Reset(p)
+		d := int64(0)
+		for i := 0; d < total; i++ {
+			w := widths[i%len(widths)]
+			if d+w > total {
+				w = total - d
+			}
+			CopyRange(want[d:d+w], src, dt, d, d+w, 0, true)
+			cur.CopyRange(got[d:d+w], src, d, d+w, 0, true)
+			d += w
+		}
+		if !bytes.Equal(want, got) {
+			t.Errorf("widths %v: cursor-windowed pack differs", widths)
+		}
+	}
+}
